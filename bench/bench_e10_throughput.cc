@@ -1,0 +1,146 @@
+// E10 -- Throughput (google-benchmark): update, rank query, quantile query
+// and merge cost for REQ and the main baselines. Not a paper claim per se,
+// but the practicality check a deployed sketch (Apache DataSketches ships
+// REQ) must pass: updates within a small factor of KLL's, queries in
+// microseconds.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "baselines/ddsketch.h"
+#include "baselines/gk_sketch.h"
+#include "baselines/kll_sketch.h"
+#include "baselines/tdigest.h"
+#include "core/req_sketch.h"
+#include "workload/distributions.h"
+
+namespace {
+
+const std::vector<double>& Values() {
+  static const std::vector<double>* values = new std::vector<double>(
+      req::workload::GenerateLognormal(1 << 18, 101));
+  return *values;
+}
+
+req::ReqSketch<double> MakeReq(uint32_t k_base) {
+  req::ReqConfig config;
+  config.k_base = k_base;
+  config.seed = 11;
+  return req::ReqSketch<double>(config);
+}
+
+void BM_ReqUpdate(benchmark::State& state) {
+  const auto& values = Values();
+  for (auto _ : state) {
+    auto sketch = MakeReq(static_cast<uint32_t>(state.range(0)));
+    for (double v : values) sketch.Update(v);
+    benchmark::DoNotOptimize(sketch.RetainedItems());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(values.size()));
+}
+BENCHMARK(BM_ReqUpdate)->Arg(16)->Arg(64)->Unit(benchmark::kMillisecond);
+
+void BM_KllUpdate(benchmark::State& state) {
+  const auto& values = Values();
+  for (auto _ : state) {
+    req::baselines::KllSketch sketch(
+        static_cast<uint32_t>(state.range(0)), 12);
+    for (double v : values) sketch.Update(v);
+    benchmark::DoNotOptimize(sketch.RetainedItems());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(values.size()));
+}
+BENCHMARK(BM_KllUpdate)->Arg(200)->Unit(benchmark::kMillisecond);
+
+void BM_TDigestUpdate(benchmark::State& state) {
+  const auto& values = Values();
+  for (auto _ : state) {
+    req::baselines::TDigest digest(100.0);
+    for (double v : values) digest.Update(v);
+    benchmark::DoNotOptimize(digest.RetainedItems());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(values.size()));
+}
+BENCHMARK(BM_TDigestUpdate)->Unit(benchmark::kMillisecond);
+
+void BM_DdSketchUpdate(benchmark::State& state) {
+  const auto& values = Values();
+  for (auto _ : state) {
+    req::baselines::DdSketch sketch(0.01);
+    for (double v : values) sketch.Update(v);
+    benchmark::DoNotOptimize(sketch.RetainedItems());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(values.size()));
+}
+BENCHMARK(BM_DdSketchUpdate)->Unit(benchmark::kMillisecond);
+
+void BM_GkUpdate(benchmark::State& state) {
+  // GK's linear-scan insertion is the slow path; run on a prefix.
+  const auto& values = Values();
+  const size_t n = values.size() / 4;
+  for (auto _ : state) {
+    req::baselines::GkSketch sketch(0.01);
+    for (size_t i = 0; i < n; ++i) sketch.Update(values[i]);
+    benchmark::DoNotOptimize(sketch.RetainedItems());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_GkUpdate)->Unit(benchmark::kMillisecond);
+
+void BM_ReqRankQuery(benchmark::State& state) {
+  auto sketch = MakeReq(64);
+  for (double v : Values()) sketch.Update(v);
+  double y = 1.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sketch.GetRank(y));
+    y = y < 4.0 ? y + 0.01 : 1.0;
+  }
+}
+BENCHMARK(BM_ReqRankQuery);
+
+void BM_ReqQuantileViaSortedView(benchmark::State& state) {
+  auto sketch = MakeReq(64);
+  for (double v : Values()) sketch.Update(v);
+  const auto view = sketch.GetSortedView();
+  double q = 0.5;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(view.GetQuantile(q, req::Criterion::kInclusive));
+    q = q < 0.999 ? q + 0.0001 : 0.5;
+  }
+}
+BENCHMARK(BM_ReqQuantileViaSortedView);
+
+void BM_ReqSortedViewBuild(benchmark::State& state) {
+  auto sketch = MakeReq(64);
+  for (double v : Values()) sketch.Update(v);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sketch.GetSortedView().size());
+  }
+}
+BENCHMARK(BM_ReqSortedViewBuild)->Unit(benchmark::kMicrosecond);
+
+void BM_ReqMerge(benchmark::State& state) {
+  const auto& values = Values();
+  auto a = MakeReq(64);
+  auto b = MakeReq(64);
+  for (size_t i = 0; i < values.size() / 2; ++i) a.Update(values[i]);
+  for (size_t i = values.size() / 2; i < values.size(); ++i) {
+    b.Update(values[i]);
+  }
+  for (auto _ : state) {
+    auto target = a;  // copy cost included; merge mutates
+    target.Merge(b);
+    benchmark::DoNotOptimize(target.RetainedItems());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(b.RetainedItems()));
+}
+BENCHMARK(BM_ReqMerge)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,62 @@
+// E12 -- All-quantiles approximation (Corollary 1): with the accuracy
+// boosted by a constant (eps' = eps/3) and the failure budget divided
+// across an eps-net of O(eps^-1 log(eps n)) anchor points, ALL ranks are
+// simultaneously accurate with probability 1 - delta.
+//
+// Method: target eps = 0.1 with delta = 0.1; pick k per the Corollary 1
+// recipe (boosted); run many independent trials; in each trial take the
+// max relative error over a dense rank grid; report the fraction of trials
+// where that max exceeds eps. Expected: well below delta.
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/req_sketch.h"
+#include "sim/metrics.h"
+#include "workload/distributions.h"
+
+int main() {
+  const size_t kN = 1 << 17;
+  const int kTrials = 60;
+  const double eps = 0.02;
+  req::bench::PrintBanner(
+      "E12: all-quantiles guarantee (Corollary 1)",
+      "with boosted k, the max error over a dense rank grid exceeds eps in "
+      "far fewer than delta of trials");
+
+  const auto values = req::workload::GenerateLognormal(kN, /*seed=*/121);
+  req::sim::RankOracle oracle(values);
+  // Dense grid: geometric from the accurate end, growth close to 1.
+  const auto grid =
+      req::sim::GeometricRankGrid(kN, /*from_high_end=*/true, 1.15);
+
+  std::printf("n=%zu, %zu grid points, %d trials, target eps=%.2f "
+              "delta=0.10;\nthe failure fraction should drop through "
+              "delta as k crosses the Corollary 1 boost\n\n",
+              kN, grid.size(), kTrials, eps);
+  std::printf("%8s %12s %14s %16s\n", "k_base", "retained",
+              "mean of maxes", "frac > eps");
+  // Sweep k to show the transition: small k fails often, the boosted k
+  // (~3x what a single-quantile guarantee needs) essentially never.
+  for (uint32_t k_base : {8u, 16u, 32u, 64u, 96u}) {
+    int failures = 0;
+    double sum_max = 0.0;
+    size_t retained = 0;
+    for (int trial = 0; trial < kTrials; ++trial) {
+      req::ReqConfig config;
+      config.k_base = k_base;
+      config.accuracy = req::RankAccuracy::kHighRanks;
+      config.seed = 40009ULL * k_base + trial;
+      req::ReqSketch<double> sketch(config);
+      for (double v : values) sketch.Update(v);
+      const auto summary = req::bench::MeasureErrors(
+          oracle, [&](double y) { return sketch.GetRank(y); }, grid, true);
+      sum_max += summary.max_relative_error;
+      if (summary.max_relative_error > eps) ++failures;
+      retained = sketch.RetainedItems();
+    }
+    std::printf("%8u %12zu %14.5f %15.1f%%\n", k_base, retained,
+                sum_max / kTrials, 100.0 * failures / kTrials);
+  }
+  return 0;
+}

@@ -1,0 +1,49 @@
+// E2 -- Accuracy/space trade-off: measured relative error vs k_base.
+//
+// Theorem 1 (with this implementation's parameter scheme, see
+// req_common.h): the relative error standard deviation scales as
+// c / k_base. The product err * k_base should therefore be roughly
+// constant down the table, and doubling k halves the error.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/req_sketch.h"
+#include "sim/metrics.h"
+#include "workload/distributions.h"
+
+int main() {
+  const size_t kN = 1 << 19;
+  const int kTrials = 5;
+  req::bench::PrintBanner(
+      "E2: measured relative error vs k_base (uniform stream)",
+      "error ~ c / k_base: the err*k columns stay ~constant as k doubles");
+
+  const auto values = req::workload::GenerateUniform(kN, /*seed=*/41);
+  req::sim::RankOracle oracle(values);
+  const auto grid = req::sim::GeometricRankGrid(kN, true);
+
+  std::printf("%8s %10s %12s %12s %10s %10s\n", "k_base", "retained",
+              "mean relerr", "max relerr", "mean*k", "max*k");
+  for (uint32_t k_base : {8u, 16u, 32u, 64u, 128u}) {
+    double mean = 0.0, maxe = 0.0;
+    size_t retained = 0;
+    for (int trial = 0; trial < kTrials; ++trial) {
+      req::ReqConfig config;
+      config.k_base = k_base;
+      config.accuracy = req::RankAccuracy::kHighRanks;
+      config.seed = 1000 * k_base + trial;
+      req::ReqSketch<double> sketch(config);
+      for (double v : values) sketch.Update(v);
+      const auto summary = req::bench::MeasureErrors(
+          oracle, [&](double y) { return sketch.GetRank(y); }, grid, true);
+      mean += summary.mean_relative_error;
+      maxe += summary.max_relative_error;
+      retained = sketch.RetainedItems();
+    }
+    mean /= kTrials;
+    maxe /= kTrials;
+    std::printf("%8u %10zu %12.5f %12.5f %10.3f %10.3f\n", k_base, retained,
+                mean, maxe, mean * k_base, maxe * k_base);
+  }
+  return 0;
+}

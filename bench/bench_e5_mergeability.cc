@@ -1,0 +1,64 @@
+// E5 -- Full mergeability (Theorem 3): accuracy of sketches assembled by
+// arbitrary merge trees vs single-pass streaming, across part counts and
+// topologies.
+//
+// Expected shape: every topology's max relative error stays within a small
+// factor of the streaming sketch's, and space stays at the streaming level
+// -- the "arbitrary sequence of merge operations" promise.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/req_sketch.h"
+#include "sim/merge_tree.h"
+#include "sim/metrics.h"
+#include "workload/distributions.h"
+
+int main() {
+  const size_t kN = 1 << 19;
+  const uint32_t kBase = 32;
+  req::bench::PrintBanner(
+      "E5: merge-tree accuracy vs streaming (Theorem 3)",
+      "all topologies and part counts match streaming accuracy to a small "
+      "factor");
+
+  const auto values = req::workload::GenerateUniform(kN, /*seed=*/61);
+  req::sim::RankOracle oracle(values);
+  const auto grid = req::sim::GeometricRankGrid(kN, true);
+
+  const auto make = [&](uint64_t seed) {
+    req::ReqConfig config;
+    config.k_base = kBase;
+    config.accuracy = req::RankAccuracy::kHighRanks;
+    config.seed = seed;
+    return req::ReqSketch<double>(config);
+  };
+
+  // Streaming baseline.
+  auto streaming = make(1);
+  for (double v : values) streaming.Update(v);
+  const auto base_summary = req::bench::MeasureErrors(
+      oracle, [&](double y) { return streaming.GetRank(y); }, grid, true);
+  std::printf("streaming baseline: max relerr=%.5f mean=%.5f retained=%zu\n\n",
+              base_summary.max_relative_error,
+              base_summary.mean_relative_error, streaming.RetainedItems());
+
+  std::printf("%8s %14s %12s %12s %10s %8s\n", "parts", "topology",
+              "max relerr", "mean relerr", "retained", "vs base");
+  for (size_t parts : {4ul, 16ul, 64ul, 256ul}) {
+    const auto split = req::sim::SplitStream(values, parts);
+    for (req::sim::MergeTopology topology : req::sim::kAllMergeTopologies) {
+      auto sketch = req::sim::BuildAndMerge<req::ReqSketch<double>>(
+          split, [&](size_t p) { return make(1000 + p); }, topology,
+          /*seed=*/parts);
+      const auto summary = req::bench::MeasureErrors(
+          oracle, [&](double y) { return sketch.GetRank(y); }, grid, true);
+      std::printf("%8zu %14s %12.5f %12.5f %10zu %8.2f\n", parts,
+                  req::sim::TopologyName(topology).c_str(),
+                  summary.max_relative_error, summary.mean_relative_error,
+                  sketch.RetainedItems(),
+                  summary.max_relative_error /
+                      std::max(1e-9, base_summary.max_relative_error));
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Shared helpers for the experiment binaries (E1..E12). Each bench prints
+// a self-describing table; EXPERIMENTS.md records the expected shapes and
+// a captured run.
+#ifndef REQSKETCH_BENCH_BENCH_UTIL_H_
+#define REQSKETCH_BENCH_BENCH_UTIL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/metrics.h"
+
+namespace req {
+namespace bench {
+
+inline void PrintBanner(const std::string& id, const std::string& claim) {
+  std::printf("==============================================================="
+              "=================\n");
+  std::printf("%s\n", id.c_str());
+  std::printf("claim: %s\n", claim.c_str());
+  std::printf("==============================================================="
+              "=================\n");
+}
+
+// A named rank estimator under evaluation.
+struct Contender {
+  std::string name;
+  std::function<uint64_t(double)> rank_of;  // estimated # items <= y
+  size_t retained = 0;                      // stored items (space measure)
+};
+
+// Measures each contender on the given exact ranks and prints one row per
+// rank with per-contender relative errors. `from_high_end` selects the
+// denominator: n - R + 1 (HRA-style guarantee) or R.
+inline void PrintErrorVsRankTable(const sim::RankOracle& oracle,
+                                  const std::vector<Contender>& contenders,
+                                  const std::vector<uint64_t>& ranks,
+                                  bool from_high_end) {
+  std::printf("%14s", from_high_end ? "rank (of n)" : "rank");
+  for (const auto& c : contenders) {
+    std::printf(" %14s", c.name.c_str());
+  }
+  std::printf("\n");
+  const uint64_t n = oracle.n();
+  for (uint64_t r : ranks) {
+    const double item = oracle.ItemAtRank(r);
+    const uint64_t exact = oracle.RankInclusive(item);
+    std::printf("%14llu", static_cast<unsigned long long>(exact));
+    for (const auto& c : contenders) {
+      const uint64_t est = c.rank_of(item);
+      const double denom =
+          from_high_end ? static_cast<double>(n - exact + 1)
+                        : static_cast<double>(exact);
+      const double rel = std::abs(static_cast<double>(est) -
+                                  static_cast<double>(exact)) /
+                         std::max(1.0, denom);
+      std::printf(" %14.5f", rel);
+    }
+    std::printf("\n");
+  }
+  std::printf("%14s", "retained");
+  for (const auto& c : contenders) {
+    std::printf(" %14zu", c.retained);
+  }
+  std::printf("\n");
+}
+
+// Max/mean relative error of one estimator over a rank grid.
+inline sim::ErrorSummary MeasureErrors(
+    const sim::RankOracle& oracle,
+    const std::function<uint64_t(double)>& rank_of,
+    const std::vector<uint64_t>& ranks, bool from_high_end) {
+  return sim::Summarize(
+      sim::EvaluateRankErrors(oracle, rank_of, ranks, from_high_end));
+}
+
+}  // namespace bench
+}  // namespace req
+
+#endif  // REQSKETCH_BENCH_BENCH_UTIL_H_

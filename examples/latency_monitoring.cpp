@@ -1,0 +1,64 @@
+// Latency monitoring: the paper's motivating application (Section 1).
+//
+// Web response times are heavily long-tailed; operators track p50 / p90 /
+// p99 / p99.9. An additive-error sketch with eps n error cannot resolve
+// p99.9 at all once eps > 0.001, while the REQ sketch's multiplicative
+// guarantee keeps the tail sharp. This example monitors a synthetic
+// latency trace (calibrated to the Masson et al. spread the paper cites:
+// p98.5 ~ 2 s vs p99.5 ~ 20 s) and compares the sketch's percentiles with
+// exact ones computed offline.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "baselines/kll_sketch.h"
+#include "core/req_sketch.h"
+#include "workload/latency_model.h"
+
+int main() {
+  const size_t kRequests = 2'000'000;
+
+  req::workload::LatencyModel model;
+  const auto trace = model.GenerateTrace(kRequests, /*seed=*/2026);
+
+  // HRA orientation: accuracy concentrated at the high percentiles.
+  req::ReqConfig config;
+  config.k_base = 64;
+  config.accuracy = req::RankAccuracy::kHighRanks;
+  req::ReqSketch<double> req_sketch(config);
+
+  // An additive-error sketch of comparable size, for contrast.
+  req::baselines::KllSketch kll(320, /*seed=*/3);
+
+  for (double latency : trace) {
+    req_sketch.Update(latency);
+    kll.Update(latency);
+  }
+
+  // Exact percentiles for reference.
+  std::vector<double> sorted = trace;
+  std::sort(sorted.begin(), sorted.end());
+  const auto exact_at = [&](double q) {
+    return sorted[std::min(sorted.size() - 1,
+                           static_cast<size_t>(q * sorted.size()))];
+  };
+
+  std::printf("monitoring %zu requests; REQ stores %zu items, "
+              "KLL stores %zu items\n\n",
+              kRequests, req_sketch.RetainedItems(), kll.RetainedItems());
+  std::printf("%10s %12s %12s %12s %14s %14s\n", "percentile", "exact(s)",
+              "REQ(s)", "KLL(s)", "REQ rel err", "KLL rel err");
+  for (double q : {0.50, 0.90, 0.99, 0.995, 0.999, 0.9999}) {
+    const double exact = exact_at(q);
+    const double est_req = req_sketch.GetQuantile(q);
+    const double est_kll = kll.GetQuantile(q);
+    std::printf("%10.4f %12.4f %12.4f %12.4f %13.2f%% %13.2f%%\n", q, exact,
+                est_req, est_kll, 100.0 * std::abs(est_req - exact) / exact,
+                100.0 * std::abs(est_kll - exact) / exact);
+  }
+  std::printf("\nNote the tail rows: the additive sketch's percentile "
+              "drifts by orders of\nmagnitude in value because a rank "
+              "error of eps*n crosses the whole tail,\nwhile REQ pins "
+              "p99.9+ accurately.\n");
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Quickstart: build a REQ sketch over a million random values, then query
+// ranks, quantiles and the CDF.
+//
+// Build & run:   cmake -B build -G Ninja && cmake --build build
+//                ./build/examples/quickstart
+#include <cstdio>
+
+#include "core/req_sketch.h"
+#include "workload/distributions.h"
+
+int main() {
+  // Configure: k_base controls accuracy (relative rank error ~ 2.8/k_base
+  // standard deviations at the accurate end). HRA (the default) is accurate
+  // near the *maximum* -- the right choice for tail monitoring.
+  req::ReqConfig config;
+  config.k_base = 64;
+  config.accuracy = req::RankAccuracy::kHighRanks;
+
+  req::ReqSketch<double> sketch(config);
+
+  // Feed a stream. No stream-length hint is needed: the sketch grows its
+  // internal parameters automatically (Section 5 of the paper).
+  const auto values = req::workload::GenerateLognormal(1'000'000, /*seed=*/7);
+  for (double v : values) sketch.Update(v);
+
+  std::printf("items processed : %llu\n",
+              static_cast<unsigned long long>(sketch.n()));
+  std::printf("items stored    : %zu (%.3f%% of stream)\n",
+              sketch.RetainedItems(),
+              100.0 * sketch.RetainedItems() / sketch.n());
+  std::printf("levels          : %zu\n\n", sketch.num_levels());
+
+  // Quantile queries: the high quantiles are where REQ shines.
+  std::printf("%8s %12s\n", "q", "quantile");
+  for (double q : {0.5, 0.9, 0.99, 0.999, 0.9999}) {
+    std::printf("%8.4f %12.4f\n", q, sketch.GetQuantile(q));
+  }
+
+  // Rank query: what fraction of the stream is <= 10.0?
+  std::printf("\nnormalized rank of 10.0: %.6f\n",
+              sketch.GetNormalizedRank(10.0));
+
+  // CDF over split points.
+  const std::vector<double> splits = {0.5, 1.0, 2.0, 5.0, 10.0};
+  const auto cdf = sketch.GetCDF(splits);
+  std::printf("\nCDF:\n");
+  for (size_t i = 0; i < splits.size(); ++i) {
+    std::printf("  P(X <= %5.1f) = %.4f\n", splits[i], cdf[i]);
+  }
+  return 0;
+}

@@ -1,0 +1,148 @@
+// stream_quantiles_cli: a small command-line utility around ReqSketch.
+//
+// Reads whitespace-separated numbers from stdin (or a file argument) and
+// prints a quantile summary. Demonstrates the builder API and is handy for
+// eyeballing real data:
+//
+//   ./stream_quantiles_cli [--k N | --eps E --delta D] [--lra]
+//                          [--q q1,q2,...] [file]
+//
+//   seq 1 1000000 | shuf | ./stream_quantiles_cli --eps 0.01 --delta 0.01
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/req_builder.h"
+#include "core/req_sketch.h"
+
+namespace {
+
+struct Options {
+  uint32_t k = 0;  // 0 = derive from eps/delta
+  double eps = 0.01;
+  double delta = 0.01;
+  bool lra = false;
+  std::vector<double> quantiles = {0.01, 0.05, 0.25, 0.5,
+                                   0.75, 0.9,  0.99, 0.999};
+  std::string file;  // empty = stdin
+};
+
+std::vector<double> ParseQuantiles(const std::string& spec) {
+  std::vector<double> out;
+  std::stringstream ss(spec);
+  std::string token;
+  while (std::getline(ss, token, ',')) {
+    const double q = std::strtod(token.c_str(), nullptr);
+    if (q < 0.0 || q > 1.0) {
+      std::fprintf(stderr, "quantile out of [0,1]: %s\n", token.c_str());
+      std::exit(2);
+    }
+    out.push_back(q);
+  }
+  return out;
+}
+
+bool ParseArgs(int argc, char** argv, Options* opts) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--k") {
+      opts->k = static_cast<uint32_t>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--eps") {
+      opts->eps = std::strtod(next(), nullptr);
+    } else if (arg == "--delta") {
+      opts->delta = std::strtod(next(), nullptr);
+    } else if (arg == "--lra") {
+      opts->lra = true;
+    } else if (arg == "--q") {
+      opts->quantiles = ParseQuantiles(next());
+    } else if (arg == "--help" || arg == "-h") {
+      return false;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return false;
+    } else {
+      opts->file = arg;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts;
+  if (!ParseArgs(argc, argv, &opts)) {
+    std::fprintf(stderr,
+                 "usage: %s [--k N | --eps E --delta D] [--lra] "
+                 "[--q q1,q2,...] [file]\n",
+                 argv[0]);
+    return 2;
+  }
+
+  req::ReqSketchBuilder builder;
+  if (opts.k > 0) {
+    builder.SetKBase(opts.k + opts.k % 2);
+  } else {
+    builder.SetAccuracyTarget(opts.eps, opts.delta).SetAllQuantiles(true);
+  }
+  if (opts.lra) {
+    builder.SetLowRankAccuracy();
+  } else {
+    builder.SetHighRankAccuracy();
+  }
+  auto sketch = builder.Build<double>();
+
+  std::ifstream file_stream;
+  std::istream* input = &std::cin;
+  if (!opts.file.empty()) {
+    file_stream.open(opts.file);
+    if (!file_stream) {
+      std::fprintf(stderr, "cannot open %s\n", opts.file.c_str());
+      return 1;
+    }
+    input = &file_stream;
+  }
+
+  double value;
+  uint64_t bad = 0;
+  std::string token;
+  while (*input >> token) {
+    char* end = nullptr;
+    value = std::strtod(token.c_str(), &end);
+    if (end == token.c_str() || (end && *end != '\0')) {
+      ++bad;
+      continue;
+    }
+    sketch.Update(value);
+  }
+
+  if (sketch.is_empty()) {
+    std::fprintf(stderr, "no numeric input\n");
+    return 1;
+  }
+
+  const req::ReqConfig resolved = sketch.config();
+  std::printf("n=%llu  k_base=%u  retained=%zu  levels=%zu  min=%g  "
+              "max=%g%s\n",
+              static_cast<unsigned long long>(sketch.n()),
+              resolved.k_base, sketch.RetainedItems(), sketch.num_levels(),
+              sketch.MinItem(), sketch.MaxItem(),
+              bad ? "  (skipped non-numeric tokens)" : "");
+  std::printf("%10s %16s\n", "q", "quantile");
+  for (double q : opts.quantiles) {
+    std::printf("%10.5f %16.6g\n", q, sketch.GetQuantile(q));
+  }
+  return 0;
+}

@@ -1,0 +1,133 @@
+// CKMS biased-quantiles sketch (Cormode, Korn, Muthukrishnan, Srivastava,
+// ICDE 2005; the paper's reference [4]). A GK-style tuple summary whose
+// uncertainty budget is *rank-proportional*, f(r, n) = max(2 eps r, 1),
+// giving relative-error rank estimates at low ranks.
+//
+// Zhang et al. [22] observed -- and Section 1.1 of the REQ paper repeats --
+// that under adversarial item ordering this structure degenerates to
+// *linear* space: arriving below all previous items leaves a tolerance of
+// f(1) ~ 1, so nothing ever merges. The E6 bench reproduces that blowup;
+// the REQ sketch is immune by design.
+#ifndef REQSKETCH_BASELINES_CKMS_SKETCH_H_
+#define REQSKETCH_BASELINES_CKMS_SKETCH_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "util/validation.h"
+
+namespace req {
+namespace baselines {
+
+class CkmsSketch {
+ public:
+  explicit CkmsSketch(double eps) : eps_(eps) {
+    util::CheckArg(eps > 0.0 && eps < 1.0, "eps must be in (0, 1)");
+    compress_period_ = std::max<uint64_t>(
+        1, static_cast<uint64_t>(std::floor(1.0 / (2.0 * eps_))));
+  }
+
+  void Update(double value) {
+    ++n_;
+    size_t pos = 0;
+    uint64_t rank_before = 0;  // r_min of the tuple preceding insertion
+    while (pos < tuples_.size() && tuples_[pos].v <= value) {
+      rank_before += tuples_[pos].g;
+      ++pos;
+    }
+    Tuple t;
+    t.v = value;
+    t.g = 1;
+    t.delta = (pos == 0 || pos == tuples_.size())
+                  ? 0
+                  : static_cast<uint64_t>(
+                        std::max(0.0, std::floor(Budget(rank_before)) - 1.0));
+    tuples_.insert(tuples_.begin() + static_cast<ptrdiff_t>(pos), t);
+    if (n_ % compress_period_ == 0) Compress();
+  }
+
+  uint64_t n() const { return n_; }
+  bool is_empty() const { return n_ == 0; }
+  size_t RetainedItems() const { return tuples_.size(); }
+
+  // Estimated number of stream items <= y; relative error ~eps at low
+  // ranks for benign input orders.
+  uint64_t GetRank(double y) const {
+    util::CheckState(n_ > 0, "GetRank() on an empty sketch");
+    uint64_t r_min = 0;
+    for (size_t i = 0; i < tuples_.size(); ++i) {
+      if (tuples_[i].v > y) {
+        if (i == 0) return 0;
+        return r_min + (tuples_[i].g + tuples_[i].delta) / 2;
+      }
+      r_min += tuples_[i].g;
+    }
+    return n_;
+  }
+
+  double GetQuantile(double q) const {
+    util::CheckState(n_ > 0, "GetQuantile() on an empty sketch");
+    util::CheckArg(q >= 0.0 && q <= 1.0, "q must be in [0, 1]");
+    const double target = q * static_cast<double>(n_);
+    uint64_t r_min = 0;
+    for (size_t i = 0; i < tuples_.size(); ++i) {
+      r_min += tuples_[i].g;
+      if (static_cast<double>(r_min) +
+              static_cast<double>(tuples_[i].delta) >=
+          target * (1.0 + eps_)) {
+        return tuples_[i].v;
+      }
+    }
+    return tuples_.back().v;
+  }
+
+ private:
+  struct Tuple {
+    double v = 0.0;
+    uint64_t g = 0;
+    uint64_t delta = 0;
+  };
+
+  // The biased-quantiles invariant function f(r, n) = max(2 eps r, 1).
+  double Budget(uint64_t rank) const {
+    return std::max(2.0 * eps_ * static_cast<double>(rank), 1.0);
+  }
+
+  void Compress() {
+    if (tuples_.size() < 3) return;
+    std::vector<Tuple> out;
+    out.reserve(tuples_.size());
+    out.push_back(tuples_.front());
+    uint64_t pending_g = 0;
+    uint64_t r_min = tuples_.front().g;
+    for (size_t i = 1; i + 1 < tuples_.size(); ++i) {
+      const Tuple& cur = tuples_[i];
+      const Tuple& next = tuples_[i + 1];
+      if (static_cast<double>(pending_g + cur.g + next.g + next.delta) <=
+          Budget(r_min)) {
+        pending_g += cur.g;
+      } else {
+        Tuple kept = cur;
+        kept.g += pending_g;
+        pending_g = 0;
+        out.push_back(kept);
+      }
+      r_min += cur.g;
+    }
+    Tuple last = tuples_.back();
+    last.g += pending_g;
+    out.push_back(last);
+    tuples_ = std::move(out);
+  }
+
+  double eps_;
+  uint64_t compress_period_;
+  std::vector<Tuple> tuples_;
+  uint64_t n_ = 0;
+};
+
+}  // namespace baselines
+}  // namespace req
+
+#endif  // REQSKETCH_BASELINES_CKMS_SKETCH_H_

@@ -1,0 +1,151 @@
+// Universe-based deterministic biased-quantiles sketch in the style of
+// Cormode, Korn, Muthukrishnan, Srivastava (PODS 2006; the paper's
+// reference [5]): a binary (dyadic) tree over a *known, bounded* integer
+// universe [0, 2^log_universe), storing per-node counts and pruning nodes
+// whose count is small relative to the rank below them. Space is
+// O(eps^-1 log(eps n) log |U|) and the rank guarantee is multiplicative --
+// but the structure is inapplicable when the universe is unknown, huge, or
+// real-valued, which is exactly the limitation Section 1 of the REQ paper
+// calls out (and the reason the comparison matters in E3/E4).
+//
+// Implementation notes: counts live in a hash map keyed by (level,
+// prefix); a periodic bottom-up COMPRESS folds any node whose count is at
+// most eps * rank_below / log|U| into its parent (a q-digest-style rule
+// with a *relative* threshold). A rank query sums all nodes whose range
+// begins at or below y; the <= log|U| straddling nodes each contribute at
+// most their (threshold-bounded) count of error, totalling <= eps * R(y).
+#ifndef REQSKETCH_BASELINES_DYADIC_UNIVERSE_SKETCH_H_
+#define REQSKETCH_BASELINES_DYADIC_UNIVERSE_SKETCH_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "util/validation.h"
+
+namespace req {
+namespace baselines {
+
+class DyadicUniverseSketch {
+ public:
+  DyadicUniverseSketch(double eps, uint32_t log_universe)
+      : eps_(eps), log_universe_(log_universe) {
+    util::CheckArg(eps > 0.0 && eps < 1.0, "eps must be in (0, 1)");
+    util::CheckArg(log_universe >= 1 && log_universe <= 40,
+                   "log_universe must be in [1, 40]");
+    compress_period_ = std::max<uint64_t>(
+        256, static_cast<uint64_t>(4.0 * log_universe_ / eps_));
+  }
+
+  // Values must lie in [0, 2^log_universe).
+  void Update(uint64_t value) {
+    util::CheckArg(value < (uint64_t{1} << log_universe_),
+                   "value outside the declared universe");
+    ++counts_[{0, value}];
+    ++n_;
+    if (n_ % compress_period_ == 0) Compress();
+  }
+
+  uint64_t n() const { return n_; }
+  bool is_empty() const { return n_ == 0; }
+  size_t RetainedItems() const { return counts_.size(); }
+
+  // Estimated number of stream items <= y.
+  uint64_t GetRank(uint64_t y) const {
+    util::CheckState(n_ > 0, "GetRank() on an empty sketch");
+    uint64_t rank = 0;
+    for (const auto& [node, count] : counts_) {
+      const uint64_t start = node.second << node.first;
+      if (start <= y) rank += count;
+    }
+    return std::min(rank, n_);
+  }
+
+  uint64_t GetQuantile(double q) const {
+    util::CheckState(n_ > 0, "GetQuantile() on an empty sketch");
+    util::CheckArg(q >= 0.0 && q <= 1.0, "q must be in [0, 1]");
+    // Nodes sorted by range start (map order is (level, prefix); re-sort).
+    std::vector<std::pair<uint64_t, uint64_t>> by_start;  // (start, count)
+    by_start.reserve(counts_.size());
+    for (const auto& [node, count] : counts_) {
+      by_start.emplace_back(node.second << node.first, count);
+    }
+    std::sort(by_start.begin(), by_start.end());
+    const double target = std::max(1.0, q * static_cast<double>(n_));
+    uint64_t cum = 0;
+    for (const auto& [start, count] : by_start) {
+      cum += count;
+      if (static_cast<double>(cum) >= target) return start;
+    }
+    return by_start.back().first;
+  }
+
+  // Public so tests can force a compression and check the space bound.
+  void Compress() {
+    // Bottom-up: fold small nodes into their parents. The threshold for a
+    // node is eps * (rank strictly below its range) / log|U|, evaluated
+    // against a snapshot of the pre-compression rank function.
+    for (uint32_t level = 0; level + 1 <= log_universe_; ++level) {
+      // Snapshot: cumulative counts by range end, for RankBelow queries.
+      std::vector<std::pair<uint64_t, uint64_t>> ends;  // (range end, count)
+      ends.reserve(counts_.size());
+      for (const auto& [node, count] : counts_) {
+        ends.emplace_back((node.second + 1) << node.first, count);
+      }
+      std::sort(ends.begin(), ends.end());
+      // Prefix sums so RankBelow is a binary search.
+      std::vector<uint64_t> cum(ends.size() + 1, 0);
+      for (size_t i = 0; i < ends.size(); ++i) {
+        cum[i + 1] = cum[i] + ends[i].second;
+      }
+      std::vector<std::pair<uint64_t, uint64_t>> moves;  // (parent prefix, count)
+      for (auto it = counts_.begin(); it != counts_.end();) {
+        const auto& [node, count] = *it;
+        if (node.first != level) {
+          ++it;
+          continue;
+        }
+        // Threshold must be relative to the rank below the *parent's*
+        // range start: folding moves the count into the parent, whose
+        // range may begin below this node's. Bounding by the parent-start
+        // rank keeps the migrated mass at <= eps R(y) / (2 log|U|) for any
+        // query y inside the parent, so the <= 2 log|U| contributing nodes
+        // total at most eps R(y) of error.
+        const uint64_t parent_start = (node.second >> 1) << (level + 1);
+        const auto pos = std::upper_bound(
+            ends.begin(), ends.end(),
+            std::make_pair(parent_start, ~uint64_t{0}));
+        const uint64_t below = cum[static_cast<size_t>(pos - ends.begin())];
+        const double threshold =
+            eps_ * std::max<double>(1.0, static_cast<double>(below)) /
+            (2.0 * static_cast<double>(log_universe_));
+        if (static_cast<double>(count) <= threshold) {
+          moves.emplace_back(node.second >> 1, count);
+          it = counts_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      for (const auto& [parent_prefix, count] : moves) {
+        counts_[{level + 1, parent_prefix}] += count;
+      }
+    }
+  }
+
+ private:
+  double eps_;
+  uint32_t log_universe_;
+  uint64_t compress_period_;
+  // (level, prefix) -> count; a node covers [prefix << level,
+  // (prefix + 1) << level).
+  std::map<std::pair<uint32_t, uint64_t>, uint64_t> counts_;
+  uint64_t n_ = 0;
+};
+
+}  // namespace baselines
+}  // namespace req
+
+#endif  // REQSKETCH_BASELINES_DYADIC_UNIVERSE_SKETCH_H_

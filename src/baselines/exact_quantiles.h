@@ -1,0 +1,65 @@
+// Ground-truth "sketch": stores every item. Used as the accuracy oracle and
+// as the throughput lower bar in E10. Linear space, obviously.
+#ifndef REQSKETCH_BASELINES_EXACT_QUANTILES_H_
+#define REQSKETCH_BASELINES_EXACT_QUANTILES_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "util/validation.h"
+
+namespace req {
+namespace baselines {
+
+class ExactQuantiles {
+ public:
+  void Update(double value) {
+    values_.push_back(value);
+    sorted_ = false;
+  }
+
+  void Merge(const ExactQuantiles& other) {
+    values_.insert(values_.end(), other.values_.begin(),
+                   other.values_.end());
+    sorted_ = false;
+  }
+
+  uint64_t n() const { return values_.size(); }
+  bool is_empty() const { return values_.empty(); }
+  size_t RetainedItems() const { return values_.size(); }
+
+  // Number of items <= y.
+  uint64_t GetRank(double y) const {
+    EnsureSorted();
+    return static_cast<uint64_t>(
+        std::upper_bound(values_.begin(), values_.end(), y) -
+        values_.begin());
+  }
+
+  double GetQuantile(double q) const {
+    util::CheckState(!values_.empty(), "GetQuantile() on empty data");
+    util::CheckArg(q >= 0.0 && q <= 1.0, "q must be in [0, 1]");
+    EnsureSorted();
+    const size_t idx = std::min(
+        values_.size() - 1,
+        static_cast<size_t>(q * static_cast<double>(values_.size())));
+    return values_[idx];
+  }
+
+ private:
+  void EnsureSorted() const {
+    if (!sorted_) {
+      std::sort(values_.begin(), values_.end());
+      sorted_ = true;
+    }
+  }
+
+  mutable std::vector<double> values_;
+  mutable bool sorted_ = true;
+};
+
+}  // namespace baselines
+}  // namespace req
+
+#endif  // REQSKETCH_BASELINES_EXACT_QUANTILES_H_

@@ -1,0 +1,141 @@
+// Greenwald-Khanna sketch (SIGMOD 2001; the paper's reference [10]): the
+// classic deterministic *additive*-error quantile summary storing
+// O(eps^-1 log(eps n)) tuples. Reimplemented from the published
+// description.
+//
+// Invariant: tuples (v_i, g_i, delta_i) sorted by value with
+//   g_i + delta_i <= floor(2 eps n),
+// where g_i is the rank gap to the previous tuple and delta_i the rank
+// uncertainty. Any rank query is then answerable within eps n.
+#ifndef REQSKETCH_BASELINES_GK_SKETCH_H_
+#define REQSKETCH_BASELINES_GK_SKETCH_H_
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "util/validation.h"
+
+namespace req {
+namespace baselines {
+
+class GkSketch {
+ public:
+  explicit GkSketch(double eps) : eps_(eps) {
+    util::CheckArg(eps > 0.0 && eps < 1.0, "eps must be in (0, 1)");
+    compress_period_ = std::max<uint64_t>(
+        1, static_cast<uint64_t>(std::floor(1.0 / (2.0 * eps_))));
+  }
+
+  void Update(double value) {
+    ++n_;
+    const uint64_t max_gap = MaxGap();
+    // Find insertion position: first tuple with v > value.
+    size_t pos = 0;
+    while (pos < tuples_.size() && tuples_[pos].v <= value) ++pos;
+    Tuple t;
+    t.v = value;
+    t.g = 1;
+    // New extreme values are exact; interior insertions inherit the local
+    // uncertainty budget.
+    t.delta = (pos == 0 || pos == tuples_.size())
+                  ? 0
+                  : (max_gap >= 1 ? max_gap - 1 : 0);
+    tuples_.insert(tuples_.begin() + static_cast<ptrdiff_t>(pos), t);
+    if (n_ % compress_period_ == 0) Compress();
+  }
+
+  uint64_t n() const { return n_; }
+  bool is_empty() const { return n_ == 0; }
+  size_t RetainedItems() const { return tuples_.size(); }
+
+  // Estimated number of stream items <= y, within eps * n. For y between
+  // consecutive tuples v_{i-1} and v_i, the true rank lies in
+  // [rmin_{i-1}, rmax_i - 1]; the midpoint bounds the error by
+  // (g_i + delta_i) / 2 <= eps n under the GK invariant.
+  uint64_t GetRank(double y) const {
+    util::CheckState(n_ > 0, "GetRank() on an empty sketch");
+    uint64_t r_min = 0;  // rmin of the last tuple with v <= y
+    for (size_t i = 0; i < tuples_.size(); ++i) {
+      if (tuples_[i].v > y) {
+        if (i == 0) return 0;
+        return r_min + (tuples_[i].g + tuples_[i].delta) / 2;
+      }
+      r_min += tuples_[i].g;
+    }
+    return n_;
+  }
+
+  // Value whose rank-uncertainty interval midpoint is closest to q * n.
+  double GetQuantile(double q) const {
+    util::CheckState(n_ > 0, "GetQuantile() on an empty sketch");
+    util::CheckArg(q >= 0.0 && q <= 1.0, "q must be in [0, 1]");
+    const double target = q * static_cast<double>(n_);
+    uint64_t r_min = 0;
+    double best_value = tuples_.back().v;
+    double best_distance = std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < tuples_.size(); ++i) {
+      r_min += tuples_[i].g;
+      const double midpoint =
+          static_cast<double>(r_min) +
+          static_cast<double>(tuples_[i].delta) / 2.0;
+      const double distance = std::abs(midpoint - target);
+      if (distance < best_distance) {
+        best_distance = distance;
+        best_value = tuples_[i].v;
+      }
+    }
+    return best_value;
+  }
+
+ private:
+  struct Tuple {
+    double v = 0.0;
+    uint64_t g = 0;
+    uint64_t delta = 0;
+  };
+
+  uint64_t MaxGap() const {
+    return static_cast<uint64_t>(
+        std::floor(2.0 * eps_ * static_cast<double>(n_)));
+  }
+
+  // GK compress: merge tuple i into i+1 when the combined uncertainty fits
+  // the budget. Never merges the extremes (they stay exact).
+  void Compress() {
+    const uint64_t max_gap = MaxGap();
+    if (tuples_.size() < 3 || max_gap == 0) return;
+    std::vector<Tuple> out;
+    out.reserve(tuples_.size());
+    out.push_back(tuples_.front());
+    // Sweep left to right, greedily absorbing tuples into their successor.
+    uint64_t pending_g = 0;
+    for (size_t i = 1; i + 1 < tuples_.size(); ++i) {
+      const Tuple& cur = tuples_[i];
+      const Tuple& next = tuples_[i + 1];
+      if (pending_g + cur.g + next.g + next.delta <= max_gap) {
+        pending_g += cur.g;  // cur absorbed into next
+      } else {
+        Tuple kept = cur;
+        kept.g += pending_g;
+        pending_g = 0;
+        out.push_back(kept);
+      }
+    }
+    Tuple last = tuples_.back();
+    last.g += pending_g;
+    out.push_back(last);
+    tuples_ = std::move(out);
+  }
+
+  double eps_;
+  uint64_t compress_period_;
+  std::vector<Tuple> tuples_;
+  uint64_t n_ = 0;
+};
+
+}  // namespace baselines
+}  // namespace req
+
+#endif  // REQSKETCH_BASELINES_GK_SKETCH_H_

@@ -1,0 +1,159 @@
+// KLL sketch (Karnin, Lang, Liberty, FOCS 2016; the paper's reference [12]):
+// the optimal *additive*-error streaming quantiles sketch, and the design
+// the REQ sketch builds on. Reimplemented from the published description.
+//
+// Structure: a stack of buffers where level h holds items of weight 2^h and
+// has capacity k * c^(depth-from-top), c = 2/3, floored at a small minimum.
+// When total size exceeds total capacity, the lowest over-full level is
+// sorted and every other item (random offset) is promoted. Additive error
+// is O(n / k) at all ranks; there is no multiplicative guarantee, which is
+// precisely what the E1/E4 benches show at tail ranks.
+#ifndef REQSKETCH_BASELINES_KLL_SKETCH_H_
+#define REQSKETCH_BASELINES_KLL_SKETCH_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "util/random.h"
+#include "util/validation.h"
+
+namespace req {
+namespace baselines {
+
+class KllSketch {
+ public:
+  explicit KllSketch(uint32_t k = 200, uint64_t seed = 1)
+      : k_(k), rng_(seed) {
+    util::CheckArg(k >= 8, "KLL k must be >= 8");
+    levels_.emplace_back();
+  }
+
+  void Update(double value) {
+    levels_[0].push_back(value);
+    ++n_;
+    if (TotalSize() > TotalCapacity()) Compress();
+  }
+
+  void Merge(const KllSketch& other) {
+    util::CheckArg(this != &other, "cannot merge a sketch into itself");
+    while (levels_.size() < other.levels_.size()) levels_.emplace_back();
+    for (size_t h = 0; h < other.levels_.size(); ++h) {
+      levels_[h].insert(levels_[h].end(), other.levels_[h].begin(),
+                        other.levels_[h].end());
+    }
+    n_ += other.n_;
+    while (TotalSize() > TotalCapacity()) Compress();
+  }
+
+  uint64_t n() const { return n_; }
+  bool is_empty() const { return n_ == 0; }
+  uint32_t k() const { return k_; }
+
+  size_t RetainedItems() const { return TotalSize(); }
+  size_t num_levels() const { return levels_.size(); }
+
+  // Estimated number of stream items <= y.
+  uint64_t GetRank(double y) const {
+    util::CheckState(n_ > 0, "GetRank() on an empty sketch");
+    uint64_t rank = 0;
+    for (size_t h = 0; h < levels_.size(); ++h) {
+      uint64_t count = 0;
+      for (double x : levels_[h]) {
+        if (x <= y) ++count;
+      }
+      rank += count << h;
+    }
+    return rank;
+  }
+
+  double GetNormalizedRank(double y) const {
+    return static_cast<double>(GetRank(y)) / static_cast<double>(n_);
+  }
+
+  double GetQuantile(double q) const {
+    util::CheckState(n_ > 0, "GetQuantile() on an empty sketch");
+    util::CheckArg(q >= 0.0 && q <= 1.0, "q must be in [0, 1]");
+    std::vector<std::pair<double, uint64_t>> weighted;
+    weighted.reserve(TotalSize());
+    uint64_t total = 0;
+    for (size_t h = 0; h < levels_.size(); ++h) {
+      for (double x : levels_[h]) {
+        weighted.emplace_back(x, uint64_t{1} << h);
+        total += uint64_t{1} << h;
+      }
+    }
+    std::sort(weighted.begin(), weighted.end());
+    const double target = q * static_cast<double>(total);
+    uint64_t cum = 0;
+    for (const auto& [value, weight] : weighted) {
+      cum += weight;
+      if (static_cast<double>(cum) >= target) return value;
+    }
+    return weighted.back().first;
+  }
+
+ private:
+  // Capacity of level h when the sketch currently has H levels:
+  // k * c^(H-1-h), floored at kMinWidth.
+  size_t LevelCapacity(size_t h) const {
+    static constexpr double kC = 2.0 / 3.0;
+    static constexpr size_t kMinWidth = 8;
+    const int depth = static_cast<int>(levels_.size()) - 1 -
+                      static_cast<int>(h);
+    const double cap = static_cast<double>(k_) * std::pow(kC, depth);
+    return std::max(kMinWidth, static_cast<size_t>(std::ceil(cap)));
+  }
+
+  size_t TotalSize() const {
+    size_t total = 0;
+    for (const auto& level : levels_) total += level.size();
+    return total;
+  }
+
+  size_t TotalCapacity() const {
+    size_t total = 0;
+    for (size_t h = 0; h < levels_.size(); ++h) total += LevelCapacity(h);
+    return total;
+  }
+
+  // Compacts the lowest level exceeding its capacity (KLL's lazy policy).
+  void Compress() {
+    for (size_t h = 0; h < levels_.size(); ++h) {
+      if (levels_[h].size() < LevelCapacity(h) || levels_[h].size() < 2) {
+        continue;
+      }
+      if (h + 1 == levels_.size()) levels_.emplace_back();
+      // Note: take the reference only after any emplace_back above, which
+      // may reallocate the level vector.
+      std::vector<double>& level = levels_[h];
+      std::sort(level.begin(), level.end());
+      const size_t offset = rng_.NextBit() ? 1 : 0;
+      // Promote every other item; an odd leftover stays at this level so
+      // total weight is conserved exactly.
+      const size_t even_count = level.size() & ~size_t{1};
+      for (size_t i = offset; i < even_count; i += 2) {
+        levels_[h + 1].push_back(level[i]);
+      }
+      if (level.size() > even_count) {
+        const double leftover = level.back();
+        level.clear();
+        level.push_back(leftover);
+      } else {
+        level.clear();
+      }
+      return;
+    }
+  }
+
+  uint32_t k_;
+  util::Xoshiro256 rng_;
+  std::vector<std::vector<double>> levels_;
+  uint64_t n_ = 0;
+};
+
+}  // namespace baselines
+}  // namespace req
+
+#endif  // REQSKETCH_BASELINES_KLL_SKETCH_H_

@@ -1,0 +1,143 @@
+// Manku-Rajagopalan-Lindsay-style uniform buffer-collapse sketch
+// (SIGMOD 1998; the paper's reference [13]), building on Munro-Paterson.
+//
+// Maintains buffers of k items each, every buffer carrying a weight. When
+// two buffers of equal weight exist they COLLAPSE: merge the two sorted
+// k-item runs and keep every other element of the 2k-merge (alternating
+// offset), producing one buffer of doubled weight -- the classic
+// deterministic additive-error scheme storing O(k log(n/k)) items with
+// error O(n log(n/k) / k).
+#ifndef REQSKETCH_BASELINES_MRL_SKETCH_H_
+#define REQSKETCH_BASELINES_MRL_SKETCH_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "util/validation.h"
+
+namespace req {
+namespace baselines {
+
+class MrlSketch {
+ public:
+  explicit MrlSketch(size_t k) : k_(k) {
+    util::CheckArg(k >= 2 && k % 2 == 0, "MRL k must be even and >= 2");
+  }
+
+  void Update(double value) {
+    active_.push_back(value);
+    ++n_;
+    if (active_.size() == k_) {
+      std::sort(active_.begin(), active_.end());
+      buffers_.push_back(Buffer{1, std::move(active_)});
+      active_.clear();
+      CollapseEqualWeights();
+    }
+  }
+
+  uint64_t n() const { return n_; }
+  bool is_empty() const { return n_ == 0; }
+
+  size_t RetainedItems() const {
+    size_t total = active_.size();
+    for (const auto& b : buffers_) total += b.items.size();
+    return total;
+  }
+
+  size_t num_buffers() const { return buffers_.size() + 1; }
+
+  // Estimated number of stream items <= y.
+  uint64_t GetRank(double y) const {
+    util::CheckState(n_ > 0, "GetRank() on an empty sketch");
+    uint64_t rank = 0;
+    for (double x : active_) {
+      if (x <= y) ++rank;
+    }
+    for (const auto& b : buffers_) {
+      const uint64_t count = static_cast<uint64_t>(
+          std::upper_bound(b.items.begin(), b.items.end(), y) -
+          b.items.begin());
+      rank += count * b.weight;
+    }
+    return rank;
+  }
+
+  double GetQuantile(double q) const {
+    util::CheckState(n_ > 0, "GetQuantile() on an empty sketch");
+    util::CheckArg(q >= 0.0 && q <= 1.0, "q must be in [0, 1]");
+    std::vector<std::pair<double, uint64_t>> weighted;
+    weighted.reserve(RetainedItems());
+    uint64_t total = 0;
+    for (double x : active_) {
+      weighted.emplace_back(x, 1);
+      ++total;
+    }
+    for (const auto& b : buffers_) {
+      for (double x : b.items) {
+        weighted.emplace_back(x, b.weight);
+        total += b.weight;
+      }
+    }
+    std::sort(weighted.begin(), weighted.end());
+    const double target = q * static_cast<double>(total);
+    uint64_t cum = 0;
+    for (const auto& [value, weight] : weighted) {
+      cum += weight;
+      if (static_cast<double>(cum) >= target) return value;
+    }
+    return weighted.back().first;
+  }
+
+ private:
+  struct Buffer {
+    uint64_t weight = 1;
+    std::vector<double> items;  // sorted
+  };
+
+  void CollapseEqualWeights() {
+    bool collapsed = true;
+    while (collapsed) {
+      collapsed = false;
+      for (size_t i = 0; i < buffers_.size() && !collapsed; ++i) {
+        for (size_t j = i + 1; j < buffers_.size(); ++j) {
+          if (buffers_[i].weight == buffers_[j].weight) {
+            Collapse(i, j);
+            collapsed = true;
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  void Collapse(size_t i, size_t j) {
+    std::vector<double> merged(buffers_[i].items.size() +
+                               buffers_[j].items.size());
+    std::merge(buffers_[i].items.begin(), buffers_[i].items.end(),
+               buffers_[j].items.begin(), buffers_[j].items.end(),
+               merged.begin());
+    // Alternate the collapse offset deterministically: the MRL analysis
+    // pairs odd and even collapses so positional bias cancels.
+    std::vector<double> kept;
+    kept.reserve(merged.size() / 2);
+    for (size_t m = collapse_parity_ ? 1 : 0; m < merged.size(); m += 2) {
+      kept.push_back(merged[m]);
+    }
+    collapse_parity_ = !collapse_parity_;
+    buffers_[i].weight *= 2;
+    buffers_[i].items = std::move(kept);
+    buffers_.erase(buffers_.begin() + static_cast<ptrdiff_t>(j));
+  }
+
+  size_t k_;
+  std::vector<double> active_;
+  std::vector<Buffer> buffers_;
+  uint64_t n_ = 0;
+  bool collapse_parity_ = false;
+};
+
+}  // namespace baselines
+}  // namespace req
+
+#endif  // REQSKETCH_BASELINES_MRL_SKETCH_H_

@@ -1,0 +1,74 @@
+// Uniform reservoir sampling (Vitter's Algorithm R) as a quantile
+// estimator. The paper (Section 1) notes that a uniform sample of
+// O(eps^-2 log(1/eps)) items yields *additive* eps n error, but no o(n)
+// sample achieves multiplicative error -- the E1/E4 benches demonstrate
+// exactly that failure at tail ranks.
+#ifndef REQSKETCH_BASELINES_RESERVOIR_SAMPLER_H_
+#define REQSKETCH_BASELINES_RESERVOIR_SAMPLER_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "util/random.h"
+#include "util/validation.h"
+
+namespace req {
+namespace baselines {
+
+class ReservoirSampler {
+ public:
+  explicit ReservoirSampler(size_t capacity, uint64_t seed = 1)
+      : capacity_(capacity), rng_(seed) {
+    util::CheckArg(capacity >= 1, "reservoir capacity must be >= 1");
+    sample_.reserve(capacity);
+  }
+
+  void Update(double value) {
+    ++n_;
+    if (sample_.size() < capacity_) {
+      sample_.push_back(value);
+      return;
+    }
+    const uint64_t j = rng_.NextBounded(n_);
+    if (j < capacity_) sample_[j] = value;
+  }
+
+  uint64_t n() const { return n_; }
+  bool is_empty() const { return n_ == 0; }
+  size_t RetainedItems() const { return sample_.size(); }
+
+  // Estimated number of stream items <= y: scaled sample rank.
+  uint64_t GetRank(double y) const {
+    util::CheckState(n_ > 0, "GetRank() on an empty sampler");
+    uint64_t count = 0;
+    for (double x : sample_) {
+      if (x <= y) ++count;
+    }
+    return static_cast<uint64_t>(static_cast<double>(count) /
+                                 static_cast<double>(sample_.size()) *
+                                 static_cast<double>(n_));
+  }
+
+  double GetQuantile(double q) const {
+    util::CheckState(!sample_.empty(), "GetQuantile() on an empty sampler");
+    util::CheckArg(q >= 0.0 && q <= 1.0, "q must be in [0, 1]");
+    std::vector<double> sorted = sample_;
+    std::sort(sorted.begin(), sorted.end());
+    const size_t idx = std::min(
+        sorted.size() - 1,
+        static_cast<size_t>(q * static_cast<double>(sorted.size())));
+    return sorted[idx];
+  }
+
+ private:
+  size_t capacity_;
+  util::Xoshiro256 rng_;
+  std::vector<double> sample_;
+  uint64_t n_ = 0;
+};
+
+}  // namespace baselines
+}  // namespace req
+
+#endif  // REQSKETCH_BASELINES_RESERVOIR_SAMPLER_H_

@@ -1,0 +1,192 @@
+// t-digest (Dunning & Ertl; the paper's reference [7]): the widely deployed
+// *heuristic* for accurate tail quantiles. Merging variant with the k1
+// scale function k(q) = (delta / 2 pi) asin(2q - 1), which bounds centroid
+// sizes tightly near q = 0 and q = 1.
+//
+// As Section 1.1 notes, t-digest ships no formal accuracy guarantee; the E4
+// bench measures how it actually behaves next to the REQ sketch.
+#ifndef REQSKETCH_BASELINES_TDIGEST_H_
+#define REQSKETCH_BASELINES_TDIGEST_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "util/validation.h"
+
+namespace req {
+namespace baselines {
+
+class TDigest {
+ public:
+  explicit TDigest(double compression = 100.0)
+      : compression_(compression) {
+    util::CheckArg(compression >= 10.0, "compression must be >= 10");
+    buffer_.reserve(BufferCapacity());
+  }
+
+  void Update(double value) {
+    util::CheckArg(!std::isnan(value), "cannot update t-digest with NaN");
+    if (n_ == 0) {
+      min_ = max_ = value;
+    } else {
+      min_ = std::min(min_, value);
+      max_ = std::max(max_, value);
+    }
+    buffer_.push_back(value);
+    ++n_;
+    if (buffer_.size() >= BufferCapacity()) Flush();
+  }
+
+  void Merge(const TDigest& other) {
+    util::CheckArg(this != &other, "cannot merge a digest into itself");
+    if (other.n_ == 0) return;
+    if (n_ == 0) {
+      min_ = other.min_;
+      max_ = other.max_;
+    } else {
+      min_ = std::min(min_, other.min_);
+      max_ = std::max(max_, other.max_);
+    }
+    for (const Centroid& c : other.centroids_) {
+      pending_.push_back(c);
+    }
+    for (double v : other.buffer_) buffer_.push_back(v);
+    n_ += other.n_;
+    Flush();
+  }
+
+  uint64_t n() const { return n_; }
+  bool is_empty() const { return n_ == 0; }
+
+  size_t RetainedItems() const {
+    return centroids_.size() + buffer_.size() + pending_.size();
+  }
+
+  // Estimated number of stream items <= y (piecewise-linear CDF through
+  // centroid midpoints).
+  uint64_t GetRank(double y) const {
+    util::CheckState(n_ > 0, "GetRank() on an empty digest");
+    const_cast<TDigest*>(this)->Flush();
+    if (y < min_) return 0;
+    if (y >= max_) return n_;
+    // Piecewise-linear CDF through the points (min, 0),
+    // (mean_i, cum_i + count_i/2) for each centroid, (max, n).
+    double prev_x = min_;
+    double prev_cdf = 0.0;
+    double cum = 0.0;
+    for (const Centroid& c : centroids_) {
+      const double x = c.mean;
+      const double cdf = cum + static_cast<double>(c.count) / 2.0;
+      if (y < x) {
+        const double span = x - prev_x;
+        const double frac = span > 0.0 ? (y - prev_x) / span : 1.0;
+        return static_cast<uint64_t>(prev_cdf + frac * (cdf - prev_cdf));
+      }
+      prev_x = x;
+      prev_cdf = cdf;
+      cum += static_cast<double>(c.count);
+    }
+    const double span = max_ - prev_x;
+    const double frac = span > 0.0 ? (y - prev_x) / span : 1.0;
+    return static_cast<uint64_t>(
+        prev_cdf + frac * (static_cast<double>(n_) - prev_cdf));
+  }
+
+  double GetQuantile(double q) const {
+    util::CheckState(n_ > 0, "GetQuantile() on an empty digest");
+    util::CheckArg(q >= 0.0 && q <= 1.0, "q must be in [0, 1]");
+    const_cast<TDigest*>(this)->Flush();
+    if (q == 0.0) return min_;
+    if (q == 1.0) return max_;
+    const double target = q * static_cast<double>(n_);
+    double cum = 0.0;
+    for (size_t i = 0; i < centroids_.size(); ++i) {
+      const Centroid& c = centroids_[i];
+      const double half = static_cast<double>(c.count) / 2.0;
+      if (target <= cum + static_cast<double>(c.count)) {
+        // Interpolate between neighboring centroid means.
+        const double lo_mean = (i == 0) ? min_ : centroids_[i - 1].mean;
+        const double hi_mean =
+            (i + 1 == centroids_.size()) ? max_ : centroids_[i + 1].mean;
+        const double pos = target - cum;  // within [0, count]
+        if (pos < half) {
+          const double frac = half > 0 ? pos / half : 0.0;
+          return lo_mean + (c.mean - lo_mean) * frac;
+        }
+        const double frac = half > 0 ? (pos - half) / half : 0.0;
+        return c.mean + (hi_mean - c.mean) * std::min(1.0, frac);
+      }
+      cum += static_cast<double>(c.count);
+    }
+    return max_;
+  }
+
+ private:
+  struct Centroid {
+    double mean = 0.0;
+    uint64_t count = 0;
+    bool operator<(const Centroid& other) const { return mean < other.mean; }
+  };
+
+  size_t BufferCapacity() const {
+    return static_cast<size_t>(10.0 * compression_);
+  }
+
+  // k1 scale function.
+  double ScaleK(double q) const {
+    return compression_ / (2.0 * M_PI) * std::asin(2.0 * q - 1.0);
+  }
+
+  void Flush() {
+    if (buffer_.empty() && pending_.empty()) return;
+    std::vector<Centroid> incoming = std::move(pending_);
+    pending_.clear();
+    for (double v : buffer_) incoming.push_back(Centroid{v, 1});
+    buffer_.clear();
+    incoming.insert(incoming.end(), centroids_.begin(), centroids_.end());
+    std::sort(incoming.begin(), incoming.end());
+    centroids_.clear();
+    if (incoming.empty()) return;
+
+    uint64_t total = 0;
+    for (const Centroid& c : incoming) total += c.count;
+
+    Centroid current = incoming.front();
+    double q0 = 0.0;
+    double cum = 0.0;
+    for (size_t i = 1; i < incoming.size(); ++i) {
+      const Centroid& next = incoming[i];
+      const double q2 =
+          (cum + static_cast<double>(current.count + next.count)) /
+          static_cast<double>(total);
+      if (ScaleK(q2) - ScaleK(q0) <= 1.0) {
+        // Absorb next into current (weighted mean).
+        const double w1 = static_cast<double>(current.count);
+        const double w2 = static_cast<double>(next.count);
+        current.mean = (current.mean * w1 + next.mean * w2) / (w1 + w2);
+        current.count += next.count;
+      } else {
+        cum += static_cast<double>(current.count);
+        q0 = cum / static_cast<double>(total);
+        centroids_.push_back(current);
+        current = next;
+      }
+    }
+    centroids_.push_back(current);
+  }
+
+  double compression_;
+  std::vector<Centroid> centroids_;  // sorted by mean
+  std::vector<Centroid> pending_;    // from merges, awaiting flush
+  std::vector<double> buffer_;
+  uint64_t n_ = 0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace baselines
+}  // namespace req
+
+#endif  // REQSKETCH_BASELINES_TDIGEST_H_

@@ -1,0 +1,259 @@
+// The relative-compactor (Algorithm 1 and Figures 1-2 of the paper).
+//
+// A relative-compactor is a buffer of capacity B = 2 * k * num_sections that
+// ingests a stream of items and, whenever full, performs a *compaction
+// operation*: it sorts the buffer, selects the L_C most-compactible items
+// (the largest in LRA orientation, the smallest in HRA orientation), removes
+// them, and promotes every other one of them -- even- or odd-indexed with
+// equal probability (Observation 4) -- to the caller, which feeds them to
+// the next level with doubled weight.
+//
+// The number of compacted items follows the derandomized exponential
+// schedule of Section 2.1: during the (C+1)-st compaction,
+//     L_C = (z(C) + 1) * k,
+// where z(C) is the number of trailing ones in the binary representation of
+// the compaction state C. Section j (of size k, numbered from the
+// compactible end) therefore participates in every 2^(j-1)-th compaction,
+// and the B/2 items on the protected side are never compacted -- the source
+// of the multiplicative error guarantee. Fact 5 (between two compactions of
+// exactly j sections there is one of > j sections) follows from the
+// trailing-ones schedule and is exercised directly by the unit tests.
+//
+// For mergeability (Appendix D), the state C is public: Algorithm 3 combines
+// the states of two sketches with bitwise OR, and "special" compactions
+// (parameter regrowth) compact everything above the protected half.
+#ifndef REQSKETCH_CORE_RELATIVE_COMPACTOR_H_
+#define REQSKETCH_CORE_RELATIVE_COMPACTOR_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "core/req_common.h"
+#include "util/bits.h"
+#include "util/random.h"
+#include "util/validation.h"
+
+namespace req {
+
+template <typename T, typename Compare = std::less<T>>
+class RelativeCompactor {
+ public:
+  RelativeCompactor(uint32_t section_size, uint32_t num_sections,
+                    RankAccuracy accuracy, SchedulePolicy schedule,
+                    CoinMode coin, Compare comp = Compare())
+      : comp_(std::move(comp)),
+        section_size_(section_size),
+        num_sections_(num_sections),
+        accuracy_(accuracy),
+        schedule_(schedule),
+        coin_(coin) {
+    util::CheckArg(section_size >= 2 && section_size % 2 == 0,
+                   "section size must be even and >= 2");
+    util::CheckArg(num_sections >= 2, "num_sections must be >= 2");
+    items_.reserve(capacity());
+  }
+
+  // --- accessors -----------------------------------------------------------
+
+  uint32_t section_size() const { return section_size_; }
+  uint32_t num_sections() const { return num_sections_; }
+  uint32_t capacity() const {
+    return params::Capacity(section_size_, num_sections_);
+  }
+  size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+  bool IsFull() const { return items_.size() >= capacity(); }
+
+  // Compaction-schedule state C (number of compactions in streaming use;
+  // after merges it is the bitwise OR of the constituents' states).
+  uint64_t state() const { return state_; }
+  void set_state(uint64_t state) { state_ = state; }
+  // Appendix D merge rule: the merged state is the bitwise OR (Fact 18/19).
+  void OrState(uint64_t other_state) { state_ |= other_state; }
+
+  uint64_t num_compactions() const { return num_compactions_; }
+
+  const std::vector<T>& items() const { return items_; }
+
+  // --- updates -------------------------------------------------------------
+
+  void Insert(const T& item) {
+    items_.push_back(item);
+    sorted_ = false;
+  }
+  void Insert(T&& item) {
+    items_.push_back(std::move(item));
+    sorted_ = false;
+  }
+
+  // Bulk insert used by merge: appends all items from a sibling buffer.
+  void InsertAll(const std::vector<T>& other_items) {
+    items_.insert(items_.end(), other_items.begin(), other_items.end());
+    if (!other_items.empty()) sorted_ = false;
+  }
+
+  // Reconfigures the section geometry after the sketch's global parameters
+  // regrow (N -> N^2 recomputes k and B; Appendix D.1). Existing items and
+  // state are preserved; the caller is responsible for having run the
+  // special compaction first.
+  void SetGeometry(uint32_t section_size, uint32_t num_sections) {
+    util::CheckArg(section_size >= 2 && section_size % 2 == 0,
+                   "section size must be even and >= 2");
+    util::CheckArg(num_sections >= 2, "num_sections must be >= 2");
+    section_size_ = section_size;
+    num_sections_ = num_sections;
+  }
+
+  // --- compaction ----------------------------------------------------------
+
+  // Returns the number of items the schedule will compact next: the paper's
+  // L_C = (z(C)+1)*k, clamped to half the capacity (the clamp is the
+  // "L <= B/2 always holds" property; it only binds defensively after
+  // merges inflate the state).
+  uint32_t NextCompactionWidth() const {
+    uint32_t sections_involved;
+    switch (schedule_) {
+      case SchedulePolicy::kExponential:
+        sections_involved = static_cast<uint32_t>(
+            util::TrailingOnes(state_)) + 1;
+        break;
+      case SchedulePolicy::kUniform:
+        sections_involved = num_sections_;
+        break;
+      case SchedulePolicy::kSingleSection:
+        sections_involved = 1;
+        break;
+      default:
+        sections_involved = 1;
+    }
+    sections_involved = std::min(sections_involved, num_sections_);
+    return sections_involved * section_size_;
+  }
+
+  // Performs one scheduled compaction (Lines 5-10 of Algorithm 1, extended
+  // per Algorithm 3 to also consume any items beyond the nominal capacity).
+  // Returns the promoted items, to be fed to the next level. Requires a
+  // non-empty compactible range; callers invoke it only when size() >=
+  // capacity().
+  std::vector<T> Compact(util::Xoshiro256& rng) {
+    const uint32_t width = NextCompactionWidth();
+    // Everything beyond the nominal capacity B is "extra" (can only appear
+    // during merges) and is always included in the compaction.
+    const size_t extras =
+        items_.size() > capacity() ? items_.size() - capacity() : 0;
+    size_t compact_count =
+        std::min(items_.size(), static_cast<size_t>(width) + extras);
+    // Keep the compacted range even so exactly half of it is promoted and
+    // total weight is conserved (the estimator then satisfies
+    // RankEstimate(max) == n exactly).
+    compact_count &= ~size_t{1};
+    if (compact_count < 2) return {};
+    std::vector<T> promoted = CompactRange(compact_count, rng);
+    state_ += 1;
+    ++num_compactions_;
+    return promoted;
+  }
+
+  // "Special" compaction used when parameters regrow and during merges
+  // (Algorithm 3, SpecialCompaction): compacts every item above the
+  // protected half, leaving at most capacity()/2 items. No-op (returns
+  // empty) if the buffer already holds <= capacity()/2 items.
+  std::vector<T> SpecialCompact(util::Xoshiro256& rng) {
+    const size_t protect = capacity() / 2;
+    if (items_.size() <= protect) return {};
+    size_t compact_count = (items_.size() - protect) & ~size_t{1};
+    if (compact_count < 2) return {};
+    std::vector<T> promoted = CompactRange(compact_count, rng);
+    state_ += 1;
+    ++num_compactions_;
+    return promoted;
+  }
+
+  // --- queries -------------------------------------------------------------
+
+  // Number of stored items <= y (inclusive) or < y (exclusive), unweighted.
+  uint64_t CountRank(const T& y, Criterion criterion) const {
+    uint64_t count = 0;
+    if (criterion == Criterion::kInclusive) {
+      for (const T& x : items_) {
+        if (!comp_(y, x)) ++count;  // x <= y
+      }
+    } else {
+      for (const T& x : items_) {
+        if (comp_(x, y)) ++count;  // x < y
+      }
+    }
+    return count;
+  }
+
+  // Restores buffer contents and schedule state; used by deserialization
+  // (core/req_serde.h) only.
+  void Restore(std::vector<T> items, uint64_t state,
+               uint64_t num_compactions) {
+    items_ = std::move(items);
+    sorted_ = std::is_sorted(items_.begin(), items_.end(), comp_);
+    state_ = state;
+    num_compactions_ = num_compactions;
+  }
+
+  // Ensures items_ is sorted ascending (queries that need order call this).
+  void Sort() {
+    if (!sorted_) {
+      std::sort(items_.begin(), items_.end(), comp_);
+      sorted_ = true;
+    }
+  }
+  bool sorted() const { return sorted_; }
+
+ private:
+  // Compacts the `compact_count` items at the compactible end of the sorted
+  // buffer: removes them and returns every other one (random parity).
+  // LRA orientation compacts the largest items (the paper's pseudocode);
+  // HRA compacts the smallest, protecting the top of the distribution.
+  std::vector<T> CompactRange(size_t compact_count,
+                              util::Xoshiro256& rng) {
+    Sort();
+    compact_count = std::min(compact_count, items_.size());
+    const bool keep_odds = (coin_ == CoinMode::kDeterministic)
+                               ? true
+                               : rng.NextBit();
+    std::vector<T> promoted;
+    promoted.reserve(compact_count / 2 + 1);
+    if (accuracy_ == RankAccuracy::kLowRanks) {
+      // Compact the suffix [size - compact_count, size).
+      const size_t start = items_.size() - compact_count;
+      for (size_t i = start + (keep_odds ? 1 : 0); i < items_.size();
+           i += 2) {
+        promoted.push_back(std::move(items_[i]));
+      }
+      items_.resize(start);
+    } else {
+      // Compact the prefix [0, compact_count); mirror-image of LRA so the
+      // *largest* B/2 items are never touched.
+      for (size_t i = (keep_odds ? 1 : 0); i < compact_count; i += 2) {
+        promoted.push_back(std::move(items_[i]));
+      }
+      items_.erase(items_.begin(),
+                   items_.begin() + static_cast<ptrdiff_t>(compact_count));
+    }
+    return promoted;
+  }
+
+  Compare comp_;
+  std::vector<T> items_;
+  uint32_t section_size_;
+  uint32_t num_sections_;
+  RankAccuracy accuracy_;
+  SchedulePolicy schedule_;
+  CoinMode coin_;
+  uint64_t state_ = 0;
+  uint64_t num_compactions_ = 0;
+  bool sorted_ = true;
+};
+
+}  // namespace req
+
+#endif  // REQSKETCH_CORE_RELATIVE_COMPACTOR_H_

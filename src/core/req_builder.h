@@ -1,0 +1,117 @@
+// Fluent builder for ReqSketch, including accuracy-targeted sizing:
+// instead of picking k_base by hand, request a target relative error eps
+// at confidence 1 - delta and let the builder derive k_base from the
+// calibrated error model (E2/E7 in EXPERIMENTS.md: the empirical error at
+// the accurate end is zero-mean Gaussian-like with sigma ~ c / k_base,
+// c ~= 0.10 measured; we size with c = 0.20 for a 2x safety margin, still
+// ~5x leaner than the worst-case constant in RelativeStdErr()).
+#ifndef REQSKETCH_CORE_REQ_BUILDER_H_
+#define REQSKETCH_CORE_REQ_BUILDER_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "core/req_common.h"
+#include "core/req_sketch.h"
+#include "util/validation.h"
+
+namespace req {
+
+class ReqSketchBuilder {
+ public:
+  ReqSketchBuilder& SetKBase(uint32_t k_base) {
+    config_.k_base = k_base;
+    k_explicit_ = true;
+    return *this;
+  }
+
+  // Derives k_base so that Pr[|Err(y)| > eps * R*(y)] <~ delta for a fixed
+  // item y (single-quantile guarantee, Theorem 1 with calibrated
+  // constants). For the all-quantiles guarantee (Corollary 1), pass
+  // eps/3 and delta scaled down by the grid size, or simply
+  // SetAllQuantiles(true).
+  ReqSketchBuilder& SetAccuracyTarget(double eps, double delta) {
+    util::CheckArg(eps > 0.0 && eps < 1.0, "eps must be in (0, 1)");
+    util::CheckArg(delta > 0.0 && delta <= 0.5, "delta must be in (0, 0.5]");
+    eps_ = eps;
+    delta_ = delta;
+    k_explicit_ = false;
+    return *this;
+  }
+
+  // Corollary 1 mode: boost the accuracy target so that all ranks are
+  // simultaneously within eps with probability 1 - delta.
+  ReqSketchBuilder& SetAllQuantiles(bool all_quantiles) {
+    all_quantiles_ = all_quantiles;
+    return *this;
+  }
+
+  ReqSketchBuilder& SetHighRankAccuracy() {
+    config_.accuracy = RankAccuracy::kHighRanks;
+    return *this;
+  }
+  ReqSketchBuilder& SetLowRankAccuracy() {
+    config_.accuracy = RankAccuracy::kLowRanks;
+    return *this;
+  }
+
+  ReqSketchBuilder& SetNHint(uint64_t n_hint) {
+    config_.n_hint = n_hint;
+    return *this;
+  }
+
+  ReqSketchBuilder& SetSeed(uint64_t seed) {
+    config_.seed = seed;
+    return *this;
+  }
+
+  ReqSketchBuilder& SetDeterministic(bool deterministic) {
+    config_.coin =
+        deterministic ? CoinMode::kDeterministic : CoinMode::kRandom;
+    return *this;
+  }
+
+  // The config that Build() will use (k_base resolved).
+  ReqConfig ResolveConfig() const {
+    ReqConfig config = config_;
+    if (!k_explicit_) {
+      config.k_base = DeriveKBase();
+    }
+    return config;
+  }
+
+  template <typename T, typename Compare = std::less<T>>
+  ReqSketch<T, Compare> Build(Compare comp = Compare()) const {
+    return ReqSketch<T, Compare>(ResolveConfig(), comp);
+  }
+
+ private:
+  // Calibrated sizing: sigma ~ c / k with c = 0.20 (conservative 2x over
+  // the measured 0.10); the Gaussian tail needs z(delta) sigmas, with
+  // z ~ sqrt(2 ln(1/delta)). All-quantiles mode boosts eps -> eps/3 and
+  // charges a log-size grid to delta (Corollary 1's recipe).
+  uint32_t DeriveKBase() const {
+    double eps = eps_;
+    double delta = delta_;
+    if (all_quantiles_) {
+      eps /= 3.0;
+      delta /= 64.0;  // ~ |eps-net| for practical n; Corollary 1
+    }
+    const double z = std::sqrt(2.0 * std::log(1.0 / delta));
+    const double k = 0.20 * z / eps;
+    uint32_t k_base = static_cast<uint32_t>(std::ceil(k));
+    k_base += k_base % 2;  // force even
+    return std::clamp(k_base, params::kMinK, uint32_t{1} << 20);
+  }
+
+  ReqConfig config_;
+  double eps_ = 0.01;
+  double delta_ = 0.01;
+  bool k_explicit_ = true;
+  bool all_quantiles_ = false;
+};
+
+}  // namespace req
+
+#endif  // REQSKETCH_CORE_REQ_BUILDER_H_

@@ -1,0 +1,121 @@
+// The "simple" unknown-stream-length scheme of Section 5.
+//
+// Instead of regrowing parameters in place (which ReqSketch does, following
+// footnote 9 and the Appendix D analysis), this scheme starts with an
+// estimate N_0, and when the stream outgrows the current estimate N_i it
+// "closes out" the current summary -- keeping it read-only -- and opens a
+// fresh summary built for N_{i+1} = N_i^2. At most log2 log2(eps n)
+// summaries ever exist, their sizes are geometrically dominated by the last
+// one, and the rank estimate for y is the sum of the per-summary estimates
+// (each sub-stream achieving relative error eps implies the total does).
+//
+// This class exists so the E8 bench can compare both schemes against the
+// known-n baseline; for general use prefer ReqSketch, which additionally
+// supports merging.
+#ifndef REQSKETCH_CORE_REQ_CHAIN_H_
+#define REQSKETCH_CORE_REQ_CHAIN_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "core/req_common.h"
+#include "core/req_sketch.h"
+#include "core/sorted_view.h"
+#include "util/validation.h"
+
+namespace req {
+
+template <typename T, typename Compare = std::less<T>>
+class ReqChain {
+ public:
+  explicit ReqChain(const ReqConfig& config = ReqConfig(),
+                    Compare comp = Compare())
+      : config_(config), comp_(comp) {
+    params::ValidateConfig(config_);
+    current_bound_ = params::InitialN(config_.k_base);
+    OpenSummary();
+  }
+
+  bool is_empty() const { return n_ == 0; }
+  uint64_t n() const { return n_; }
+
+  // Number of summaries (closed + active); bounded by log2 log2 of the
+  // stream length over N0.
+  size_t num_summaries() const { return summaries_.size(); }
+
+  size_t RetainedItems() const {
+    size_t total = 0;
+    for (const auto& s : summaries_) total += s->RetainedItems();
+    return total;
+  }
+
+  void Update(const T& item) {
+    // Section 5: when the *total* stream length reaches the current
+    // estimate N_i, close out and open the next summary for N_{i+1}.
+    if (n_ >= current_bound_) {
+      // Close out: the summary stays read-only; open the next one with the
+      // squared estimate.
+      current_bound_ = (current_bound_ >= (uint64_t{1} << 31))
+                           ? params::kMaxN
+                           : current_bound_ * current_bound_;
+      OpenSummary();
+    }
+    summaries_.back()->Update(item);
+    ++n_;
+  }
+
+  // Rank estimate: sum of the per-summary estimates (Section 5).
+  uint64_t GetRank(const T& y,
+                   Criterion criterion = Criterion::kInclusive) const {
+    util::CheckState(n_ > 0, "GetRank() on an empty chain");
+    uint64_t rank = 0;
+    for (const auto& s : summaries_) {
+      if (!s->is_empty()) rank += s->GetRank(y, criterion);
+    }
+    return rank;
+  }
+
+  double GetNormalizedRank(
+      const T& y, Criterion criterion = Criterion::kInclusive) const {
+    return static_cast<double>(GetRank(y, criterion)) /
+           static_cast<double>(n_);
+  }
+
+  T GetQuantile(double q, Criterion criterion = Criterion::kInclusive) const {
+    util::CheckState(n_ > 0, "GetQuantile() on an empty chain");
+    std::vector<std::pair<T, uint64_t>> weighted;
+    weighted.reserve(RetainedItems());
+    uint64_t total_weight = 0;
+    for (const auto& s : summaries_) {
+      if (s->is_empty()) continue;
+      s->AppendWeightedItems(&weighted);
+      total_weight += s->TotalWeight();
+    }
+    SortedView<T, Compare> view(std::move(weighted), total_weight, comp_);
+    return view.GetQuantile(q, criterion);
+  }
+
+ private:
+  void OpenSummary() {
+    ReqConfig sub_config = config_;
+    sub_config.n_hint = current_bound_;  // fixed-N summary (Theorem 14)
+    // Derive a distinct deterministic seed per summary.
+    sub_config.seed = config_.seed + 0x9e3779b97f4a7c15ULL *
+                                         (summaries_.size() + 1);
+    summaries_.push_back(
+        std::make_unique<ReqSketch<T, Compare>>(sub_config, comp_));
+  }
+
+  ReqConfig config_;
+  Compare comp_;
+  std::vector<std::unique_ptr<ReqSketch<T, Compare>>> summaries_;
+  uint64_t current_bound_ = 0;
+  uint64_t n_ = 0;
+};
+
+}  // namespace req
+
+#endif  // REQSKETCH_CORE_REQ_CHAIN_H_

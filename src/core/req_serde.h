@@ -1,0 +1,141 @@
+// Versioned binary serialization for ReqSketch, for sketches of trivially
+// copyable item types (the common numeric case). A serialized sketch can be
+// shipped to another process and merged there, which is the
+// distributed-aggregation scenario Theorem 3 / Appendix D is about.
+//
+// Layout (little-endian):
+//   u32 magic | u8 version | u8 accuracy | u8 coin | u8 schedule
+//   u32 k_base | u64 n | u64 n_bound | u64 n_hint | u64 seed | u8 fixed_n
+//   u8 has_min | T min | u8 has_max | T max
+//   u32 num_levels
+//   per level: u64 state | u64 num_compactions | u64 count | T[count]
+//
+// Note: the PRNG is reseeded from the stored seed on deserialization; the
+// sketch remains a valid summary with identical estimates, but subsequent
+// coin flips are not bitwise-identical to the original object's (they are
+// fresh independent randomness, which the analysis permits).
+#ifndef REQSKETCH_CORE_REQ_SERDE_H_
+#define REQSKETCH_CORE_REQ_SERDE_H_
+
+#include <cstdint>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "core/req_sketch.h"
+#include "util/serde.h"
+#include "util/validation.h"
+
+namespace req {
+
+template <typename T, typename Compare>
+struct ReqSerde {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "ReqSerde supports trivially copyable item types");
+
+  static constexpr uint32_t kMagic = 0x52455153;  // "REQS"
+  static constexpr uint8_t kVersion = 1;
+
+  static std::vector<uint8_t> Serialize(const ReqSketch<T, Compare>& sketch) {
+    util::BinaryWriter writer;
+    writer.Write<uint32_t>(kMagic);
+    writer.Write<uint8_t>(kVersion);
+    writer.Write<uint8_t>(static_cast<uint8_t>(sketch.config_.accuracy));
+    writer.Write<uint8_t>(static_cast<uint8_t>(sketch.config_.coin));
+    writer.Write<uint8_t>(static_cast<uint8_t>(sketch.config_.schedule));
+    writer.Write<uint32_t>(sketch.config_.k_base);
+    writer.Write<uint64_t>(sketch.n_);
+    writer.Write<uint64_t>(sketch.n_bound_);
+    writer.Write<uint64_t>(sketch.config_.n_hint);
+    writer.Write<uint64_t>(sketch.config_.seed);
+    writer.Write<uint8_t>(sketch.fixed_n_ ? 1 : 0);
+    writer.Write<uint8_t>(sketch.min_item_.has_value() ? 1 : 0);
+    if (sketch.min_item_) writer.Write<T>(*sketch.min_item_);
+    writer.Write<uint8_t>(sketch.max_item_.has_value() ? 1 : 0);
+    if (sketch.max_item_) writer.Write<T>(*sketch.max_item_);
+    writer.Write<uint32_t>(static_cast<uint32_t>(sketch.levels_.size()));
+    for (const auto& level : sketch.levels_) {
+      writer.Write<uint64_t>(level.state());
+      writer.Write<uint64_t>(level.num_compactions());
+      writer.WriteVector<T>(level.items());
+    }
+    return writer.Release();
+  }
+
+  static ReqSketch<T, Compare> Deserialize(const std::vector<uint8_t>& bytes,
+                                           Compare comp = Compare()) {
+    util::BinaryReader reader(bytes);
+    util::CheckData(reader.Read<uint32_t>() == kMagic,
+                    "not a serialized REQ sketch (bad magic)");
+    util::CheckData(reader.Read<uint8_t>() == kVersion,
+                    "unsupported REQ sketch serialization version");
+    ReqConfig config;
+    const uint8_t accuracy = reader.Read<uint8_t>();
+    const uint8_t coin = reader.Read<uint8_t>();
+    const uint8_t schedule = reader.Read<uint8_t>();
+    util::CheckData(accuracy <= 1 && coin <= 1 && schedule <= 2,
+                    "corrupt REQ sketch: bad enum value");
+    config.accuracy = static_cast<RankAccuracy>(accuracy);
+    config.coin = static_cast<CoinMode>(coin);
+    config.schedule = static_cast<SchedulePolicy>(schedule);
+    config.k_base = reader.Read<uint32_t>();
+    // Validate before any allocation sized by these fields.
+    util::CheckData(config.k_base >= params::kMinK &&
+                        config.k_base % 2 == 0 &&
+                        config.k_base <= (uint32_t{1} << 24),
+                    "corrupt REQ sketch: implausible k_base");
+    const uint64_t n = reader.Read<uint64_t>();
+    const uint64_t n_bound = reader.Read<uint64_t>();
+    config.n_hint = reader.Read<uint64_t>();
+    config.seed = reader.Read<uint64_t>();
+    const bool fixed_n = reader.Read<uint8_t>() != 0;
+    // Validate before any allocation sized by these fields. (A fixed-n
+    // sketch may legitimately have n > n_bound: it degrades gracefully
+    // when the hint was too small.)
+    util::CheckData(n_bound <= params::kMaxN &&
+                        config.n_hint <= params::kMaxN &&
+                        (fixed_n || n <= n_bound),
+                    "corrupt REQ sketch: implausible size bounds");
+
+    ReqSketch<T, Compare> sketch(config, comp);
+    sketch.n_ = n;
+    sketch.n_bound_ = n_bound;
+    sketch.fixed_n_ = fixed_n;
+    sketch.RecomputeGeometry();
+
+    if (reader.Read<uint8_t>() != 0) sketch.min_item_ = reader.Read<T>();
+    if (reader.Read<uint8_t>() != 0) sketch.max_item_ = reader.Read<T>();
+
+    const uint32_t num_levels = reader.Read<uint32_t>();
+    util::CheckData(num_levels >= 1 && num_levels <= 64,
+                    "corrupt REQ sketch: implausible level count");
+    sketch.levels_.clear();
+    for (uint32_t h = 0; h < num_levels; ++h) {
+      sketch.levels_.emplace_back(sketch.MakeLevel());
+      const uint64_t state = reader.Read<uint64_t>();
+      const uint64_t num_compactions = reader.Read<uint64_t>();
+      std::vector<T> items = reader.ReadVector<T>();
+      sketch.levels_.back().Restore(std::move(items), state,
+                                    num_compactions);
+    }
+    util::CheckData(sketch.TotalWeight() == n,
+                    "corrupt REQ sketch: weight does not match n");
+    return sketch;
+  }
+};
+
+// Convenience wrappers.
+template <typename T, typename Compare>
+std::vector<uint8_t> SerializeSketch(const ReqSketch<T, Compare>& sketch) {
+  return ReqSerde<T, Compare>::Serialize(sketch);
+}
+
+template <typename T, typename Compare = std::less<T>>
+ReqSketch<T, Compare> DeserializeSketch(const std::vector<uint8_t>& bytes,
+                                        Compare comp = Compare()) {
+  return ReqSerde<T, Compare>::Deserialize(bytes, comp);
+}
+
+}  // namespace req
+
+#endif  // REQSKETCH_CORE_REQ_SERDE_H_

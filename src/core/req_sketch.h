@@ -1,0 +1,434 @@
+// ReqSketch: the full Relative Error Quantiles sketch (Algorithm 2 of the
+// paper), a stack of relative-compactors where the output stream of level h
+// feeds level h+1 and items at level h carry weight 2^h.
+//
+// Capabilities:
+//   * One-pass streaming updates with no advance knowledge of the stream
+//     length: the input-size bound N starts at N0 = 8 * k_base and squares
+//     whenever exceeded, with per-level parameter recomputation and special
+//     compactions (Section 5 / Appendix D, footnote-9 variant). The simpler
+//     close-out scheme of Section 5 is implemented separately in
+//     req_chain.h.
+//   * Full mergeability (Theorem 3, Algorithm 3): Merge() combines two
+//     sketches built from arbitrary merge trees; compaction-schedule states
+//     combine by bitwise OR, parameters regrow as needed, and each level is
+//     compacted at most once per merge.
+//   * Rank, quantile, CDF and PMF queries with inclusive or exclusive
+//     semantics; HRA (accurate near the max; default) or LRA orientation.
+//
+// Error guarantee (Theorem 1): for a fixed item y, with probability 1-delta,
+//   |RankEstimate(y) - R(y)| <= eps * R(y)          (LRA)
+//   |RankEstimate(y) - R(y)| <= eps * (n - R(y))    (HRA, mirrored)
+// where eps ~ c / k_base. The sketch stores
+// O(k_base * log^{1.5}(n / k_base)) items (Theorems 14/36).
+#ifndef REQSKETCH_CORE_REQ_SKETCH_H_
+#define REQSKETCH_CORE_REQ_SKETCH_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <optional>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "core/relative_compactor.h"
+#include "core/req_common.h"
+#include "core/sorted_view.h"
+#include "util/random.h"
+#include "util/validation.h"
+
+namespace req {
+
+template <typename T, typename Compare>
+struct ReqSerde;  // defined in core/req_serde.h; needs internal access
+
+template <typename T, typename Compare = std::less<T>>
+class ReqSketch {
+ public:
+  using value_type = T;
+  using Level = RelativeCompactor<T, Compare>;
+
+  explicit ReqSketch(const ReqConfig& config = ReqConfig(),
+                     Compare comp = Compare())
+      : config_(config), comp_(std::move(comp)), rng_(config.seed) {
+    params::ValidateConfig(config_);
+    if (config_.n_hint > 0) {
+      n_bound_ = std::max(config_.n_hint, params::InitialN(config_.k_base));
+      fixed_n_ = true;
+    } else {
+      n_bound_ = params::InitialN(config_.k_base);
+    }
+    RecomputeGeometry();
+    levels_.emplace_back(MakeLevel());
+  }
+
+  // --- basic accessors -----------------------------------------------------
+
+  const ReqConfig& config() const { return config_; }
+  bool is_empty() const { return n_ == 0; }
+  // Exact number of items the sketch represents.
+  uint64_t n() const { return n_; }
+  // Current input-size upper bound N (squares as the stream grows).
+  uint64_t n_bound() const { return n_bound_; }
+  size_t num_levels() const { return levels_.size(); }
+  uint32_t section_size() const { return section_size_; }
+  uint32_t num_sections() const { return num_sections_; }
+  uint32_t level_capacity() const {
+    return params::Capacity(section_size_, num_sections_);
+  }
+  const std::vector<Level>& levels() const { return levels_; }
+
+  // Number of items currently stored across all levels (the paper's space
+  // measure, "number of universe items stored").
+  size_t RetainedItems() const {
+    size_t total = 0;
+    for (const Level& level : levels_) total += level.size();
+    return total;
+  }
+
+  // Total weight represented by stored items; equals n() at all times
+  // (compactions always promote exactly half of an even-sized range).
+  uint64_t TotalWeight() const {
+    uint64_t total = 0;
+    for (size_t h = 0; h < levels_.size(); ++h) {
+      total += levels_[h].size() << h;
+    }
+    return total;
+  }
+
+  uint64_t NumCompactions() const {
+    uint64_t total = 0;
+    for (const Level& level : levels_) total += level.num_compactions();
+    return total;
+  }
+
+  // Exact stream minimum / maximum (tracked outside the buffers).
+  const T& MinItem() const {
+    util::CheckState(n_ > 0, "MinItem() on an empty sketch");
+    return *min_item_;
+  }
+  const T& MaxItem() const {
+    util::CheckState(n_ > 0, "MaxItem() on an empty sketch");
+    return *max_item_;
+  }
+
+  // --- updates -------------------------------------------------------------
+
+  void Update(const T& item) {
+    CheckUpdatable(item);
+    GrowIfNeeded(n_ + 1);
+    TrackMinMax(item);
+    levels_[0].Insert(item);
+    ++n_;
+    if (levels_[0].IsFull()) CompactCascade(0);
+  }
+
+  // Merges `other` into this sketch (Algorithm 3). Both sketches must have
+  // been built with the same k_base and rank-accuracy orientation. `other`
+  // is not modified. After the call, this sketch summarizes the
+  // concatenation of both inputs with the guarantees of Theorem 3.
+  void Merge(const ReqSketch& other) {
+    util::CheckArg(this != &other, "cannot merge a sketch into itself");
+    util::CheckArg(config_.k_base == other.config_.k_base,
+                   "cannot merge sketches with different k_base");
+    util::CheckArg(config_.accuracy == other.config_.accuracy,
+                   "cannot merge sketches with different rank-accuracy "
+                   "orientation");
+    if (other.is_empty()) return;
+    const uint64_t n_new = n_ + other.n_;
+
+    // Lines 4-7 of Algorithm 3: if our bound is too small, run special
+    // compactions and square N (possibly repeatedly).
+    GrowIfNeeded(n_new);
+
+    // Lines 10-11: if the source sketch was built under a smaller bound,
+    // special-compact a copy of its levels under *its* parameters.
+    std::vector<Level> source_levels = other.levels_;
+    if (other.n_bound_ < n_bound_) {
+      SpecialCompactLevels(&source_levels);
+    }
+
+    // Combine schedule states (bitwise OR; Facts 18/19) and concatenate
+    // buffers level by level.
+    while (levels_.size() < source_levels.size()) {
+      levels_.emplace_back(MakeLevel());
+    }
+    for (size_t h = 0; h < source_levels.size(); ++h) {
+      levels_[h].OrState(source_levels[h].state());
+      levels_[h].InsertAll(source_levels[h].items());
+    }
+
+    n_ = n_new;
+    if (other.min_item_ &&
+        (!min_item_ || comp_(*other.min_item_, *min_item_))) {
+      min_item_ = other.min_item_;
+    }
+    if (other.max_item_ &&
+        (!max_item_ || comp_(*max_item_, *other.max_item_))) {
+      max_item_ = other.max_item_;
+    }
+
+    // Lines 22-24: at most one scheduled compaction per level, bottom-up.
+    for (size_t h = 0; h < levels_.size(); ++h) {
+      if (levels_[h].size() >= levels_[h].capacity()) {
+        EnsureLevel(h + 1);
+        const std::vector<T> promoted = levels_[h].Compact(rng_);
+        levels_[h + 1].InsertAll(promoted);
+      }
+    }
+  }
+
+  // --- queries -------------------------------------------------------------
+
+  // Estimate-Rank(y) of Algorithm 2: sum over levels of 2^h times the
+  // number of stored items <= y (inclusive) or < y (exclusive).
+  uint64_t GetRank(const T& y,
+                   Criterion criterion = Criterion::kInclusive) const {
+    util::CheckState(n_ > 0, "GetRank() on an empty sketch");
+    uint64_t rank = 0;
+    for (size_t h = 0; h < levels_.size(); ++h) {
+      rank += levels_[h].CountRank(y, criterion) << h;
+    }
+    return rank;
+  }
+
+  double GetNormalizedRank(
+      const T& y, Criterion criterion = Criterion::kInclusive) const {
+    return static_cast<double>(GetRank(y, criterion)) /
+           static_cast<double>(n_);
+  }
+
+  // Batched rank queries: one O(S log S) sorted-view build amortized over
+  // all queries instead of an O(S) scan each.
+  std::vector<uint64_t> GetRanks(
+      const std::vector<T>& ys,
+      Criterion criterion = Criterion::kInclusive) const {
+    util::CheckState(n_ > 0, "GetRanks() on an empty sketch");
+    const SortedView<T, Compare> view = GetSortedView();
+    std::vector<uint64_t> out;
+    out.reserve(ys.size());
+    for (const T& y : ys) out.push_back(view.GetRank(y, criterion));
+    return out;
+  }
+
+  // Smallest item whose estimated rank reaches q * n. O(S log S); for many
+  // queries build GetSortedView() once.
+  T GetQuantile(double q, Criterion criterion = Criterion::kInclusive) const {
+    util::CheckState(n_ > 0, "GetQuantile() on an empty sketch");
+    // q = 0 and q = 1 return the exactly tracked extremes (the extreme
+    // items themselves may have been compacted out of the buffers).
+    if (q <= 0.0) {
+      util::CheckArg(q == 0.0, "normalized rank must be in [0, 1]");
+      return *min_item_;
+    }
+    if (q >= 1.0) {
+      util::CheckArg(q == 1.0, "normalized rank must be in [0, 1]");
+      return *max_item_;
+    }
+    return GetSortedView().GetQuantile(q, criterion);
+  }
+
+  std::vector<T> GetQuantiles(
+      const std::vector<double>& qs,
+      Criterion criterion = Criterion::kInclusive) const {
+    util::CheckState(n_ > 0, "GetQuantiles() on an empty sketch");
+    const SortedView<T, Compare> view = GetSortedView();
+    std::vector<T> out;
+    out.reserve(qs.size());
+    for (double q : qs) {
+      if (q <= 0.0) {
+        util::CheckArg(q == 0.0, "normalized rank must be in [0, 1]");
+        out.push_back(*min_item_);
+      } else if (q >= 1.0) {
+        util::CheckArg(q == 1.0, "normalized rank must be in [0, 1]");
+        out.push_back(*max_item_);
+      } else {
+        out.push_back(view.GetQuantile(q, criterion));
+      }
+    }
+    return out;
+  }
+
+  // CDF at the given (ascending) split points: result[i] is the estimated
+  // normalized rank of split[i]; a final entry of 1.0 is appended.
+  std::vector<double> GetCDF(
+      const std::vector<T>& splits,
+      Criterion criterion = Criterion::kInclusive) const {
+    util::CheckState(n_ > 0, "GetCDF() on an empty sketch");
+    CheckSplits(splits);
+    std::vector<double> cdf;
+    cdf.reserve(splits.size() + 1);
+    for (const T& split : splits) {
+      cdf.push_back(GetNormalizedRank(split, criterion));
+    }
+    cdf.push_back(1.0);
+    return cdf;
+  }
+
+  // PMF over the intervals defined by the split points (mass of
+  // (-inf, s0], (s0, s1], ..., (s_last, +inf) under inclusive semantics).
+  std::vector<double> GetPMF(
+      const std::vector<T>& splits,
+      Criterion criterion = Criterion::kInclusive) const {
+    std::vector<double> pmf = GetCDF(splits, criterion);
+    for (size_t i = pmf.size(); i-- > 1;) pmf[i] -= pmf[i - 1];
+    return pmf;
+  }
+
+  // Appends all stored items with their weights (2^level) to `out`; used by
+  // GetSortedView and by aggregators that combine several summaries (e.g.,
+  // the Section 5 chain in req_chain.h).
+  void AppendWeightedItems(std::vector<std::pair<T, uint64_t>>* out) const {
+    for (size_t h = 0; h < levels_.size(); ++h) {
+      const uint64_t weight = uint64_t{1} << h;
+      for (const T& item : levels_[h].items()) {
+        out->emplace_back(item, weight);
+      }
+    }
+  }
+
+  SortedView<T, Compare> GetSortedView() const {
+    util::CheckState(n_ > 0, "GetSortedView() on an empty sketch");
+    std::vector<std::pair<T, uint64_t>> weighted;
+    weighted.reserve(RetainedItems());
+    AppendWeightedItems(&weighted);
+    return SortedView<T, Compare>(std::move(weighted), TotalWeight(), comp_);
+  }
+
+  // Conservative a-priori relative standard error at protected ranks:
+  // sigma[Err(y)] / R*(y) where R*(y) is the rank measured from the accurate
+  // end. Derived from Lemma 12's Var <= 2^5 R^2 / (k B) with this
+  // implementation's k * B ~= 4 k_base^2.
+  double RelativeStdErr() const {
+    return 2.83 / static_cast<double>(config_.k_base);
+  }
+
+  // Rank confidence bounds at num_std_devs standard deviations (1, 2 or 3).
+  uint64_t GetRankLowerBound(const T& y, int num_std_devs,
+                             Criterion criterion =
+                                 Criterion::kInclusive) const {
+    const double estimate = static_cast<double>(GetRank(y, criterion));
+    const double margin = num_std_devs * RelativeStdErr() *
+                          AccurateSideRank(estimate);
+    return static_cast<uint64_t>(std::max(0.0, estimate - margin));
+  }
+  uint64_t GetRankUpperBound(const T& y, int num_std_devs,
+                             Criterion criterion =
+                                 Criterion::kInclusive) const {
+    const double estimate = static_cast<double>(GetRank(y, criterion));
+    const double margin = num_std_devs * RelativeStdErr() *
+                          AccurateSideRank(estimate);
+    return static_cast<uint64_t>(
+        std::min(static_cast<double>(n_), estimate + margin));
+  }
+
+ private:
+  friend struct ReqSerde<T, Compare>;
+
+  Level MakeLevel() const {
+    return Level(section_size_, num_sections_, config_.accuracy,
+                 config_.schedule, config_.coin, comp_);
+  }
+
+  void EnsureLevel(size_t h) {
+    while (levels_.size() <= h) levels_.emplace_back(MakeLevel());
+  }
+
+  void RecomputeGeometry() {
+    section_size_ = params::SectionSize(config_.k_base, n_bound_);
+    num_sections_ = params::NumSections(section_size_, n_bound_);
+  }
+
+  // Reject NaN floating-point updates: NaN has no place in a total order.
+  void CheckUpdatable(const T& item) {
+    if constexpr (std::is_floating_point_v<T>) {
+      util::CheckArg(!std::isnan(item), "cannot update sketch with NaN");
+    } else {
+      (void)item;
+    }
+  }
+
+  void TrackMinMax(const T& item) {
+    if (!min_item_ || comp_(item, *min_item_)) min_item_ = item;
+    if (!max_item_ || comp_(*max_item_, item)) max_item_ = item;
+  }
+
+  // Section 5 growth: while the bound is exceeded, special-compact every
+  // level (bottom-up, the top level excluded per Algorithm 3) and square N,
+  // then recompute k and B and reconfigure all levels.
+  void GrowIfNeeded(uint64_t n_required) {
+    if (fixed_n_) return;  // Theorem 14 mode: parameters fixed a priori.
+    while (n_bound_ < n_required) {
+      SpecialCompactLevels(&levels_);
+      n_bound_ = (n_bound_ >= (uint64_t{1} << 31))
+                     ? params::kMaxN
+                     : std::min(params::kMaxN, n_bound_ * n_bound_);
+      RecomputeGeometry();
+      for (Level& level : levels_) {
+        level.SetGeometry(section_size_, num_sections_);
+      }
+    }
+  }
+
+  // SpecialCompaction of Algorithm 3 applied to a level stack: compacts
+  // every level except the top one down to at most half its capacity,
+  // promoting survivors upward.
+  void SpecialCompactLevels(std::vector<Level>* levels) {
+    if (levels->size() < 2) return;
+    for (size_t h = 0; h + 1 < levels->size(); ++h) {
+      const std::vector<T> promoted = (*levels)[h].SpecialCompact(rng_);
+      (*levels)[h + 1].InsertAll(promoted);
+    }
+  }
+
+  // Streaming compaction cascade: compact level h when full; promotions may
+  // fill level h+1, which is then compacted in turn (Algorithm 2's
+  // recursive Insert).
+  void CompactCascade(size_t h) {
+    while (h < levels_.size() && levels_[h].IsFull()) {
+      EnsureLevel(h + 1);
+      const std::vector<T> promoted = levels_[h].Compact(rng_);
+      levels_[h + 1].InsertAll(promoted);
+      ++h;
+    }
+  }
+
+  // Rank measured from the accurate end: LRA is accurate near rank 0, HRA
+  // near rank n.
+  double AccurateSideRank(double rank_estimate) const {
+    if (config_.accuracy == RankAccuracy::kLowRanks) return rank_estimate;
+    return static_cast<double>(n_) - rank_estimate;
+  }
+
+  void CheckSplits(const std::vector<T>& splits) const {
+    util::CheckArg(!splits.empty(), "split points must be non-empty");
+    for (size_t i = 0; i + 1 < splits.size(); ++i) {
+      util::CheckArg(comp_(splits[i], splits[i + 1]),
+                     "split points must be strictly ascending");
+    }
+    if constexpr (std::is_floating_point_v<T>) {
+      for (const T& s : splits) {
+        util::CheckArg(!std::isnan(s), "split points must not be NaN");
+      }
+    }
+  }
+
+  ReqConfig config_;
+  Compare comp_;
+  util::Xoshiro256 rng_;
+  std::vector<Level> levels_;
+  uint64_t n_ = 0;
+  uint64_t n_bound_ = 0;
+  uint32_t section_size_ = 0;
+  uint32_t num_sections_ = 0;
+  bool fixed_n_ = false;
+  std::optional<T> min_item_;
+  std::optional<T> max_item_;
+};
+
+}  // namespace req
+
+#endif  // REQSKETCH_CORE_REQ_SKETCH_H_

@@ -1,0 +1,113 @@
+// A materialized, weight-annotated sorted view of a quantiles sketch.
+//
+// The REQ sketch answers rank queries directly from its buffers, but
+// quantile / CDF / PMF queries need the items in sorted order with
+// cumulative weights. Building this view costs O(S log S) in the sketch
+// size S and then answers any number of queries in O(log S) each, so
+// callers issuing many queries should build it once (Estimate-Rank in
+// Algorithm 2 is the rank direction; this is its inverse).
+#ifndef REQSKETCH_CORE_SORTED_VIEW_H_
+#define REQSKETCH_CORE_SORTED_VIEW_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "core/req_common.h"
+#include "util/validation.h"
+
+namespace req {
+
+template <typename T, typename Compare = std::less<T>>
+class SortedView {
+ public:
+  struct Entry {
+    T item;
+    uint64_t weight;      // 2^level at insertion time
+    uint64_t cum_weight;  // inclusive cumulative weight up to this entry
+  };
+
+  // Builds from (item, weight) pairs; total_weight must equal the stream
+  // length n represented by the sketch.
+  SortedView(std::vector<std::pair<T, uint64_t>> weighted_items,
+             uint64_t total_weight, Compare comp = Compare())
+      : comp_(std::move(comp)), total_weight_(total_weight) {
+    util::CheckArg(!weighted_items.empty(),
+                   "SortedView requires a non-empty sketch");
+    std::sort(weighted_items.begin(), weighted_items.end(),
+              [this](const auto& a, const auto& b) {
+                return comp_(a.first, b.first);
+              });
+    entries_.reserve(weighted_items.size());
+    uint64_t cum = 0;
+    for (auto& [item, weight] : weighted_items) {
+      cum += weight;
+      entries_.push_back(Entry{std::move(item), weight, cum});
+    }
+    util::CheckState(cum == total_weight_,
+                     "sorted view weight mismatch: sketch corrupted");
+  }
+
+  size_t size() const { return entries_.size(); }
+  uint64_t total_weight() const { return total_weight_; }
+  const std::vector<Entry>& entries() const { return entries_; }
+
+  // Estimated absolute rank of y: total weight of stored items <= y
+  // (inclusive) or < y (exclusive).
+  uint64_t GetRank(const T& y, Criterion criterion) const {
+    // Find the first entry with entry.item > y (inclusive) or >= y
+    // (exclusive); the previous entry's cum_weight is the rank.
+    auto it = (criterion == Criterion::kInclusive)
+                  ? std::upper_bound(entries_.begin(), entries_.end(), y,
+                                     [this](const T& value, const Entry& e) {
+                                       return comp_(value, e.item);
+                                     })
+                  : std::lower_bound(entries_.begin(), entries_.end(), y,
+                                     [this](const Entry& e, const T& value) {
+                                       return comp_(e.item, value);
+                                     });
+    if (it == entries_.begin()) return 0;
+    return std::prev(it)->cum_weight;
+  }
+
+  // Normalized rank in [0, 1].
+  double GetNormalizedRank(const T& y, Criterion criterion) const {
+    return static_cast<double>(GetRank(y, criterion)) /
+           static_cast<double>(total_weight_);
+  }
+
+  // Quantile for normalized rank q in [0, 1]: the smallest stored item whose
+  // cumulative weight reaches q * n (inclusive), or the smallest item whose
+  // cumulative weight exceeds q * n (exclusive). q = 0 returns the smallest
+  // stored item, q = 1 the largest.
+  const T& GetQuantile(double q, Criterion criterion) const {
+    util::CheckArg(q >= 0.0 && q <= 1.0,
+                   "normalized rank must be in [0, 1]");
+    const double pos = q * static_cast<double>(total_weight_);
+    uint64_t target;
+    if (criterion == Criterion::kInclusive) {
+      target = static_cast<uint64_t>(std::ceil(pos));
+      if (target == 0) target = 1;
+    } else {
+      target = static_cast<uint64_t>(std::floor(pos)) + 1;
+    }
+    if (target > total_weight_) return entries_.back().item;
+    // First entry with cum_weight >= target.
+    auto it = std::lower_bound(
+        entries_.begin(), entries_.end(), target,
+        [](const Entry& e, uint64_t t) { return e.cum_weight < t; });
+    return it->item;
+  }
+
+ private:
+  Compare comp_;
+  std::vector<Entry> entries_;
+  uint64_t total_weight_;
+};
+
+}  // namespace req
+
+#endif  // REQSKETCH_CORE_SORTED_VIEW_H_

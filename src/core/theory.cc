@@ -1,0 +1,98 @@
+#include "core/theory.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/validation.h"
+
+namespace req {
+namespace theory {
+
+namespace {
+
+// log2(eps * n), floored at 1 so the formulas stay finite for tiny streams.
+double Log2EpsN(double eps, uint64_t n) {
+  return std::max(1.0, std::log2(eps * static_cast<double>(n)));
+}
+
+void CheckEpsDelta(double eps, double delta) {
+  util::CheckArg(eps > 0.0 && eps <= 1.0, "eps must be in (0, 1]");
+  util::CheckArg(delta > 0.0 && delta <= 0.5, "delta must be in (0, 0.5]");
+}
+
+}  // namespace
+
+uint64_t KnownNSectionSize(double eps, double delta, uint64_t n) {
+  CheckEpsDelta(eps, delta);
+  const double inner = (4.0 / eps) * std::sqrt(std::log(1.0 / delta) /
+                                               Log2EpsN(eps, n));
+  return 2 * static_cast<uint64_t>(std::ceil(inner));
+}
+
+double KHatMergeable(double eps, double delta) {
+  CheckEpsDelta(eps, delta);
+  return (1.0 / eps) * std::sqrt(std::log(1.0 / delta));
+}
+
+uint64_t SmallDeltaSectionSize(double eps, double delta) {
+  CheckEpsDelta(eps, delta);
+  const double loglog =
+      std::max(1.0, std::log2(std::max(2.0, std::log(1.0 / delta))));
+  return 16 * static_cast<uint64_t>(std::ceil(loglog / eps));
+}
+
+uint64_t BufferSize(uint64_t k, uint64_t n) {
+  util::CheckArg(k >= 2, "k must be >= 2");
+  const double ratio = std::max(2.0, static_cast<double>(n) /
+                                         static_cast<double>(k));
+  return 2 * k * static_cast<uint64_t>(std::ceil(std::log2(ratio)));
+}
+
+double SpaceBoundThm1(double eps, double delta, uint64_t n) {
+  CheckEpsDelta(eps, delta);
+  return (1.0 / eps) * std::pow(Log2EpsN(eps, n), 1.5) *
+         std::sqrt(std::log(1.0 / delta));
+}
+
+double SpaceBoundThm2(double eps, double delta, uint64_t n) {
+  CheckEpsDelta(eps, delta);
+  const double loglog =
+      std::max(1.0, std::log2(std::max(2.0, std::log(1.0 / delta))));
+  return (1.0 / eps) * std::pow(Log2EpsN(eps, n), 2.0) * loglog;
+}
+
+double SpaceBoundDeterministic(double eps, uint64_t n) {
+  util::CheckArg(eps > 0.0 && eps <= 1.0, "eps must be in (0, 1]");
+  return (1.0 / eps) * std::pow(Log2EpsN(eps, n), 3.0);
+}
+
+double SpaceLowerBound(double eps, uint64_t n) {
+  util::CheckArg(eps > 0.0 && eps <= 1.0, "eps must be in (0, 1]");
+  return (1.0 / eps) * Log2EpsN(eps, n);
+}
+
+double VarianceBound(uint64_t rank, uint64_t k, uint64_t buffer_size) {
+  util::CheckArg(k >= 1 && buffer_size >= 1, "k and B must be >= 1");
+  const double r = static_cast<double>(rank);
+  return 32.0 * r * r /
+         (static_cast<double>(k) * static_cast<double>(buffer_size));
+}
+
+double FailureProbBound(double eps, uint64_t k, uint64_t buffer_size) {
+  util::CheckArg(eps > 0.0 && eps <= 1.0, "eps must be in (0, 1]");
+  const double exponent = eps * eps * static_cast<double>(k) *
+                          static_cast<double>(buffer_size) / 64.0;
+  return std::min(1.0, 2.0 * std::exp(-exponent));
+}
+
+uint64_t MaxLevels(uint64_t n, uint64_t buffer_size) {
+  util::CheckArg(buffer_size >= 1, "B must be >= 1");
+  if (n <= buffer_size) return 1;
+  const double levels =
+      std::ceil(std::log2(static_cast<double>(n) /
+                          static_cast<double>(buffer_size)));
+  return static_cast<uint64_t>(levels) + 1;
+}
+
+}  // namespace theory
+}  // namespace req

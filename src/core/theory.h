@@ -1,0 +1,62 @@
+// The paper's parameter settings and space bounds, with the exact constants
+// from the text. These are used by the bound-validation benches (E3, E7,
+// E11) to normalize measured quantities against the theory; the sketch
+// itself uses the practical constants in req_common.h.
+//
+// All logs follow the paper's conventions: log2 for stream-length terms,
+// natural log for 1/delta terms (the distinction is absorbed by constants
+// in the theorems; we fix a convention so the benches are reproducible).
+#ifndef REQSKETCH_CORE_THEORY_H_
+#define REQSKETCH_CORE_THEORY_H_
+
+#include <cstdint>
+
+namespace req {
+namespace theory {
+
+// Eq. (6): k = 2 * ceil( (4/eps) * sqrt( log(1/delta) / log2(eps n) ) ),
+// the setting proving Theorem 14 (known stream length n).
+uint64_t KnownNSectionSize(double eps, double delta, uint64_t n);
+
+// Eq. (26): k-hat = (1/eps) * sqrt(log(1/delta)), the mergeable-sketch
+// accuracy parameter of Appendix D.5.
+double KHatMergeable(double eps, double delta);
+
+// Eq. (15): k = 2^4 * ceil( (1/eps) * log2 log(1/delta) ), the
+// small-failure-probability setting of Theorem 17 (Appendix C).
+uint64_t SmallDeltaSectionSize(double eps, double delta);
+
+// Buffer size B = 2 k ceil(log2(n/k)) (Algorithm 1, line 1).
+uint64_t BufferSize(uint64_t k, uint64_t n);
+
+// Theorem 1 space bound (up to its constant):
+//   (1/eps) * log2^{1.5}(eps n) * sqrt(log(1/delta)).
+double SpaceBoundThm1(double eps, double delta, uint64_t n);
+
+// Theorem 2 space bound (up to its constant):
+//   (1/eps) * log2^2(eps n) * log2 log(1/delta).
+double SpaceBoundThm2(double eps, double delta, uint64_t n);
+
+// Deterministic bound matching Zhang-Wang (end of Appendix C):
+//   (1/eps) * log2^3(eps n).
+double SpaceBoundDeterministic(double eps, uint64_t n);
+
+// Lower bound for randomized comparison-based algorithms (Section 1):
+//   (1/eps) * log2(eps n).
+double SpaceLowerBound(double eps, uint64_t n);
+
+// Lemma 12 variance bound: Var[Err(y)] <= 2^5 * R(y)^2 / (k * B).
+double VarianceBound(uint64_t rank, uint64_t k, uint64_t buffer_size);
+
+// Theorem 14 failure probability bound for a given multiplicative error
+// target: Pr[|Err| >= eps R] < 2 exp(-eps^2 k B / 2^6) (plus the
+// conditioning delta; we report the exponential term).
+double FailureProbBound(double eps, uint64_t k, uint64_t buffer_size);
+
+// Number of levels bound (Observation 13): ceil(log2(n/B)) + 1.
+uint64_t MaxLevels(uint64_t n, uint64_t buffer_size);
+
+}  // namespace theory
+}  // namespace req
+
+#endif  // REQSKETCH_CORE_THEORY_H_

@@ -1,0 +1,127 @@
+#include "sim/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/validation.h"
+
+namespace req {
+namespace sim {
+
+RankOracle::RankOracle(std::vector<double> values)
+    : sorted_(std::move(values)) {
+  util::CheckArg(!sorted_.empty(), "RankOracle requires non-empty input");
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+uint64_t RankOracle::RankInclusive(double y) const {
+  return static_cast<uint64_t>(
+      std::upper_bound(sorted_.begin(), sorted_.end(), y) - sorted_.begin());
+}
+
+uint64_t RankOracle::RankExclusive(double y) const {
+  return static_cast<uint64_t>(
+      std::lower_bound(sorted_.begin(), sorted_.end(), y) - sorted_.begin());
+}
+
+double RankOracle::ItemAtRank(uint64_t r) const {
+  util::CheckArg(r >= 1 && r <= sorted_.size(),
+                 "rank out of range [1, n]");
+  return sorted_[r - 1];
+}
+
+std::vector<uint64_t> GeometricRankGrid(uint64_t n, bool from_high_end,
+                                        double growth) {
+  util::CheckArg(n >= 1, "n must be >= 1");
+  util::CheckArg(growth > 1.0, "growth must exceed 1");
+  std::vector<uint64_t> grid;
+  // Distances from the accurate end: 0, 1, 2, ~2*growth, ... < n.
+  uint64_t distance = 0;
+  double next = 1.0;
+  while (distance < n) {
+    grid.push_back(from_high_end ? n - distance : distance + 1);
+    const uint64_t step_to =
+        static_cast<uint64_t>(std::llround(next));
+    distance = std::max(distance + 1, step_to);
+    next = std::max(next * growth, next + 1.0);
+  }
+  // Always include the far end so the grid spans the full rank range.
+  grid.push_back(from_high_end ? 1 : n);
+  std::sort(grid.begin(), grid.end());
+  grid.erase(std::unique(grid.begin(), grid.end()), grid.end());
+  return grid;
+}
+
+std::vector<uint64_t> UniformRankGrid(uint64_t n, size_t num_points) {
+  util::CheckArg(n >= 1 && num_points >= 1, "need n >= 1, points >= 1");
+  std::vector<uint64_t> grid;
+  grid.reserve(num_points);
+  for (size_t i = 1; i <= num_points; ++i) {
+    const uint64_t r = static_cast<uint64_t>(
+        std::llround(static_cast<double>(i) * n / num_points));
+    grid.push_back(std::max<uint64_t>(1, std::min(n, r)));
+  }
+  std::sort(grid.begin(), grid.end());
+  grid.erase(std::unique(grid.begin(), grid.end()), grid.end());
+  return grid;
+}
+
+ErrorSummary Summarize(const std::vector<RankErrorSample>& samples) {
+  ErrorSummary summary;
+  summary.num_samples = samples.size();
+  if (samples.empty()) return summary;
+  std::vector<double> rel;
+  rel.reserve(samples.size());
+  double sum = 0.0;
+  uint64_t n_max = 0;
+  double max_add = 0.0;
+  for (const auto& s : samples) {
+    rel.push_back(s.relative_error);
+    sum += s.relative_error;
+    summary.max_relative_error =
+        std::max(summary.max_relative_error, s.relative_error);
+    n_max = std::max(n_max, s.exact_rank);
+    const double add =
+        std::abs(static_cast<double>(s.estimated_rank) -
+                 static_cast<double>(s.exact_rank));
+    max_add = std::max(max_add, add);
+  }
+  summary.mean_relative_error = sum / static_cast<double>(samples.size());
+  std::sort(rel.begin(), rel.end());
+  summary.p95_relative_error = rel[static_cast<size_t>(
+      0.95 * static_cast<double>(rel.size() - 1))];
+  summary.max_additive_error =
+      n_max > 0 ? max_add / static_cast<double>(n_max) : 0.0;
+  return summary;
+}
+
+std::vector<RankErrorSample> EvaluateRankErrors(
+    const RankOracle& oracle,
+    const std::function<uint64_t(double)>& estimate_rank,
+    const std::vector<uint64_t>& rank_grid, bool from_high_end) {
+  std::vector<RankErrorSample> samples;
+  samples.reserve(rank_grid.size());
+  const uint64_t n = oracle.n();
+  for (uint64_t r : rank_grid) {
+    const double item = oracle.ItemAtRank(r);
+    // The item at 1-based rank r may have duplicates; the exact inclusive
+    // rank of the value is what the estimator is judged against.
+    const uint64_t exact = oracle.RankInclusive(item);
+    const uint64_t estimated = estimate_rank(item);
+    RankErrorSample sample;
+    sample.exact_rank = exact;
+    sample.estimated_rank = estimated;
+    const double denom = from_high_end
+                             ? static_cast<double>(n - exact + 1)
+                             : static_cast<double>(exact);
+    sample.relative_error =
+        std::abs(static_cast<double>(estimated) -
+                 static_cast<double>(exact)) /
+        std::max(1.0, denom);
+    samples.push_back(sample);
+  }
+  return samples;
+}
+
+}  // namespace sim
+}  // namespace req

@@ -1,0 +1,75 @@
+// Error-measurement harness: exact-rank oracle over a materialized stream,
+// rank query grids, and aggregate error statistics. Shared by the test
+// suite's statistical checks and by every bench binary.
+#ifndef REQSKETCH_SIM_METRICS_H_
+#define REQSKETCH_SIM_METRICS_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace req {
+namespace sim {
+
+// Exact ranks for a fixed multiset of values (the ground truth the paper's
+// R(y) refers to). Construction sorts a copy: O(n log n) once, O(log n) per
+// query.
+class RankOracle {
+ public:
+  explicit RankOracle(std::vector<double> values);
+
+  uint64_t n() const { return sorted_.size(); }
+  // Number of stream items <= y.
+  uint64_t RankInclusive(double y) const;
+  // Number of stream items < y.
+  uint64_t RankExclusive(double y) const;
+  // The item of 1-based rank r (r in [1, n]).
+  double ItemAtRank(uint64_t r) const;
+  const std::vector<double>& sorted() const { return sorted_; }
+
+ private:
+  std::vector<double> sorted_;
+};
+
+// A grid of query ranks that is geometrically dense toward the accurate end
+// (rank n for HRA, rank 1 for LRA): ranks n, n - 1, n - 2, n - 4, ... down
+// to 1 (HRA), deduplicated and sorted ascending. This is where the
+// multiplicative guarantee is hardest, so it is where the benches measure.
+std::vector<uint64_t> GeometricRankGrid(uint64_t n, bool from_high_end,
+                                        double growth = 1.5);
+
+// Evenly spaced normalized ranks (0, 1], e.g. for CDF-style sweeps.
+std::vector<uint64_t> UniformRankGrid(uint64_t n, size_t num_points);
+
+// One measured query point.
+struct RankErrorSample {
+  uint64_t exact_rank = 0;      // R(y)
+  uint64_t estimated_rank = 0;  // R-hat(y)
+  double relative_error = 0.0;  // |R-hat - R| / max(1, R*) with R* measured
+                                // from the accurate end
+};
+
+struct ErrorSummary {
+  double max_relative_error = 0.0;
+  double mean_relative_error = 0.0;
+  double p95_relative_error = 0.0;
+  double max_additive_error = 0.0;  // max |R-hat - R| / n
+  size_t num_samples = 0;
+};
+
+ErrorSummary Summarize(const std::vector<RankErrorSample>& samples);
+
+// Evaluates an arbitrary rank estimator against the oracle on a rank grid.
+// `estimate_rank` maps an item y to the estimated number of items <= y.
+// If `from_high_end` is true, relative error for an item of exact rank R is
+// measured against n - R + 1 (the HRA guarantee |Err| <= eps (n - R));
+// otherwise against R.
+std::vector<RankErrorSample> EvaluateRankErrors(
+    const RankOracle& oracle,
+    const std::function<uint64_t(double)>& estimate_rank,
+    const std::vector<uint64_t>& rank_grid, bool from_high_end);
+
+}  // namespace sim
+}  // namespace req
+
+#endif  // REQSKETCH_SIM_METRICS_H_

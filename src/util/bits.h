@@ -1,0 +1,57 @@
+// Bit-manipulation helpers used by the compaction schedule (Algorithm 1) and
+// by parameter derivations. All functions are constexpr and branch-light.
+#ifndef REQSKETCH_UTIL_BITS_H_
+#define REQSKETCH_UTIL_BITS_H_
+
+#include <cstdint>
+
+namespace req {
+namespace util {
+
+// Number of trailing one bits in the binary representation of x.
+// This is z(C) in Algorithm 1 of the paper: the schedule compacts
+// (z(C)+1) * k items during the (C+1)-st compaction.
+constexpr int TrailingOnes(uint64_t x) {
+  int count = 0;
+  while (x & 1u) {
+    ++count;
+    x >>= 1;
+  }
+  return count;
+}
+
+// Floor of log2(x); x must be >= 1. FloorLog2(1) == 0.
+constexpr int FloorLog2(uint64_t x) {
+  int r = 0;
+  while (x >>= 1) ++r;
+  return r;
+}
+
+// Ceiling of log2(x); x must be >= 1. CeilLog2(1) == 0.
+constexpr int CeilLog2(uint64_t x) {
+  if (x <= 1) return 0;
+  return FloorLog2(x - 1) + 1;
+}
+
+// Smallest power of two >= x (x must be >= 1 and representable).
+constexpr uint64_t NextPow2(uint64_t x) {
+  return uint64_t{1} << CeilLog2(x);
+}
+
+// True if x is a power of two (x >= 1).
+constexpr bool IsPow2(uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+// Number of one bits.
+constexpr int Popcount(uint64_t x) {
+  int count = 0;
+  while (x) {
+    x &= x - 1;
+    ++count;
+  }
+  return count;
+}
+
+}  // namespace util
+}  // namespace req
+
+#endif  // REQSKETCH_UTIL_BITS_H_

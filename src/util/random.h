@@ -1,0 +1,73 @@
+// Deterministic, seedable pseudo-random number generation.
+//
+// The sketch needs only unbiased coin flips (Observation 4: the compaction
+// keeps even- or odd-indexed items with equal probability), but the workload
+// generators need uniform doubles, bounded integers, and Gaussians. We use
+// SplitMix64 for seeding and Xoshiro256** as the main generator: tiny state,
+// excellent statistical quality, and fully reproducible across platforms,
+// which the tests and benches rely on.
+#ifndef REQSKETCH_UTIL_RANDOM_H_
+#define REQSKETCH_UTIL_RANDOM_H_
+
+#include <cstdint>
+
+namespace req {
+namespace util {
+
+// SplitMix64: used to expand a single 64-bit seed into generator state.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+// Xoshiro256** by Blackman & Vigna (public domain reference algorithm).
+class Xoshiro256 {
+ public:
+  using result_type = uint64_t;
+
+  explicit Xoshiro256(uint64_t seed = 0xdeadbeefcafef00dULL);
+
+  // UniformRandomBitGenerator interface (usable with <random> adapters).
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~uint64_t{0}; }
+  result_type operator()() { return Next(); }
+
+  uint64_t Next();
+
+  // A single unbiased coin flip.
+  bool NextBit() { return (Next() >> 63) != 0; }
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // Uniform integer in [0, bound); bound must be > 0. Uses Lemire's
+  // nearly-divisionless method with rejection for exact uniformity.
+  uint64_t NextBounded(uint64_t bound);
+
+  // Standard Gaussian via Box-Muller (polar form); deterministic per seed.
+  double NextGaussian();
+
+  // Jump function: advances the state by 2^128 steps; used to derive
+  // independent parallel substreams from a common seed.
+  void Jump();
+
+ private:
+  uint64_t s_[4];
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace util
+}  // namespace req
+
+#endif  // REQSKETCH_UTIL_RANDOM_H_

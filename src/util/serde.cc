@@ -1,0 +1,4 @@
+#include "util/serde.h"
+
+// Header-only implementation; this translation unit exists so the library
+// target owns the header and IWYU checks compile it standalone.

@@ -1,0 +1,109 @@
+// Minimal binary serialization: little-endian, bounds-checked reader and an
+// append-only writer over std::vector<uint8_t>. Used by req_serde.h to make
+// sketches portable across processes (the distributed-merge scenario of
+// Appendix D).
+#ifndef REQSKETCH_UTIL_SERDE_H_
+#define REQSKETCH_UTIL_SERDE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "util/validation.h"
+
+namespace req {
+namespace util {
+
+class BinaryWriter {
+ public:
+  template <typename T>
+  void Write(const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "BinaryWriter requires trivially copyable types");
+    const size_t offset = bytes_.size();
+    bytes_.resize(offset + sizeof(T));
+    std::memcpy(bytes_.data() + offset, &value, sizeof(T));
+  }
+
+  void WriteString(const std::string& s) {
+    Write<uint64_t>(s.size());
+    const size_t offset = bytes_.size();
+    bytes_.resize(offset + s.size());
+    std::memcpy(bytes_.data() + offset, s.data(), s.size());
+  }
+
+  template <typename T>
+  void WriteVector(const std::vector<T>& values) {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "WriteVector requires trivially copyable types");
+    Write<uint64_t>(values.size());
+    const size_t offset = bytes_.size();
+    bytes_.resize(offset + values.size() * sizeof(T));
+    if (!values.empty()) {
+      std::memcpy(bytes_.data() + offset, values.data(),
+                  values.size() * sizeof(T));
+    }
+  }
+
+  const std::vector<uint8_t>& bytes() const { return bytes_; }
+  std::vector<uint8_t> Release() { return std::move(bytes_); }
+
+ private:
+  std::vector<uint8_t> bytes_;
+};
+
+class BinaryReader {
+ public:
+  BinaryReader(const uint8_t* data, size_t size)
+      : data_(data), size_(size), pos_(0) {}
+  explicit BinaryReader(const std::vector<uint8_t>& bytes)
+      : BinaryReader(bytes.data(), bytes.size()) {}
+
+  template <typename T>
+  T Read() {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "BinaryReader requires trivially copyable types");
+    CheckData(pos_ + sizeof(T) <= size_,
+              "serialized sketch truncated: fixed-size field");
+    T value;
+    std::memcpy(&value, data_ + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return value;
+  }
+
+  std::string ReadString() {
+    const uint64_t n = Read<uint64_t>();
+    CheckData(pos_ + n <= size_, "serialized sketch truncated: string");
+    std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
+    pos_ += n;
+    return s;
+  }
+
+  template <typename T>
+  std::vector<T> ReadVector() {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "ReadVector requires trivially copyable types");
+    const uint64_t n = Read<uint64_t>();
+    CheckData(n <= (size_ - pos_) / sizeof(T),
+              "serialized sketch truncated: vector");
+    std::vector<T> values(n);
+    if (n > 0) std::memcpy(values.data(), data_ + pos_, n * sizeof(T));
+    pos_ += n * sizeof(T);
+    return values;
+  }
+
+  size_t remaining() const { return size_ - pos_; }
+  bool AtEnd() const { return pos_ == size_; }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_;
+};
+
+}  // namespace util
+}  // namespace req
+
+#endif  // REQSKETCH_UTIL_SERDE_H_

@@ -1,0 +1,42 @@
+// Argument validation helpers. API misuse (bad parameters, querying an empty
+// sketch, merging incompatible sketches) reports via exceptions, matching the
+// convention of other open-source sketch libraries; internal invariants use
+// assert-style checks compiled out of release builds.
+#ifndef REQSKETCH_UTIL_VALIDATION_H_
+#define REQSKETCH_UTIL_VALIDATION_H_
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace req {
+namespace util {
+
+// Throws std::invalid_argument with the given message if cond is false.
+inline void CheckArg(bool cond, const std::string& message) {
+  if (!cond) throw std::invalid_argument(message);
+}
+
+// Throws std::logic_error: used for operations invalid in the current state
+// (e.g., quantile query on an empty sketch).
+inline void CheckState(bool cond, const std::string& message) {
+  if (!cond) throw std::logic_error(message);
+}
+
+// Throws std::runtime_error: used for corrupt serialized data.
+inline void CheckData(bool cond, const std::string& message) {
+  if (!cond) throw std::runtime_error(message);
+}
+
+// Builds "name=value" fragments for error messages.
+template <typename T>
+std::string DescribeValue(const char* name, const T& value) {
+  std::ostringstream os;
+  os << name << "=" << value;
+  return os.str();
+}
+
+}  // namespace util
+}  // namespace req
+
+#endif  // REQSKETCH_UTIL_VALIDATION_H_

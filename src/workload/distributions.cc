@@ -1,0 +1,130 @@
+#include "workload/distributions.h"
+
+#include <cmath>
+
+#include "util/random.h"
+#include "util/validation.h"
+
+namespace req {
+namespace workload {
+
+std::string DistName(DistKind kind) {
+  switch (kind) {
+    case DistKind::kUniform:
+      return "uniform";
+    case DistKind::kGaussian:
+      return "gaussian";
+    case DistKind::kExponential:
+      return "exponential";
+    case DistKind::kLognormal:
+      return "lognormal";
+    case DistKind::kPareto:
+      return "pareto";
+    case DistKind::kZipf:
+      return "zipf";
+    case DistKind::kSequential:
+      return "sequential";
+  }
+  return "unknown";
+}
+
+std::vector<double> Generate(DistKind kind, size_t n, uint64_t seed) {
+  switch (kind) {
+    case DistKind::kUniform:
+      return GenerateUniform(n, seed);
+    case DistKind::kGaussian:
+      return GenerateGaussian(n, seed);
+    case DistKind::kExponential:
+      return GenerateExponential(n, seed);
+    case DistKind::kLognormal:
+      return GenerateLognormal(n, seed);
+    case DistKind::kPareto:
+      return GeneratePareto(n, seed);
+    case DistKind::kZipf:
+      return GenerateZipf(n, seed);
+    case DistKind::kSequential:
+      return GenerateSequential(n);
+  }
+  return {};
+}
+
+std::vector<double> GenerateUniform(size_t n, uint64_t seed, double lo,
+                                    double hi) {
+  util::CheckArg(lo < hi, "uniform bounds must satisfy lo < hi");
+  util::Xoshiro256 rng(seed);
+  std::vector<double> out(n);
+  for (double& x : out) x = lo + (hi - lo) * rng.NextDouble();
+  return out;
+}
+
+std::vector<double> GenerateGaussian(size_t n, uint64_t seed, double mean,
+                                     double stddev) {
+  util::CheckArg(stddev > 0.0, "stddev must be positive");
+  util::Xoshiro256 rng(seed);
+  std::vector<double> out(n);
+  for (double& x : out) x = mean + stddev * rng.NextGaussian();
+  return out;
+}
+
+std::vector<double> GenerateExponential(size_t n, uint64_t seed, double rate) {
+  util::CheckArg(rate > 0.0, "rate must be positive");
+  util::Xoshiro256 rng(seed);
+  std::vector<double> out(n);
+  for (double& x : out) {
+    x = -std::log(1.0 - rng.NextDouble()) / rate;
+  }
+  return out;
+}
+
+std::vector<double> GenerateLognormal(size_t n, uint64_t seed, double mu,
+                                      double sigma) {
+  util::CheckArg(sigma > 0.0, "sigma must be positive");
+  util::Xoshiro256 rng(seed);
+  std::vector<double> out(n);
+  for (double& x : out) x = std::exp(mu + sigma * rng.NextGaussian());
+  return out;
+}
+
+std::vector<double> GeneratePareto(size_t n, uint64_t seed, double scale,
+                                   double shape) {
+  util::CheckArg(scale > 0.0 && shape > 0.0,
+                 "Pareto scale and shape must be positive");
+  util::Xoshiro256 rng(seed);
+  std::vector<double> out(n);
+  for (double& x : out) {
+    x = scale / std::pow(1.0 - rng.NextDouble(), 1.0 / shape);
+  }
+  return out;
+}
+
+std::vector<double> GenerateZipf(size_t n, uint64_t seed,
+                                 uint64_t num_distinct, double s) {
+  util::CheckArg(num_distinct >= 1, "num_distinct must be >= 1");
+  util::CheckArg(s > 0.0, "Zipf exponent must be positive");
+  // Inverse-CDF sampling over the (truncated) Zipf distribution using a
+  // precomputed cumulative table; fine for num_distinct up to ~10^6.
+  std::vector<double> cdf(num_distinct);
+  double total = 0.0;
+  for (uint64_t i = 0; i < num_distinct; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), s);
+    cdf[i] = total;
+  }
+  for (double& c : cdf) c /= total;
+  util::Xoshiro256 rng(seed);
+  std::vector<double> out(n);
+  for (double& x : out) {
+    const double u = rng.NextDouble();
+    const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+    x = static_cast<double>((it - cdf.begin()) + 1);
+  }
+  return out;
+}
+
+std::vector<double> GenerateSequential(size_t n) {
+  std::vector<double> out(n);
+  for (size_t i = 0; i < n; ++i) out[i] = static_cast<double>(i);
+  return out;
+}
+
+}  // namespace workload
+}  // namespace req

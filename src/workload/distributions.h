@@ -1,0 +1,55 @@
+// Synthetic input distributions for tests, benches and examples.
+// All generators are deterministic functions of their seed.
+#ifndef REQSKETCH_WORKLOAD_DISTRIBUTIONS_H_
+#define REQSKETCH_WORKLOAD_DISTRIBUTIONS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace req {
+namespace workload {
+
+// Enumerates the standard distributions the experiment sweeps use.
+enum class DistKind {
+  kUniform,      // U(0, 1)
+  kGaussian,     // N(0, 1)
+  kExponential,  // Exp(1)
+  kLognormal,    // exp(N(0, 1))
+  kPareto,       // Pareto(xm=1, alpha=1.5): heavy tail
+  kZipf,         // Zipf over 10^4 distinct values, s=1.1: many duplicates
+  kSequential,   // 0, 1, 2, ... (distinct, adversarially orderable)
+};
+
+inline constexpr DistKind kAllDistKinds[] = {
+    DistKind::kUniform,   DistKind::kGaussian, DistKind::kExponential,
+    DistKind::kLognormal, DistKind::kPareto,   DistKind::kZipf,
+    DistKind::kSequential};
+
+std::string DistName(DistKind kind);
+
+// Generates n samples from the given distribution, deterministic in seed.
+std::vector<double> Generate(DistKind kind, size_t n, uint64_t seed);
+
+// Parameterized generators.
+std::vector<double> GenerateUniform(size_t n, uint64_t seed, double lo = 0.0,
+                                    double hi = 1.0);
+std::vector<double> GenerateGaussian(size_t n, uint64_t seed,
+                                     double mean = 0.0, double stddev = 1.0);
+std::vector<double> GenerateExponential(size_t n, uint64_t seed,
+                                        double rate = 1.0);
+std::vector<double> GenerateLognormal(size_t n, uint64_t seed, double mu = 0.0,
+                                      double sigma = 1.0);
+std::vector<double> GeneratePareto(size_t n, uint64_t seed, double scale = 1.0,
+                                   double shape = 1.5);
+// Zipf over values {1, ..., num_distinct} with exponent s; returned as
+// doubles so all generators share a type.
+std::vector<double> GenerateZipf(size_t n, uint64_t seed,
+                                 uint64_t num_distinct = 10000,
+                                 double s = 1.1);
+std::vector<double> GenerateSequential(size_t n);
+
+}  // namespace workload
+}  // namespace req
+
+#endif  // REQSKETCH_WORKLOAD_DISTRIBUTIONS_H_

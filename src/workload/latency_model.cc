@@ -1,0 +1,43 @@
+#include "workload/latency_model.h"
+
+#include <cmath>
+
+#include "util/validation.h"
+
+namespace req {
+namespace workload {
+
+LatencyModel::LatencyModel() : LatencyModel(Config()) {}
+
+LatencyModel::LatencyModel(const Config& config) : config_(config) {
+  util::CheckArg(config.body_median_seconds > 0.0,
+                 "body median must be positive");
+  util::CheckArg(config.body_sigma > 0.0, "body sigma must be positive");
+  util::CheckArg(config.tail_probability >= 0.0 &&
+                     config.tail_probability < 1.0,
+                 "tail probability must be in [0, 1)");
+  util::CheckArg(config.tail_scale_seconds > 0.0,
+                 "tail scale must be positive");
+  util::CheckArg(config.tail_shape > 0.0, "tail shape must be positive");
+  body_mu_ = std::log(config.body_median_seconds);
+}
+
+double LatencyModel::Sample(util::Xoshiro256& rng) const {
+  if (rng.NextDouble() < config_.tail_probability) {
+    // Pareto(xm, alpha) via inverse CDF.
+    return config_.tail_scale_seconds /
+           std::pow(1.0 - rng.NextDouble(), 1.0 / config_.tail_shape);
+  }
+  return std::exp(body_mu_ + config_.body_sigma * rng.NextGaussian());
+}
+
+std::vector<double> LatencyModel::GenerateTrace(size_t n,
+                                                uint64_t seed) const {
+  util::Xoshiro256 rng(seed);
+  std::vector<double> trace(n);
+  for (double& x : trace) x = Sample(rng);
+  return trace;
+}
+
+}  // namespace workload
+}  // namespace req

@@ -1,0 +1,109 @@
+#include "workload/stream_orders.h"
+
+#include <algorithm>
+
+#include "util/random.h"
+
+namespace req {
+namespace workload {
+
+std::string OrderName(OrderKind kind) {
+  switch (kind) {
+    case OrderKind::kAsIs:
+      return "as-is";
+    case OrderKind::kRandom:
+      return "random";
+    case OrderKind::kSorted:
+      return "sorted";
+    case OrderKind::kReversed:
+      return "reversed";
+    case OrderKind::kZoomIn:
+      return "zoom-in";
+    case OrderKind::kZoomOut:
+      return "zoom-out";
+    case OrderKind::kBlockShuffled:
+      return "block-shuffled";
+  }
+  return "unknown";
+}
+
+void Shuffle(std::vector<double>* values, uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  for (size_t i = values->size(); i > 1; --i) {
+    const size_t j = static_cast<size_t>(rng.NextBounded(i));
+    std::swap((*values)[i - 1], (*values)[j]);
+  }
+}
+
+void ApplyOrder(std::vector<double>* values, OrderKind kind, uint64_t seed) {
+  std::vector<double>& v = *values;
+  switch (kind) {
+    case OrderKind::kAsIs:
+      return;
+    case OrderKind::kRandom:
+      Shuffle(values, seed);
+      return;
+    case OrderKind::kSorted:
+      std::sort(v.begin(), v.end());
+      return;
+    case OrderKind::kReversed:
+      std::sort(v.begin(), v.end(), std::greater<double>());
+      return;
+    case OrderKind::kZoomIn: {
+      // max, min, second-max, second-min, ...: the arriving range narrows.
+      std::sort(v.begin(), v.end());
+      std::vector<double> out;
+      out.reserve(v.size());
+      size_t lo = 0, hi = v.size();
+      while (lo < hi) {
+        out.push_back(v[--hi]);
+        if (lo < hi) out.push_back(v[lo++]);
+      }
+      v = std::move(out);
+      return;
+    }
+    case OrderKind::kZoomOut: {
+      // From the median outward: the arriving range widens.
+      std::sort(v.begin(), v.end());
+      std::vector<double> out;
+      out.reserve(v.size());
+      size_t mid = v.size() / 2;
+      size_t lo = mid, hi = mid;
+      while (out.size() < v.size()) {
+        if (hi < v.size()) out.push_back(v[hi++]);
+        if (lo > 0) out.push_back(v[--lo]);
+      }
+      v = std::move(out);
+      return;
+    }
+    case OrderKind::kBlockShuffled: {
+      // Sorted blocks of ~sqrt(n) items arriving in random order: models
+      // partially-sorted inputs (e.g., merged time-partitioned files).
+      std::sort(v.begin(), v.end());
+      const size_t n = v.size();
+      if (n < 4) return;
+      size_t block = 1;
+      while (block * block < n) ++block;
+      const size_t num_blocks = (n + block - 1) / block;
+      std::vector<size_t> order(num_blocks);
+      for (size_t i = 0; i < num_blocks; ++i) order[i] = i;
+      util::Xoshiro256 rng(seed);
+      for (size_t i = num_blocks; i > 1; --i) {
+        const size_t j = static_cast<size_t>(rng.NextBounded(i));
+        std::swap(order[i - 1], order[j]);
+      }
+      std::vector<double> out;
+      out.reserve(n);
+      for (size_t b : order) {
+        const size_t begin = b * block;
+        const size_t end = std::min(n, begin + block);
+        out.insert(out.end(), v.begin() + begin, v.begin() + end);
+      }
+      v = std::move(out);
+      return;
+    }
+  }
+}
+
+}  // namespace workload
+}  // namespace req

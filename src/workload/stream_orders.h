@@ -1,0 +1,42 @@
+// Arrival-order transformations. Quantile-sketch accuracy can depend
+// dramatically on the order in which a fixed multiset arrives (Section 1.1:
+// the CKMS biased-quantiles algorithm needs linear space under adversarial
+// ordering, per Zhang et al.'s observation). These helpers rearrange a value
+// vector in place into the orders the E6 bench sweeps.
+#ifndef REQSKETCH_WORKLOAD_STREAM_ORDERS_H_
+#define REQSKETCH_WORKLOAD_STREAM_ORDERS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace req {
+namespace workload {
+
+enum class OrderKind {
+  kAsIs,           // generator order (i.i.d. for random distributions)
+  kRandom,         // uniform random shuffle
+  kSorted,         // ascending: adversarial for LRA-oriented summaries
+  kReversed,       // descending: adversarial for HRA / low-rank tolerance
+  kZoomIn,         // outside-in: max, min, next-max, next-min, ...
+  kZoomOut,        // inside-out: from the median outward
+  kBlockShuffled,  // sorted blocks arriving in random order
+};
+
+inline constexpr OrderKind kAllOrderKinds[] = {
+    OrderKind::kAsIs,   OrderKind::kRandom,  OrderKind::kSorted,
+    OrderKind::kReversed, OrderKind::kZoomIn, OrderKind::kZoomOut,
+    OrderKind::kBlockShuffled};
+
+std::string OrderName(OrderKind kind);
+
+// Rearranges `values` in place into the given order; deterministic in seed.
+void ApplyOrder(std::vector<double>* values, OrderKind kind, uint64_t seed);
+
+// Fisher-Yates shuffle, deterministic in seed.
+void Shuffle(std::vector<double>* values, uint64_t seed);
+
+}  // namespace workload
+}  // namespace req
+
+#endif  // REQSKETCH_WORKLOAD_STREAM_ORDERS_H_

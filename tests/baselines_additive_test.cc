@@ -1,0 +1,216 @@
+// Tests for the additive-error baselines: exact, reservoir, KLL, GK, MRL.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "baselines/exact_quantiles.h"
+#include "baselines/gk_sketch.h"
+#include "baselines/kll_sketch.h"
+#include "baselines/mrl_sketch.h"
+#include "baselines/reservoir_sampler.h"
+#include "sim/metrics.h"
+#include "workload/distributions.h"
+#include "workload/stream_orders.h"
+
+namespace req {
+namespace baselines {
+namespace {
+
+TEST(ExactQuantilesTest, RankAndQuantile) {
+  ExactQuantiles exact;
+  for (int i = 1; i <= 100; ++i) exact.Update(static_cast<double>(i));
+  EXPECT_EQ(exact.n(), 100u);
+  EXPECT_EQ(exact.GetRank(50.0), 50u);
+  EXPECT_EQ(exact.GetRank(0.5), 0u);
+  EXPECT_EQ(exact.GetRank(1000.0), 100u);
+  EXPECT_EQ(exact.GetQuantile(0.5), 51.0);
+  EXPECT_EQ(exact.GetQuantile(0.0), 1.0);
+  EXPECT_EQ(exact.GetQuantile(1.0), 100.0);
+}
+
+TEST(ExactQuantilesTest, MergeConcatenates) {
+  ExactQuantiles a, b;
+  for (int i = 0; i < 50; ++i) a.Update(static_cast<double>(i));
+  for (int i = 50; i < 100; ++i) b.Update(static_cast<double>(i));
+  a.Merge(b);
+  EXPECT_EQ(a.n(), 100u);
+  EXPECT_EQ(a.GetRank(74.0), 75u);
+}
+
+TEST(ReservoirSamplerTest, KeepsAllWhenUnderCapacity) {
+  ReservoirSampler sampler(100, 1);
+  for (int i = 0; i < 50; ++i) sampler.Update(static_cast<double>(i));
+  EXPECT_EQ(sampler.RetainedItems(), 50u);
+  EXPECT_EQ(sampler.GetRank(24.0), 25u);  // exact below capacity
+}
+
+TEST(ReservoirSamplerTest, CapacityRespected) {
+  ReservoirSampler sampler(64, 2);
+  for (int i = 0; i < 10000; ++i) sampler.Update(static_cast<double>(i));
+  EXPECT_EQ(sampler.RetainedItems(), 64u);
+  EXPECT_EQ(sampler.n(), 10000u);
+}
+
+TEST(ReservoirSamplerTest, AdditiveErrorReasonable) {
+  const size_t n = 100000;
+  ReservoirSampler sampler(1024, 3);
+  const auto values = workload::GenerateUniform(n, 4);
+  for (double v : values) sampler.Update(v);
+  // Median rank estimate within a few percent of n/2 (additive regime).
+  const double est = static_cast<double>(sampler.GetRank(0.5));
+  EXPECT_NEAR(est / n, 0.5, 0.06);
+}
+
+TEST(ReservoirSamplerTest, UniformInclusionProbability) {
+  // Every item should land in the reservoir with probability m/n; check
+  // the first and last deciles are equally represented across trials.
+  const size_t n = 2000, m = 100;
+  int first_decile = 0, last_decile = 0;
+  for (uint64_t seed = 0; seed < 50; ++seed) {
+    ReservoirSampler sampler(m, seed);
+    for (size_t i = 0; i < n; ++i) {
+      sampler.Update(static_cast<double>(i));
+    }
+    first_decile += static_cast<int>(sampler.GetRank(n * 0.1));
+    last_decile +=
+        static_cast<int>(sampler.n() - sampler.GetRank(n * 0.9));
+  }
+  // Both should estimate ~10% of the stream; allow generous sampling noise.
+  EXPECT_NEAR(first_decile / 50.0, n * 0.1, n * 0.03);
+  EXPECT_NEAR(last_decile / 50.0, n * 0.1, n * 0.03);
+}
+
+TEST(KllSketchTest, ExactWhenSmall) {
+  KllSketch kll(200, 1);
+  for (int i = 1; i <= 100; ++i) kll.Update(static_cast<double>(i));
+  EXPECT_EQ(kll.GetRank(50.0), 50u);
+  EXPECT_EQ(kll.RetainedItems(), 100u);
+}
+
+TEST(KllSketchTest, WeightConserved) {
+  KllSketch kll(64, 2);
+  const auto values = workload::GenerateUniform(100000, 5);
+  for (double v : values) kll.Update(v);
+  EXPECT_EQ(kll.GetRank(2.0), kll.n());  // all values < 2.0
+  EXPECT_EQ(kll.GetRank(-1.0), 0u);
+}
+
+TEST(KllSketchTest, SpaceSublinear) {
+  KllSketch kll(200, 3);
+  const auto values = workload::GenerateUniform(1 << 18, 6);
+  for (double v : values) kll.Update(v);
+  EXPECT_LT(kll.RetainedItems(), 3000u);
+}
+
+TEST(KllSketchTest, AdditiveErrorWithinBound) {
+  const size_t n = 200000;
+  KllSketch kll(256, 4);
+  const auto values = workload::GenerateUniform(n, 7);
+  for (double v : values) kll.Update(v);
+  sim::RankOracle oracle(values);
+  // Check additive error across uniform ranks: should be well under 1%.
+  for (uint64_t r : sim::UniformRankGrid(n, 20)) {
+    const double y = oracle.ItemAtRank(r);
+    const double exact = static_cast<double>(oracle.RankInclusive(y));
+    const double est = static_cast<double>(kll.GetRank(y));
+    EXPECT_LT(std::abs(est - exact) / static_cast<double>(n), 0.01)
+        << "rank " << r;
+  }
+}
+
+TEST(KllSketchTest, MergePreservesCount) {
+  KllSketch a(128, 5), b(128, 6);
+  const auto va = workload::GenerateUniform(30000, 8);
+  const auto vb = workload::GenerateUniform(40000, 9);
+  for (double v : va) a.Update(v);
+  for (double v : vb) b.Update(v);
+  a.Merge(b);
+  EXPECT_EQ(a.n(), 70000u);
+  EXPECT_EQ(a.GetRank(2.0), 70000u);
+  // Median of uniform union ~ 0.5.
+  EXPECT_NEAR(a.GetNormalizedRank(0.5), 0.5, 0.02);
+}
+
+TEST(GkSketchTest, ExactOnTinyStream) {
+  GkSketch gk(0.01);
+  for (int i = 1; i <= 20; ++i) gk.Update(static_cast<double>(i));
+  EXPECT_EQ(gk.n(), 20u);
+  // With n=20 and eps=0.01, 2 eps n < 1 so everything is exact.
+  EXPECT_EQ(gk.GetRank(10.0), 10u);
+}
+
+TEST(GkSketchTest, AdditiveGuaranteeHolds) {
+  const double eps = 0.01;
+  const size_t n = 100000;
+  GkSketch gk(eps);
+  const auto values = workload::GenerateUniform(n, 10);
+  for (double v : values) gk.Update(v);
+  sim::RankOracle oracle(values);
+  for (uint64_t r : sim::UniformRankGrid(n, 25)) {
+    const double y = oracle.ItemAtRank(r);
+    const double exact = static_cast<double>(oracle.RankInclusive(y));
+    const double est = static_cast<double>(gk.GetRank(y));
+    EXPECT_LE(std::abs(est - exact), eps * n + 1) << "rank " << r;
+  }
+}
+
+TEST(GkSketchTest, SpaceFarBelowN) {
+  GkSketch gk(0.01);
+  const auto values = workload::GenerateUniform(200000, 11);
+  for (double v : values) gk.Update(v);
+  EXPECT_LT(gk.RetainedItems(), 4000u);
+}
+
+TEST(GkSketchTest, QuantileWithinBound) {
+  const double eps = 0.02;
+  const size_t n = 50000;
+  GkSketch gk(eps);
+  auto values = workload::GenerateSequential(n);
+  workload::Shuffle(&values, 12);
+  for (double v : values) gk.Update(v);
+  for (double q : {0.1, 0.5, 0.9}) {
+    const double v = gk.GetQuantile(q);
+    EXPECT_NEAR(v / static_cast<double>(n), q, 2.5 * eps) << "q=" << q;
+  }
+}
+
+TEST(MrlSketchTest, RejectsOddK) {
+  EXPECT_THROW(MrlSketch{3}, std::invalid_argument);
+  EXPECT_THROW(MrlSketch{0}, std::invalid_argument);
+}
+
+TEST(MrlSketchTest, ExactBeforeFirstCollapse) {
+  MrlSketch mrl(128);
+  for (int i = 1; i <= 100; ++i) mrl.Update(static_cast<double>(i));
+  EXPECT_EQ(mrl.GetRank(42.0), 42u);
+}
+
+TEST(MrlSketchTest, WeightConservedThroughCollapses) {
+  MrlSketch mrl(64);
+  const auto values = workload::GenerateUniform(100000, 13);
+  for (double v : values) mrl.Update(v);
+  EXPECT_EQ(mrl.GetRank(2.0), mrl.n());
+}
+
+TEST(MrlSketchTest, LogarithmicBufferCount) {
+  MrlSketch mrl(256);
+  const auto values = workload::GenerateUniform(1 << 17, 14);
+  for (double v : values) mrl.Update(v);
+  // Equal-weight collapsing leaves at most one buffer per weight class.
+  EXPECT_LE(mrl.num_buffers(), 12u);
+  EXPECT_LT(mrl.RetainedItems(), 256u * 12u);
+}
+
+TEST(MrlSketchTest, AdditiveAccuracyMidRank) {
+  const size_t n = 100000;
+  MrlSketch mrl(512);
+  const auto values = workload::GenerateUniform(n, 15);
+  for (double v : values) mrl.Update(v);
+  EXPECT_NEAR(static_cast<double>(mrl.GetRank(0.5)) / n, 0.5, 0.02);
+  EXPECT_NEAR(mrl.GetQuantile(0.25), 0.25, 0.03);
+}
+
+}  // namespace
+}  // namespace baselines
+}  // namespace req

@@ -1,0 +1,148 @@
+// Parameterized guarantee sweeps for the baselines, mirroring the REQ
+// property suite: each sketch's published guarantee must hold across
+// distributions and arrival orders (or, where an algorithm is known to be
+// order-sensitive, on the orders its guarantee actually covers).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "baselines/gk_sketch.h"
+#include "baselines/kll_sketch.h"
+#include "baselines/mrl_sketch.h"
+#include "baselines/tdigest.h"
+#include "baselines/zhang_wang_sketch.h"
+#include "sim/metrics.h"
+#include "workload/distributions.h"
+#include "workload/stream_orders.h"
+
+namespace req {
+namespace baselines {
+namespace {
+
+using workload::DistKind;
+using workload::OrderKind;
+
+constexpr size_t kN = 30000;
+
+std::vector<double> MakeStream(DistKind dist, OrderKind order) {
+  auto values = workload::Generate(dist, kN, /*seed=*/777);
+  workload::ApplyOrder(&values, order, /*seed=*/13);
+  return values;
+}
+
+std::string SweepName(
+    const ::testing::TestParamInfo<std::tuple<DistKind, OrderKind>>& info) {
+  std::string name = workload::DistName(std::get<0>(info.param)) + "_" +
+                     workload::OrderName(std::get<1>(info.param));
+  for (char& c : name) {
+    if (c == '-') c = '_';
+  }
+  return name;
+}
+
+class BaselineSweep
+    : public ::testing::TestWithParam<std::tuple<DistKind, OrderKind>> {};
+
+// GK: deterministic additive guarantee |est - R| <= eps n, any order.
+TEST_P(BaselineSweep, GkAdditiveGuarantee) {
+  const auto& [dist, order] = GetParam();
+  const double eps = 0.02;
+  const auto values = MakeStream(dist, order);
+  GkSketch gk(eps);
+  for (double v : values) gk.Update(v);
+  sim::RankOracle oracle(values);
+  for (uint64_t r : sim::UniformRankGrid(kN, 15)) {
+    const double y = oracle.ItemAtRank(r);
+    const double exact = static_cast<double>(oracle.RankInclusive(y));
+    const double est = static_cast<double>(gk.GetRank(y));
+    ASSERT_LE(std::abs(est - exact), eps * kN + 1)
+        << "rank " << r << " " << workload::DistName(dist);
+  }
+  // Space must stay well below n.
+  EXPECT_LT(gk.RetainedItems(), kN / 4);
+}
+
+// Zhang-Wang: deterministic RELATIVE guarantee, any order.
+TEST_P(BaselineSweep, ZhangWangRelativeGuarantee) {
+  const auto& [dist, order] = GetParam();
+  const double eps = 0.1;
+  const auto values = MakeStream(dist, order);
+  ZhangWangSketch zw(eps);
+  for (double v : values) zw.Update(v);
+  sim::RankOracle oracle(values);
+  for (uint64_t r : sim::GeometricRankGrid(kN, /*from_high_end=*/false)) {
+    const double y = oracle.ItemAtRank(r);
+    const double exact = static_cast<double>(oracle.RankInclusive(y));
+    const double est = static_cast<double>(zw.GetRank(y));
+    ASSERT_LE(std::abs(est - exact), eps * exact + 1.0)
+        << "rank " << r << " " << workload::DistName(dist) << " "
+        << workload::OrderName(order);
+  }
+}
+
+// KLL: randomized additive guarantee; statistical check with headroom.
+TEST_P(BaselineSweep, KllAdditiveAccuracy) {
+  const auto& [dist, order] = GetParam();
+  const auto values = MakeStream(dist, order);
+  KllSketch kll(256, /*seed=*/5);
+  for (double v : values) kll.Update(v);
+  sim::RankOracle oracle(values);
+  for (uint64_t r : sim::UniformRankGrid(kN, 10)) {
+    const double y = oracle.ItemAtRank(r);
+    const double exact = static_cast<double>(oracle.RankInclusive(y));
+    const double est = static_cast<double>(kll.GetRank(y));
+    ASSERT_LE(std::abs(est - exact) / kN, 0.03) << "rank " << r;
+  }
+}
+
+// MRL: deterministic additive with O(n log(n/k)/k) error.
+TEST_P(BaselineSweep, MrlAdditiveAccuracy) {
+  const auto& [dist, order] = GetParam();
+  const auto values = MakeStream(dist, order);
+  MrlSketch mrl(512);
+  for (double v : values) mrl.Update(v);
+  sim::RankOracle oracle(values);
+  for (uint64_t r : sim::UniformRankGrid(kN, 10)) {
+    const double y = oracle.ItemAtRank(r);
+    const double exact = static_cast<double>(oracle.RankInclusive(y));
+    const double est = static_cast<double>(mrl.GetRank(y));
+    ASSERT_LE(std::abs(est - exact) / kN, 0.05) << "rank " << r;
+  }
+  EXPECT_EQ(mrl.GetRank(1e300), mrl.n());  // weight conservation
+}
+
+// t-digest: no formal guarantee; sanity envelope on mid quantiles plus
+// monotonicity (regression guard for the heuristic).
+TEST_P(BaselineSweep, TDigestSanity) {
+  const auto& [dist, order] = GetParam();
+  const auto values = MakeStream(dist, order);
+  TDigest digest(100.0);
+  for (double v : values) digest.Update(v);
+  sim::RankOracle oracle(values);
+  uint64_t prev = 0;
+  for (uint64_t r : sim::UniformRankGrid(kN, 10)) {
+    const double y = oracle.ItemAtRank(r);
+    const uint64_t est = digest.GetRank(y);
+    ASSERT_GE(est + 1, prev) << "rank " << r;  // monotone (+1 slack: ties)
+    prev = est;
+  }
+  const double median_rank =
+      static_cast<double>(digest.GetRank(oracle.ItemAtRank(kN / 2))) / kN;
+  EXPECT_NEAR(median_rank, 0.5, 0.1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BaselineSweep,
+    ::testing::Combine(
+        ::testing::Values(DistKind::kUniform, DistKind::kGaussian,
+                          DistKind::kZipf, DistKind::kSequential),
+        ::testing::Values(OrderKind::kRandom, OrderKind::kSorted,
+                          OrderKind::kReversed, OrderKind::kZoomOut)),
+    SweepName);
+
+}  // namespace
+}  // namespace baselines
+}  // namespace req

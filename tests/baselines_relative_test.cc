@@ -1,0 +1,309 @@
+// Tests for the relative-error / tail-focused baselines: CKMS, Zhang-Wang,
+// dyadic-universe, t-digest, DDSketch.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "baselines/ckms_sketch.h"
+#include "baselines/ddsketch.h"
+#include "baselines/dyadic_universe_sketch.h"
+#include "baselines/tdigest.h"
+#include "baselines/zhang_wang_sketch.h"
+#include "sim/metrics.h"
+#include "workload/distributions.h"
+#include "workload/stream_orders.h"
+
+namespace req {
+namespace baselines {
+namespace {
+
+// ---------- CKMS ----------
+
+TEST(CkmsSketchTest, ExactOnTinyStream) {
+  CkmsSketch ckms(0.05);
+  for (int i = 1; i <= 15; ++i) ckms.Update(static_cast<double>(i));
+  EXPECT_EQ(ckms.GetRank(7.0), 7u);
+}
+
+TEST(CkmsSketchTest, RelativeErrorAtLowRanksRandomOrder) {
+  const double eps = 0.05;
+  const size_t n = 50000;
+  CkmsSketch ckms(eps);
+  auto values = workload::GenerateSequential(n);
+  workload::Shuffle(&values, 1);
+  for (double v : values) ckms.Update(v);
+  // Low ranks get the multiplicative budget f(r) = 2 eps r; allow slack
+  // for the midpoint estimator.
+  for (uint64_t r : {10ull, 100ull, 1000ull, 10000ull}) {
+    const double y = static_cast<double>(r - 1);
+    const double est = static_cast<double>(ckms.GetRank(y));
+    EXPECT_LE(std::abs(est - static_cast<double>(r)),
+              2.0 * eps * static_cast<double>(r) + 1.0)
+        << "rank " << r;
+  }
+}
+
+TEST(CkmsSketchTest, CompressesUnderRandomOrder) {
+  CkmsSketch ckms(0.05);
+  auto values = workload::GenerateUniform(50000, 2);
+  for (double v : values) ckms.Update(v);
+  EXPECT_LT(ckms.RetainedItems(), 3000u);
+}
+
+// The [22] observation the paper repeats: under adversarial ordering CKMS
+// degenerates to linear space. The realizing order is zoom-in (arrivals
+// converge to the middle of the value range): every insertion is interior,
+// so it carries a fresh delta ~ f(r) that saturates the merge condition
+// g_i + g_{i+1} + delta_{i+1} <= f(r_i), and nothing ever compresses.
+TEST(CkmsSketchTest, AdversarialOrderBlowsUpSpace) {
+  const size_t n = 20000;
+  CkmsSketch random_order(0.05), zoom_in(0.05);
+  auto zoom_values = workload::GenerateSequential(n);
+  workload::ApplyOrder(&zoom_values, workload::OrderKind::kZoomIn, 3);
+  for (double v : zoom_values) zoom_in.Update(v);
+  auto shuffled = workload::GenerateSequential(n);
+  workload::Shuffle(&shuffled, 3);
+  for (double v : shuffled) random_order.Update(v);
+  EXPECT_GT(zoom_in.RetainedItems(), n / 4);  // essentially linear
+  EXPECT_LT(random_order.RetainedItems(), zoom_in.RetainedItems() / 10);
+}
+
+// ---------- Zhang-Wang ----------
+
+TEST(ZhangWangSketchTest, ExactBeforeFirstBlock) {
+  ZhangWangSketch zw(0.1);
+  for (int i = 1; i <= 50; ++i) zw.Update(static_cast<double>(i));
+  EXPECT_EQ(zw.GetRank(25.0), 25u);
+}
+
+TEST(ZhangWangSketchTest, DeterministicRelativeGuarantee) {
+  const double eps = 0.1;
+  const size_t n = 100000;
+  ZhangWangSketch zw(eps);
+  auto values = workload::GenerateSequential(n);
+  workload::Shuffle(&values, 4);
+  for (double v : values) zw.Update(v);
+  sim::RankOracle oracle(values);
+  for (uint64_t r : sim::GeometricRankGrid(n, /*from_high_end=*/false)) {
+    const double y = oracle.ItemAtRank(r);
+    const double exact = static_cast<double>(oracle.RankInclusive(y));
+    const double est = static_cast<double>(zw.GetRank(y));
+    EXPECT_LE(std::abs(est - exact), eps * exact + 1.0) << "rank " << r;
+  }
+}
+
+TEST(ZhangWangSketchTest, GuaranteeHoldsOnSortedInput) {
+  // Deterministic algorithms must withstand adversarial (sorted) order.
+  const double eps = 0.1;
+  const size_t n = 60000;
+  ZhangWangSketch zw(eps);
+  for (size_t i = 0; i < n; ++i) zw.Update(static_cast<double>(i));
+  for (uint64_t r : {1ull, 10ull, 100ull, 1000ull, 30000ull, 60000ull}) {
+    const double y = static_cast<double>(r - 1);
+    const double est = static_cast<double>(zw.GetRank(y));
+    EXPECT_LE(std::abs(est - static_cast<double>(r)),
+              eps * static_cast<double>(r) + 1.0)
+        << "rank " << r;
+  }
+}
+
+TEST(ZhangWangSketchTest, SpacePolylogarithmic) {
+  ZhangWangSketch zw(0.05);
+  const auto values = workload::GenerateUniform(1 << 18, 5);
+  for (double v : values) zw.Update(v);
+  EXPECT_LT(zw.RetainedItems(), values.size() / 8);
+}
+
+TEST(ZhangWangSketchTest, QuantileConsistent) {
+  ZhangWangSketch zw(0.05);
+  const size_t n = 50000;
+  auto values = workload::GenerateSequential(n);
+  workload::Shuffle(&values, 6);
+  for (double v : values) zw.Update(v);
+  for (double q : {0.1, 0.5, 0.9, 0.99}) {
+    const double v = zw.GetQuantile(q);
+    EXPECT_NEAR(v / static_cast<double>(n), q, 0.05 + 2.0 / std::sqrt(n))
+        << "q=" << q;
+  }
+}
+
+// ---------- Dyadic universe ----------
+
+TEST(DyadicUniverseSketchTest, RejectsOutOfUniverse) {
+  DyadicUniverseSketch sketch(0.1, 10);  // universe [0, 1024)
+  EXPECT_THROW(sketch.Update(1024), std::invalid_argument);
+  sketch.Update(1023);
+  EXPECT_EQ(sketch.n(), 1u);
+}
+
+TEST(DyadicUniverseSketchTest, ExactWithoutCompression) {
+  DyadicUniverseSketch sketch(0.1, 12);
+  for (uint64_t i = 0; i < 100; ++i) sketch.Update(i);
+  EXPECT_EQ(sketch.GetRank(49), 50u);
+}
+
+TEST(DyadicUniverseSketchTest, RelativeErrorAfterCompression) {
+  const double eps = 0.1;
+  const size_t n = 100000;
+  DyadicUniverseSketch sketch(eps, 17);  // universe 131072 >= n
+  auto values = workload::GenerateSequential(n);
+  workload::Shuffle(&values, 7);
+  for (double v : values) sketch.Update(static_cast<uint64_t>(v));
+  sketch.Compress();
+  for (uint64_t r : {100ull, 1000ull, 10000ull, 50000ull, 100000ull}) {
+    const double est = static_cast<double>(sketch.GetRank(r - 1));
+    EXPECT_LE(std::abs(est - static_cast<double>(r)),
+              eps * static_cast<double>(r) + 1.0)
+        << "rank " << r;
+  }
+}
+
+TEST(DyadicUniverseSketchTest, CompressionShrinksState) {
+  DyadicUniverseSketch sketch(0.2, 17);
+  auto values = workload::GenerateSequential(1 << 16);
+  workload::Shuffle(&values, 8);
+  for (double v : values) sketch.Update(static_cast<uint64_t>(v));
+  sketch.Compress();
+  EXPECT_LT(sketch.RetainedItems(), size_t{1} << 13);
+}
+
+// ---------- t-digest ----------
+
+TEST(TDigestTest, BasicQuantiles) {
+  TDigest digest(100.0);
+  const size_t n = 100000;
+  const auto values = workload::GenerateUniform(n, 9);
+  for (double v : values) digest.Update(v);
+  EXPECT_EQ(digest.n(), n);
+  for (double q : {0.01, 0.25, 0.5, 0.75, 0.99}) {
+    EXPECT_NEAR(digest.GetQuantile(q), q, 0.02) << "q=" << q;
+  }
+}
+
+TEST(TDigestTest, RankMonotone) {
+  TDigest digest(100.0);
+  const auto values = workload::GenerateGaussian(50000, 10);
+  for (double v : values) digest.Update(v);
+  uint64_t prev = 0;
+  for (double y = -3.0; y <= 3.0; y += 0.25) {
+    const uint64_t r = digest.GetRank(y);
+    EXPECT_GE(r, prev);
+    prev = r;
+  }
+}
+
+TEST(TDigestTest, ExtremesExact) {
+  TDigest digest(50.0);
+  const auto values = workload::GenerateLognormal(30000, 11);
+  double lo = values[0], hi = values[0];
+  for (double v : values) {
+    digest.Update(v);
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  EXPECT_EQ(digest.GetQuantile(0.0), lo);
+  EXPECT_EQ(digest.GetQuantile(1.0), hi);
+  EXPECT_EQ(digest.GetRank(hi), digest.n());
+  EXPECT_EQ(digest.GetRank(lo - 1.0), 0u);
+}
+
+TEST(TDigestTest, BoundedCentroidCount) {
+  TDigest digest(100.0);
+  const auto values = workload::GenerateUniform(200000, 12);
+  for (double v : values) digest.Update(v);
+  digest.GetRank(0.5);  // forces a flush
+  EXPECT_LT(digest.RetainedItems(), 1300u);
+}
+
+TEST(TDigestTest, MergeMatchesConcatenation) {
+  TDigest a(100.0), b(100.0);
+  const auto va = workload::GenerateUniform(30000, 13);
+  const auto vb = workload::GenerateUniform(30000, 14, 0.5, 1.5);
+  for (double v : va) a.Update(v);
+  for (double v : vb) b.Update(v);
+  a.Merge(b);
+  EXPECT_EQ(a.n(), 60000u);
+  // Union is U(0,1) + U(0.5,1.5): median ~ 0.75.
+  EXPECT_NEAR(a.GetQuantile(0.5), 0.75, 0.05);
+}
+
+TEST(TDigestTest, RejectsNaN) {
+  TDigest digest(100.0);
+  EXPECT_THROW(digest.Update(std::nan("")), std::invalid_argument);
+}
+
+// ---------- DDSketch ----------
+
+TEST(DdSketchTest, RelativeValueGuarantee) {
+  const double alpha = 0.01;
+  DdSketch dd(alpha);
+  const size_t n = 100000;
+  const auto values = workload::GenerateLognormal(n, 15);
+  for (double v : values) dd.Update(v);
+  sim::RankOracle oracle(values);
+  for (double q : {0.5, 0.9, 0.99, 0.999}) {
+    const double est = dd.GetQuantile(q);
+    const double exact = oracle.ItemAtRank(
+        std::max<uint64_t>(1, static_cast<uint64_t>(q * n)));
+    EXPECT_LE(std::abs(est - exact), alpha * exact * 1.5 + 1e-12)
+        << "q=" << q;
+  }
+}
+
+TEST(DdSketchTest, HandlesZeros) {
+  DdSketch dd(0.02);
+  for (int i = 0; i < 100; ++i) dd.Update(0.0);
+  for (int i = 0; i < 100; ++i) dd.Update(1.0);
+  EXPECT_EQ(dd.GetRank(0.0), 100u);
+  EXPECT_EQ(dd.GetRank(2.0), 200u);
+  EXPECT_EQ(dd.GetQuantile(0.25), 0.0);
+}
+
+TEST(DdSketchTest, RejectsNegativeAndNaN) {
+  DdSketch dd(0.02);
+  EXPECT_THROW(dd.Update(-1.0), std::invalid_argument);
+  EXPECT_THROW(dd.Update(std::nan("")), std::invalid_argument);
+}
+
+TEST(DdSketchTest, BucketCountIsBounded) {
+  DdSketch dd(0.01, 512);
+  const auto values = workload::GeneratePareto(200000, 16, 1.0, 0.5);
+  for (double v : values) dd.Update(v);
+  EXPECT_LE(dd.RetainedItems(), 513u);
+  EXPECT_EQ(dd.n(), 200000u);
+}
+
+TEST(DdSketchTest, MergeAddsCounts) {
+  DdSketch a(0.02), b(0.02);
+  for (int i = 0; i < 1000; ++i) a.Update(1.0);
+  for (int i = 0; i < 1000; ++i) b.Update(100.0);
+  a.Merge(b);
+  EXPECT_EQ(a.n(), 2000u);
+  EXPECT_NEAR(static_cast<double>(a.GetRank(10.0)), 1000.0, 1.0);
+}
+
+TEST(DdSketchTest, MergeRequiresSameAlpha) {
+  DdSketch a(0.02), b(0.05);
+  EXPECT_THROW(a.Merge(b), std::invalid_argument);
+}
+
+// DDSketch's guarantee is about VALUES, not ranks: on data with a dense
+// cluster, the *rank* error can be large even though the value error is
+// tiny. (This is the Section 1.1 critique.)
+TEST(DdSketchTest, RankErrorUnboundedOnDenseClusters) {
+  DdSketch dd(0.05);
+  // 100k points packed inside one multiplicative bucket around 1.0.
+  const auto values = workload::GenerateUniform(100000, 17, 1.0, 1.02);
+  for (double v : values) dd.Update(v);
+  // All mass lands in ~1 bucket: rank resolution collapses.
+  const uint64_t mid_rank = dd.GetRank(1.01);
+  const bool rank_is_degenerate =
+      mid_rank < 20000 || mid_rank > 80000;  // exact would be ~50000
+  EXPECT_TRUE(rank_is_degenerate)
+      << "rank resolution unexpectedly fine: " << mid_rank;
+}
+
+}  // namespace
+}  // namespace baselines
+}  // namespace req

@@ -1,0 +1,115 @@
+#include "util/bits.h"
+
+#include <gtest/gtest.h>
+
+namespace req {
+namespace util {
+namespace {
+
+TEST(BitsTest, TrailingOnesBasics) {
+  EXPECT_EQ(TrailingOnes(0), 0);
+  EXPECT_EQ(TrailingOnes(1), 1);   // 0b1
+  EXPECT_EQ(TrailingOnes(2), 0);   // 0b10
+  EXPECT_EQ(TrailingOnes(3), 2);   // 0b11
+  EXPECT_EQ(TrailingOnes(4), 0);   // 0b100
+  EXPECT_EQ(TrailingOnes(5), 1);   // 0b101
+  EXPECT_EQ(TrailingOnes(7), 3);   // 0b111
+  EXPECT_EQ(TrailingOnes(11), 2);  // 0b1011
+}
+
+TEST(BitsTest, TrailingOnesAllOnes) {
+  EXPECT_EQ(TrailingOnes(~uint64_t{0}), 64);
+  EXPECT_EQ(TrailingOnes((uint64_t{1} << 20) - 1), 20);
+}
+
+// The compaction schedule relies on this exact sequence: z(C) for
+// C = 0, 1, 2, ... is 0, 1, 0, 2, 0, 1, 0, 3, ... (the "ruler" sequence
+// shifted); section j+1 participates every 2^j compactions.
+TEST(BitsTest, TrailingOnesRulerSequence) {
+  const int expected[] = {0, 1, 0, 2, 0, 1, 0, 3, 0, 1, 0, 2, 0, 1, 0, 4};
+  for (uint64_t c = 0; c < 16; ++c) {
+    EXPECT_EQ(TrailingOnes(c), expected[c]) << "C=" << c;
+  }
+}
+
+// Fact 5 restated on states: between two states with exactly j trailing
+// ones there is a state with more than j trailing ones.
+TEST(BitsTest, TrailingOnesFact5) {
+  for (int j = 0; j <= 6; ++j) {
+    int last_seen = -1;
+    for (int c = 0; c < 1 << 10; ++c) {
+      const int z = TrailingOnes(static_cast<uint64_t>(c));
+      if (z == j) {
+        if (last_seen >= 0) {
+          bool found_bigger = false;
+          for (int mid = last_seen + 1; mid < c; ++mid) {
+            if (TrailingOnes(static_cast<uint64_t>(mid)) > j) {
+              found_bigger = true;
+              break;
+            }
+          }
+          EXPECT_TRUE(found_bigger)
+              << "no >" << j << "-compaction between " << last_seen
+              << " and " << c;
+        }
+        last_seen = c;
+      }
+    }
+  }
+}
+
+TEST(BitsTest, FloorLog2) {
+  EXPECT_EQ(FloorLog2(1), 0);
+  EXPECT_EQ(FloorLog2(2), 1);
+  EXPECT_EQ(FloorLog2(3), 1);
+  EXPECT_EQ(FloorLog2(4), 2);
+  EXPECT_EQ(FloorLog2(1023), 9);
+  EXPECT_EQ(FloorLog2(1024), 10);
+  EXPECT_EQ(FloorLog2(uint64_t{1} << 63), 63);
+}
+
+TEST(BitsTest, CeilLog2) {
+  EXPECT_EQ(CeilLog2(1), 0);
+  EXPECT_EQ(CeilLog2(2), 1);
+  EXPECT_EQ(CeilLog2(3), 2);
+  EXPECT_EQ(CeilLog2(4), 2);
+  EXPECT_EQ(CeilLog2(5), 3);
+  EXPECT_EQ(CeilLog2(1024), 10);
+  EXPECT_EQ(CeilLog2(1025), 11);
+}
+
+TEST(BitsTest, FloorCeilConsistency) {
+  for (uint64_t x = 1; x < 4096; ++x) {
+    EXPECT_LE(FloorLog2(x), CeilLog2(x));
+    EXPECT_LE(CeilLog2(x) - FloorLog2(x), 1);
+    EXPECT_LE(uint64_t{1} << FloorLog2(x), x);
+    EXPECT_GE(uint64_t{1} << CeilLog2(x), x);
+  }
+}
+
+TEST(BitsTest, NextPow2) {
+  EXPECT_EQ(NextPow2(1), 1u);
+  EXPECT_EQ(NextPow2(2), 2u);
+  EXPECT_EQ(NextPow2(3), 4u);
+  EXPECT_EQ(NextPow2(1000), 1024u);
+}
+
+TEST(BitsTest, IsPow2) {
+  EXPECT_TRUE(IsPow2(1));
+  EXPECT_TRUE(IsPow2(2));
+  EXPECT_TRUE(IsPow2(64));
+  EXPECT_FALSE(IsPow2(0));
+  EXPECT_FALSE(IsPow2(3));
+  EXPECT_FALSE(IsPow2(96));
+}
+
+TEST(BitsTest, Popcount) {
+  EXPECT_EQ(Popcount(0), 0);
+  EXPECT_EQ(Popcount(1), 1);
+  EXPECT_EQ(Popcount(0b1011), 3);
+  EXPECT_EQ(Popcount(~uint64_t{0}), 64);
+}
+
+}  // namespace
+}  // namespace util
+}  // namespace req

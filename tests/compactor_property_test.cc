@@ -1,0 +1,145 @@
+// Parameterized sweep over compactor geometries, orientations, schedules
+// and coins: the structural invariants of Algorithm 1 must hold for every
+// configuration.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/relative_compactor.h"
+#include "core/req_common.h"
+#include "util/random.h"
+
+namespace req {
+namespace {
+
+using CompactorParam =
+    std::tuple<uint32_t /*k*/, uint32_t /*sections*/, RankAccuracy,
+               SchedulePolicy, CoinMode>;
+
+class CompactorSweep : public ::testing::TestWithParam<CompactorParam> {
+ protected:
+  RelativeCompactor<double> Make() const {
+    const auto& [k, sections, acc, sched, coin] = GetParam();
+    return RelativeCompactor<double>(k, sections, acc, sched, coin);
+  }
+};
+
+TEST_P(CompactorSweep, WidthAlwaysWithinBounds) {
+  auto c = Make();
+  util::Xoshiro256 rng(1);
+  for (int round = 0; round < 200; ++round) {
+    const uint32_t width = c.NextCompactionWidth();
+    ASSERT_GE(width, c.section_size());
+    ASSERT_LE(width, c.capacity() / 2);
+    ASSERT_EQ(width % c.section_size(), 0u);
+    while (!c.IsFull()) c.Insert(rng.NextDouble());
+    c.Compact(rng);
+  }
+}
+
+TEST_P(CompactorSweep, CompactionAlwaysShrinksBelowCapacity) {
+  auto c = Make();
+  util::Xoshiro256 rng(2);
+  for (int round = 0; round < 100; ++round) {
+    while (!c.IsFull()) c.Insert(rng.NextDouble());
+    c.Compact(rng);
+    ASSERT_LT(c.size(), c.capacity());
+  }
+}
+
+TEST_P(CompactorSweep, WeightConservedExactly) {
+  auto c = Make();
+  util::Xoshiro256 rng(3);
+  uint64_t inserted = 0, promoted = 0;
+  for (int round = 0; round < 100; ++round) {
+    while (!c.IsFull()) {
+      c.Insert(rng.NextDouble());
+      ++inserted;
+    }
+    promoted += c.Compact(rng).size();
+    ASSERT_EQ(inserted, c.size() + 2 * promoted);
+  }
+}
+
+TEST_P(CompactorSweep, ProtectedHalfNeverCompacted) {
+  const auto& [k, sections, acc, sched, coin] = GetParam();
+  auto c = Make();
+  util::Xoshiro256 rng(4);
+  // Feed a known value ordering; track that the most-protected extreme
+  // value inserted early never leaves the buffer.
+  const double protected_value =
+      acc == RankAccuracy::kLowRanks ? -1e18 : 1e18;
+  c.Insert(protected_value);
+  for (int round = 0; round < 60; ++round) {
+    while (!c.IsFull()) c.Insert(rng.NextDouble());
+    c.Compact(rng);
+    const auto& items = c.items();
+    ASSERT_NE(std::find(items.begin(), items.end(), protected_value),
+              items.end())
+        << "protected extreme evicted in round " << round;
+  }
+}
+
+TEST_P(CompactorSweep, PromotedItemsComeFromCompactedRange) {
+  const auto& [k, sections, acc, sched, coin] = GetParam();
+  auto c = Make();
+  util::Xoshiro256 rng(5);
+  for (uint32_t i = 0; i < c.capacity(); ++i) {
+    c.Insert(static_cast<double>(i));
+  }
+  const uint32_t width = c.NextCompactionWidth();
+  const auto promoted = c.Compact(rng);
+  // In LRA, the compacted range is the top `width` values; in HRA the
+  // bottom `width`.
+  for (double p : promoted) {
+    if (acc == RankAccuracy::kLowRanks) {
+      ASSERT_GE(p, static_cast<double>(c.capacity() - width));
+    } else {
+      ASSERT_LT(p, static_cast<double>(width));
+    }
+  }
+}
+
+TEST_P(CompactorSweep, StateAdvancesByOnePerCompaction) {
+  auto c = Make();
+  util::Xoshiro256 rng(6);
+  for (uint64_t round = 1; round <= 50; ++round) {
+    while (!c.IsFull()) c.Insert(rng.NextDouble());
+    c.Compact(rng);
+    ASSERT_EQ(c.state(), round);
+    ASSERT_EQ(c.num_compactions(), round);
+  }
+}
+
+std::string CompactorParamName(
+    const ::testing::TestParamInfo<CompactorParam>& info) {
+  const auto& [k, sections, acc, sched, coin] = info.param;
+  std::string name = "k" + std::to_string(k) + "_s" +
+                     std::to_string(sections) + "_";
+  name += acc == RankAccuracy::kLowRanks ? "lra" : "hra";
+  name += sched == SchedulePolicy::kExponential
+              ? "_exp"
+              : (sched == SchedulePolicy::kUniform ? "_uni" : "_one");
+  name += coin == CoinMode::kRandom ? "_rnd" : "_det";
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CompactorSweep,
+    ::testing::Combine(
+        ::testing::Values(2u, 4u, 16u),
+        ::testing::Values(3u, 4u, 8u),
+        ::testing::Values(RankAccuracy::kLowRanks,
+                          RankAccuracy::kHighRanks),
+        ::testing::Values(SchedulePolicy::kExponential,
+                          SchedulePolicy::kUniform,
+                          SchedulePolicy::kSingleSection),
+        ::testing::Values(CoinMode::kRandom, CoinMode::kDeterministic)),
+    CompactorParamName);
+
+}  // namespace
+}  // namespace req

@@ -1,0 +1,121 @@
+// Inclusive vs exclusive rank semantics, end to end, on duplicate-heavy
+// data. The paper defines R(y) = |{x_i <= y}| (inclusive); DataSketches
+// exposes both conventions, and getting the boundary cases right matters
+// exactly when the stream has ties.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/req_common.h"
+#include "core/req_sketch.h"
+#include "core/sorted_view.h"
+#include "util/random.h"
+
+namespace req {
+namespace {
+
+ReqConfig MakeConfig(uint64_t seed = 1) {
+  ReqConfig config;
+  config.k_base = 16;
+  config.seed = seed;
+  return config;
+}
+
+// A small exact stream: semantics must be exact before compactions.
+TEST(CriterionSemanticsTest, ExactTies) {
+  ReqSketch<double> sketch(MakeConfig());
+  for (double v : {1.0, 2.0, 2.0, 2.0, 3.0}) sketch.Update(v);
+  EXPECT_EQ(sketch.GetRank(2.0, Criterion::kInclusive), 4u);
+  EXPECT_EQ(sketch.GetRank(2.0, Criterion::kExclusive), 1u);
+  EXPECT_EQ(sketch.GetRank(1.0, Criterion::kExclusive), 0u);
+  EXPECT_EQ(sketch.GetRank(3.0, Criterion::kInclusive), 5u);
+  // Items not in the stream: both semantics agree.
+  EXPECT_EQ(sketch.GetRank(2.5, Criterion::kInclusive),
+            sketch.GetRank(2.5, Criterion::kExclusive));
+}
+
+// The inclusive-exclusive gap at a value estimates that value's frequency.
+TEST(CriterionSemanticsTest, GapEstimatesFrequency) {
+  ReqSketch<double> sketch(MakeConfig(2));
+  util::Xoshiro256 rng(3);
+  const size_t n = 100000;
+  uint64_t target_count = 0;
+  for (size_t i = 0; i < n; ++i) {
+    // Discrete distribution over {0..9} with a heavy value 4.
+    const double v = rng.NextDouble() < 0.3
+                         ? 4.0
+                         : static_cast<double>(rng.NextBounded(10));
+    if (v == 4.0) ++target_count;
+    sketch.Update(v);
+  }
+  const double gap =
+      static_cast<double>(sketch.GetRank(4.0, Criterion::kInclusive)) -
+      static_cast<double>(sketch.GetRank(4.0, Criterion::kExclusive));
+  EXPECT_NEAR(gap / n, static_cast<double>(target_count) / n, 0.03);
+}
+
+// Exclusive <= inclusive pointwise, always, including after merges.
+TEST(CriterionSemanticsTest, ExclusiveNeverExceedsInclusive) {
+  ReqSketch<double> a(MakeConfig(4)), b(MakeConfig(5));
+  util::Xoshiro256 rng(6);
+  for (int i = 0; i < 40000; ++i) {
+    a.Update(static_cast<double>(rng.NextBounded(100)));
+    b.Update(static_cast<double>(rng.NextBounded(100)));
+  }
+  a.Merge(b);
+  for (double y = -1.0; y <= 100.0; y += 7.3) {
+    EXPECT_LE(a.GetRank(y, Criterion::kExclusive),
+              a.GetRank(y, Criterion::kInclusive))
+        << "y=" << y;
+  }
+}
+
+// Quantile semantics: inclusive quantile of q=1/n is the min; exclusive
+// q=0 is the min as well, and both are monotone in q.
+TEST(CriterionSemanticsTest, QuantileCriteria) {
+  std::vector<std::pair<double, uint64_t>> items = {
+      {1.0, 1}, {2.0, 1}, {3.0, 1}, {4.0, 1}};
+  SortedView<double> view(std::move(items), 4);
+  EXPECT_EQ(view.GetQuantile(0.25, Criterion::kInclusive), 1.0);
+  EXPECT_EQ(view.GetQuantile(0.25, Criterion::kExclusive), 2.0);
+  EXPECT_EQ(view.GetQuantile(0.5, Criterion::kInclusive), 2.0);
+  EXPECT_EQ(view.GetQuantile(0.5, Criterion::kExclusive), 3.0);
+  EXPECT_EQ(view.GetQuantile(1.0, Criterion::kInclusive), 4.0);
+  EXPECT_EQ(view.GetQuantile(1.0, Criterion::kExclusive), 4.0);
+}
+
+// Rank and quantile are (approximate) inverses under the same criterion.
+TEST(CriterionSemanticsTest, RankQuantileInverseUnderBothCriteria) {
+  ReqSketch<double> sketch(MakeConfig(7));
+  util::Xoshiro256 rng(8);
+  for (int i = 0; i < 80000; ++i) sketch.Update(rng.NextDouble());
+  for (Criterion criterion :
+       {Criterion::kInclusive, Criterion::kExclusive}) {
+    for (double q : {0.1, 0.5, 0.9}) {
+      const double item = sketch.GetQuantile(q, criterion);
+      const double back = sketch.GetNormalizedRank(item, criterion);
+      EXPECT_NEAR(back, q, 0.03)
+          << "criterion="
+          << (criterion == Criterion::kInclusive ? "incl" : "excl")
+          << " q=" << q;
+    }
+  }
+}
+
+// CDF under exclusive criterion is still monotone and ends at 1.
+TEST(CriterionSemanticsTest, ExclusiveCdf) {
+  ReqSketch<double> sketch(MakeConfig(9));
+  util::Xoshiro256 rng(10);
+  for (int i = 0; i < 50000; ++i) {
+    sketch.Update(static_cast<double>(rng.NextBounded(5)));
+  }
+  const auto cdf = sketch.GetCDF({0.0, 1.0, 2.0, 3.0, 4.0},
+                                 Criterion::kExclusive);
+  // Exclusive rank of 0.0 is 0: nothing is < 0.
+  EXPECT_DOUBLE_EQ(cdf[0], 0.0);
+  for (size_t i = 0; i + 1 < cdf.size(); ++i) EXPECT_LE(cdf[i], cdf[i + 1]);
+  EXPECT_DOUBLE_EQ(cdf.back(), 1.0);
+}
+
+}  // namespace
+}  // namespace req

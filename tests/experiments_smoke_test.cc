@@ -1,0 +1,257 @@
+// Miniature versions of the E1..E12 experiment claims, run as assertions:
+// if a code change breaks one of the shapes EXPERIMENTS.md reports, this
+// suite fails in CI rather than silently producing a different table.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/ckms_sketch.h"
+#include "baselines/kll_sketch.h"
+#include "baselines/zhang_wang_sketch.h"
+#include "core/req_chain.h"
+#include "core/req_common.h"
+#include "core/req_sketch.h"
+#include "core/theory.h"
+#include "sim/merge_tree.h"
+#include "sim/metrics.h"
+#include "workload/distributions.h"
+#include "workload/latency_model.h"
+#include "workload/stream_orders.h"
+
+namespace req {
+namespace {
+
+ReqConfig Hra(uint32_t k, uint64_t seed) {
+  ReqConfig config;
+  config.k_base = k;
+  config.accuracy = RankAccuracy::kHighRanks;
+  config.seed = seed;
+  return config;
+}
+
+// E1: at equal space on a heavy-tailed stream, REQ's tail error is an
+// order of magnitude below KLL's.
+TEST(ExperimentsSmokeTest, E1TailSeparation) {
+  const size_t n = 1 << 17;
+  workload::LatencyModel model;
+  const auto values = model.GenerateTrace(n, 1);
+  ReqSketch<double> req_sketch(Hra(32, 2));
+  for (double v : values) req_sketch.Update(v);
+  baselines::KllSketch kll(
+      static_cast<uint32_t>(req_sketch.RetainedItems() / 3), 3);
+  for (double v : values) kll.Update(v);
+
+  sim::RankOracle oracle(values);
+  // Compare max relative error over the top 1% of ranks.
+  double req_worst = 0, kll_worst = 0;
+  for (uint64_t d : {10ull, 100ull, 1000ull}) {
+    const double item = oracle.ItemAtRank(n - d);
+    const uint64_t exact = oracle.RankInclusive(item);
+    const double denom = static_cast<double>(n - exact + 1);
+    req_worst = std::max(
+        req_worst, std::abs(static_cast<double>(req_sketch.GetRank(item)) -
+                            static_cast<double>(exact)) /
+                       denom);
+    kll_worst = std::max(
+        kll_worst, std::abs(static_cast<double>(kll.GetRank(item)) -
+                            static_cast<double>(exact)) /
+                       denom);
+  }
+  EXPECT_LT(req_worst, 0.05);
+  EXPECT_GT(kll_worst, 5 * req_worst);
+}
+
+// E2: doubling k halves the mean error (with slack).
+TEST(ExperimentsSmokeTest, E2ErrorScalesInverselyWithK) {
+  const size_t n = 1 << 17;
+  const auto values = workload::GenerateUniform(n, 4);
+  sim::RankOracle oracle(values);
+  const auto grid = sim::GeometricRankGrid(n, true);
+  double errs[2];
+  const uint32_t ks[2] = {16, 64};
+  for (int i = 0; i < 2; ++i) {
+    double total = 0;
+    for (uint64_t seed = 0; seed < 4; ++seed) {
+      ReqSketch<double> sketch(Hra(ks[i], 10 + seed));
+      for (double v : values) sketch.Update(v);
+      total += sim::Summarize(
+                   sim::EvaluateRankErrors(
+                       oracle,
+                       [&](double y) { return sketch.GetRank(y); }, grid,
+                       true))
+                   .mean_relative_error;
+    }
+    errs[i] = total / 4;
+  }
+  // 4x the k should give ~4x less error; require at least 2.5x.
+  EXPECT_LT(errs[1] * 2.5, errs[0]);
+}
+
+// E3: retained items grow far slower than n (log-ish), and the per-epoch
+// normalized ratio is stable.
+TEST(ExperimentsSmokeTest, E3SpaceSubpolynomial) {
+  size_t retained_small = 0, retained_large = 0;
+  {
+    ReqSketch<double> sketch(Hra(32, 5));
+    for (double v : workload::GenerateUniform(1 << 14, 6)) sketch.Update(v);
+    retained_small = sketch.RetainedItems();
+  }
+  {
+    ReqSketch<double> sketch(Hra(32, 5));
+    for (double v : workload::GenerateUniform(1 << 20, 7)) sketch.Update(v);
+    retained_large = sketch.RetainedItems();
+  }
+  // n grew 64x; space must grow < 4x.
+  EXPECT_LT(retained_large, 4 * retained_small);
+}
+
+// E5: a 32-way random-tree merge stays within 3x of streaming error.
+TEST(ExperimentsSmokeTest, E5MergeTreeAccuracy) {
+  const size_t n = 1 << 17;
+  const auto values = workload::GenerateUniform(n, 8);
+  sim::RankOracle oracle(values);
+  const auto grid = sim::GeometricRankGrid(n, true);
+
+  ReqSketch<double> streaming(Hra(32, 9));
+  for (double v : values) streaming.Update(v);
+  const double base =
+      sim::Summarize(sim::EvaluateRankErrors(
+                         oracle,
+                         [&](double y) { return streaming.GetRank(y); },
+                         grid, true))
+          .max_relative_error;
+
+  auto merged = sim::BuildAndMerge<ReqSketch<double>>(
+      sim::SplitStream(values, 32),
+      [](size_t p) { return ReqSketch<double>(Hra(32, 100 + p)); },
+      sim::MergeTopology::kRandomTree, 10);
+  const double merged_err =
+      sim::Summarize(sim::EvaluateRankErrors(
+                         oracle,
+                         [&](double y) { return merged.GetRank(y); },
+                         grid, true))
+          .max_relative_error;
+  EXPECT_LT(merged_err, std::max(3 * base, 0.02));
+}
+
+// E6: zoom-in blows up CKMS but not REQ.
+TEST(ExperimentsSmokeTest, E6CkmsZoomInBlowup) {
+  const size_t n = 16000;
+  auto values = workload::GenerateSequential(n);
+  workload::ApplyOrder(&values, workload::OrderKind::kZoomIn, 11);
+  baselines::CkmsSketch ckms(0.05);
+  ReqConfig config;
+  config.k_base = 32;
+  config.accuracy = RankAccuracy::kLowRanks;
+  config.seed = 12;
+  ReqSketch<double> req_sketch(config);
+  for (double v : values) {
+    ckms.Update(v);
+    req_sketch.Update(v);
+  }
+  EXPECT_GT(ckms.RetainedItems(), n / 4);
+  EXPECT_LT(req_sketch.RetainedItems(), n / 4);
+}
+
+// E8: unknown-n schemes track known-n accuracy.
+TEST(ExperimentsSmokeTest, E8UnknownNParity) {
+  const size_t n = 1 << 18;
+  const auto values = workload::GenerateUniform(n, 13);
+  sim::RankOracle oracle(values);
+  const auto grid = sim::GeometricRankGrid(n, true);
+
+  ReqConfig known = Hra(32, 14);
+  known.n_hint = n;
+  ReqSketch<double> known_sketch(known);
+  ReqSketch<double> grow_sketch(Hra(32, 15));
+  ReqChain<double> chain(Hra(32, 16));
+  for (double v : values) {
+    known_sketch.Update(v);
+    grow_sketch.Update(v);
+    chain.Update(v);
+  }
+  const auto err = [&](const std::function<uint64_t(double)>& rank) {
+    return sim::Summarize(
+               sim::EvaluateRankErrors(oracle, rank, grid, true))
+        .max_relative_error;
+  };
+  const double e_known = err([&](double y) { return known_sketch.GetRank(y); });
+  const double e_grow = err([&](double y) { return grow_sketch.GetRank(y); });
+  const double e_chain = err([&](double y) { return chain.GetRank(y); });
+  EXPECT_LT(e_grow, std::max(3 * e_known, 0.03));
+  EXPECT_LT(e_chain, std::max(3 * e_known, 0.03));
+}
+
+// E9: on a shuffled stream, the exponential schedule beats the uniform
+// schedule at equal k.
+TEST(ExperimentsSmokeTest, E9ExponentialBeatsUniform) {
+  const size_t n = 1 << 18;
+  auto values = workload::GenerateSequential(n);
+  workload::Shuffle(&values, 17);
+  sim::RankOracle oracle(values);
+  const auto grid = sim::GeometricRankGrid(n, true);
+
+  double errs[2];
+  const SchedulePolicy policies[2] = {SchedulePolicy::kExponential,
+                                      SchedulePolicy::kUniform};
+  for (int i = 0; i < 2; ++i) {
+    double total = 0;
+    for (uint64_t seed = 0; seed < 3; ++seed) {
+      ReqConfig config = Hra(16, 200 + seed);
+      config.schedule = policies[i];
+      ReqSketch<double> sketch(config);
+      for (double v : values) sketch.Update(v);
+      total += sim::Summarize(
+                   sim::EvaluateRankErrors(
+                       oracle,
+                       [&](double y) { return sketch.GetRank(y); }, grid,
+                       true))
+                   .mean_relative_error;
+    }
+    errs[i] = total / 3;
+  }
+  EXPECT_LT(errs[0] * 1.5, errs[1]);
+}
+
+// E11: deterministic coin mode is reproducible bit-for-bit and bounded.
+TEST(ExperimentsSmokeTest, E11DeterministicMode) {
+  const size_t n = 1 << 16;
+  auto values = workload::GenerateSequential(n);
+  workload::Shuffle(&values, 18);
+  ReqConfig config = Hra(32, 1);
+  config.coin = CoinMode::kDeterministic;
+  ReqSketch<double> a(config), b(config);
+  for (double v : values) {
+    a.Update(v);
+    b.Update(v);
+  }
+  // Identical regardless of seeds (no randomness consumed).
+  for (double q : {0.1, 0.5, 0.9, 0.99}) {
+    EXPECT_EQ(a.GetQuantile(q), b.GetQuantile(q));
+  }
+  sim::RankOracle oracle(values);
+  const auto summary = sim::Summarize(sim::EvaluateRankErrors(
+      oracle, [&](double y) { return a.GetRank(y); },
+      sim::GeometricRankGrid(n, true), true));
+  EXPECT_LT(summary.max_relative_error, 0.15);
+}
+
+// E12: boosted k drives the all-quantiles failure rate to ~zero.
+TEST(ExperimentsSmokeTest, E12AllQuantiles) {
+  const size_t n = 1 << 16;
+  const auto values = workload::GenerateLognormal(n, 19);
+  sim::RankOracle oracle(values);
+  const auto grid = sim::GeometricRankGrid(n, true, 1.2);
+  int failures = 0;
+  for (int trial = 0; trial < 10; ++trial) {
+    ReqSketch<double> sketch(Hra(48, 500 + trial));
+    for (double v : values) sketch.Update(v);
+    const auto summary = sim::Summarize(sim::EvaluateRankErrors(
+        oracle, [&](double y) { return sketch.GetRank(y); }, grid, true));
+    if (summary.max_relative_error > 0.05) ++failures;
+  }
+  EXPECT_EQ(failures, 0);
+}
+
+}  // namespace
+}  // namespace req

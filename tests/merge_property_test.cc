@@ -1,0 +1,108 @@
+// Parameterized merge sweep (Theorem 3): part counts x topologies x
+// distributions. Checks exact bookkeeping (n, weights, extremes) and the
+// statistical error envelope for every combination.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <tuple>
+
+#include "core/req_common.h"
+#include "core/req_sketch.h"
+#include "sim/merge_tree.h"
+#include "sim/metrics.h"
+#include "workload/distributions.h"
+
+namespace req {
+namespace {
+
+using workload::DistKind;
+
+using MergeParam = std::tuple<size_t /*parts*/, sim::MergeTopology, DistKind>;
+
+class MergeSweep : public ::testing::TestWithParam<MergeParam> {
+ protected:
+  static constexpr size_t kN = 40000;
+  static constexpr uint32_t kBase = 32;
+
+  ReqSketch<double> BuildMerged(const std::vector<double>& values) const {
+    const auto& [parts, topology, dist] = GetParam();
+    const auto split = sim::SplitStream(values, parts);
+    return sim::BuildAndMerge<ReqSketch<double>>(
+        split,
+        [&](size_t p) {
+          ReqConfig config;
+          config.k_base = kBase;
+          config.accuracy = RankAccuracy::kHighRanks;
+          config.seed = 7000 + p;
+          return ReqSketch<double>(config);
+        },
+        topology, /*seed=*/99);
+  }
+
+  std::vector<double> MakeStream() const {
+    const auto& [parts, topology, dist] = GetParam();
+    return workload::Generate(dist, kN, /*seed=*/31337);
+  }
+};
+
+TEST_P(MergeSweep, ExactBookkeeping) {
+  const auto values = MakeStream();
+  const auto sketch = BuildMerged(values);
+  EXPECT_EQ(sketch.n(), values.size());
+  EXPECT_EQ(sketch.TotalWeight(), values.size());
+  EXPECT_EQ(sketch.MinItem(), *std::min_element(values.begin(),
+                                                values.end()));
+  EXPECT_EQ(sketch.MaxItem(), *std::max_element(values.begin(),
+                                                values.end()));
+  EXPECT_EQ(sketch.GetRank(sketch.MaxItem()), sketch.n());
+}
+
+TEST_P(MergeSweep, ErrorEnvelope) {
+  const auto values = MakeStream();
+  const auto sketch = BuildMerged(values);
+  sim::RankOracle oracle(values);
+  const auto grid = sim::GeometricRankGrid(values.size(), true);
+  const auto samples = sim::EvaluateRankErrors(
+      oracle, [&](double y) { return sketch.GetRank(y); }, grid, true);
+  const auto summary = sim::Summarize(samples);
+  EXPECT_LT(summary.max_relative_error, 6.0 * sketch.RelativeStdErr());
+}
+
+TEST_P(MergeSweep, SpaceAtStreamingLevel) {
+  const auto values = MakeStream();
+  const auto merged = BuildMerged(values);
+  ReqConfig config;
+  config.k_base = kBase;
+  config.accuracy = RankAccuracy::kHighRanks;
+  config.seed = 1;
+  ReqSketch<double> streaming(config);
+  for (double v : values) streaming.Update(v);
+  // Theorem 3: merged size within a small factor of streaming.
+  EXPECT_LT(merged.RetainedItems(), 2 * streaming.RetainedItems());
+}
+
+std::string MergeParamName(
+    const ::testing::TestParamInfo<MergeParam>& info) {
+  const auto& [parts, topology, dist] = info.param;
+  std::string name = "p" + std::to_string(parts) + "_" +
+                     sim::TopologyName(topology) + "_" +
+                     workload::DistName(dist);
+  for (char& c : name) {
+    if (c == '-') c = '_';
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MergeSweep,
+    ::testing::Combine(
+        ::testing::Values(size_t{2}, size_t{7}, size_t{32}, size_t{100}),
+        ::testing::Values(sim::MergeTopology::kLeftDeep,
+                          sim::MergeTopology::kBalanced,
+                          sim::MergeTopology::kRandomTree),
+        ::testing::Values(DistKind::kUniform, DistKind::kPareto)),
+    MergeParamName);
+
+}  // namespace
+}  // namespace req

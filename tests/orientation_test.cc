@@ -1,0 +1,155 @@
+// HRA vs LRA orientation: the paper defines the algorithm accurate at low
+// ranks (LRA) and notes (Section 1) that reversing the comparator yields
+// accuracy at high ranks. Our HRA mode implements that natively; these
+// tests pin down the symmetry between the two constructions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include "core/req_common.h"
+#include "core/req_sketch.h"
+#include "sim/metrics.h"
+#include "workload/distributions.h"
+#include "workload/stream_orders.h"
+
+namespace req {
+namespace {
+
+constexpr size_t kN = 80000;
+
+ReqConfig MakeConfig(RankAccuracy acc, uint64_t seed = 3) {
+  ReqConfig config;
+  config.k_base = 32;
+  config.accuracy = acc;
+  config.seed = seed;
+  return config;
+}
+
+// The native HRA sketch should behave like the paper's construction: an
+// LRA sketch over the reversed total order.
+TEST(OrientationTest, HraMatchesLraWithReversedComparator) {
+  auto values = workload::GenerateSequential(kN);
+  workload::Shuffle(&values, 7);
+
+  ReqSketch<double> hra(MakeConfig(RankAccuracy::kHighRanks, 11));
+  ReqSketch<double, std::greater<double>> lra_reversed(
+      MakeConfig(RankAccuracy::kLowRanks, 11), std::greater<double>());
+  for (double v : values) {
+    hra.Update(v);
+    lra_reversed.Update(v);
+  }
+
+  // For any y: HRA-inclusive-rank(y) counts items <= y; under the reversed
+  // order, items "<= y" are items >= y, so the mapped estimate is
+  //   n - lra_reversed.GetRank(y, excl).
+  // The two sketches are distributionally equivalent, not bitwise equal
+  // (their compactions consume randomness differently), so compare both
+  // against the exact rank with the HRA-style denominator.
+  for (double y : {100.0, 1000.0, 40000.0, 79000.0, 79990.0}) {
+    const uint64_t exact = static_cast<uint64_t>(y) + 1;  // 0..n-1 values
+    const double denom = static_cast<double>(kN - exact + 1);
+    const double hra_est =
+        static_cast<double>(hra.GetRank(y, Criterion::kInclusive));
+    const double mapped_est = static_cast<double>(
+        kN - lra_reversed.GetRank(y, Criterion::kExclusive));
+    EXPECT_LE(std::abs(hra_est - exact), 0.05 * denom + 1) << "y=" << y;
+    EXPECT_LE(std::abs(mapped_est - exact), 0.05 * denom + 1) << "y=" << y;
+    // And the two estimates agree with each other to the same tolerance.
+    EXPECT_LE(std::abs(hra_est - mapped_est), 0.1 * denom + 2) << "y=" << y;
+  }
+}
+
+// Error profiles are mirror images: HRA is exact near the max, LRA near
+// the min, and each degrades toward its far end.
+TEST(OrientationTest, ErrorProfilesMirror) {
+  auto values = workload::GenerateSequential(kN);
+  workload::Shuffle(&values, 9);
+  sim::RankOracle oracle(values);
+
+  ReqSketch<double> hra(MakeConfig(RankAccuracy::kHighRanks, 5));
+  ReqSketch<double> lra(MakeConfig(RankAccuracy::kLowRanks, 5));
+  for (double v : values) {
+    hra.Update(v);
+    lra.Update(v);
+  }
+
+  // Top 50 ranks exact for HRA, bottom 50 exact for LRA.
+  for (uint64_t d = 0; d < 50; ++d) {
+    const double top_item = oracle.ItemAtRank(kN - d);
+    EXPECT_EQ(hra.GetRank(top_item), kN - d) << "top distance " << d;
+    const double bottom_item = oracle.ItemAtRank(d + 1);
+    EXPECT_EQ(lra.GetRank(bottom_item), d + 1) << "bottom rank " << d + 1;
+  }
+
+  // Each orientation beats the other at its own end (statistically).
+  const auto high_grid = sim::GeometricRankGrid(kN, true);
+  const auto low_grid = sim::GeometricRankGrid(kN, false);
+  const auto hra_at_top = sim::Summarize(sim::EvaluateRankErrors(
+      oracle, [&](double y) { return hra.GetRank(y); }, high_grid, true));
+  const auto lra_at_top = sim::Summarize(sim::EvaluateRankErrors(
+      oracle, [&](double y) { return lra.GetRank(y); }, high_grid, true));
+  const auto hra_at_bottom = sim::Summarize(sim::EvaluateRankErrors(
+      oracle, [&](double y) { return hra.GetRank(y); }, low_grid, false));
+  const auto lra_at_bottom = sim::Summarize(sim::EvaluateRankErrors(
+      oracle, [&](double y) { return lra.GetRank(y); }, low_grid, false));
+  EXPECT_LT(hra_at_top.max_relative_error, lra_at_top.max_relative_error);
+  EXPECT_LT(lra_at_bottom.max_relative_error,
+            hra_at_bottom.max_relative_error);
+}
+
+// Both orientations agree (within additive noise) in the middle of the
+// distribution, where neither has a special claim.
+TEST(OrientationTest, MiddleRanksComparable) {
+  const auto values = workload::GenerateUniform(kN, 13);
+  ReqSketch<double> hra(MakeConfig(RankAccuracy::kHighRanks, 6));
+  ReqSketch<double> lra(MakeConfig(RankAccuracy::kLowRanks, 6));
+  for (double v : values) {
+    hra.Update(v);
+    lra.Update(v);
+  }
+  for (double y : {0.3, 0.5, 0.7}) {
+    const double h = hra.GetNormalizedRank(y);
+    const double l = lra.GetNormalizedRank(y);
+    EXPECT_NEAR(h, l, 0.02) << "y=" << y;
+    EXPECT_NEAR(h, y, 0.02) << "y=" << y;
+  }
+}
+
+// Merging respects orientation: two HRA sketches merge into an HRA sketch
+// whose top ranks stay exact.
+TEST(OrientationTest, MergePreservesProtectedEnd) {
+  ReqSketch<double> a(MakeConfig(RankAccuracy::kHighRanks, 20));
+  ReqSketch<double> b(MakeConfig(RankAccuracy::kHighRanks, 21));
+  auto values = workload::GenerateSequential(kN);
+  workload::Shuffle(&values, 22);
+  for (size_t i = 0; i < values.size(); ++i) {
+    (i % 2 == 0 ? a : b).Update(values[i]);
+  }
+  a.Merge(b);
+  for (uint64_t d = 0; d < 20; ++d) {
+    EXPECT_EQ(a.GetRank(static_cast<double>(kN - 1 - d)), kN - d);
+  }
+}
+
+// Orientation changes which extreme quantile queries are sharpest, but
+// GetQuantile(0) / GetQuantile(1) are exact for both (tracked min/max).
+TEST(OrientationTest, ExtremeQuantilesExactBothWays) {
+  const auto values = workload::GeneratePareto(kN, 17, 1.0, 1.0);
+  for (RankAccuracy acc :
+       {RankAccuracy::kHighRanks, RankAccuracy::kLowRanks}) {
+    ReqSketch<double> sketch(MakeConfig(acc, 30));
+    double lo = values[0], hi = values[0];
+    for (double v : values) {
+      sketch.Update(v);
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    EXPECT_EQ(sketch.GetQuantile(0.0), lo);
+    EXPECT_EQ(sketch.GetQuantile(1.0), hi);
+  }
+}
+
+}  // namespace
+}  // namespace req

@@ -1,0 +1,121 @@
+#include "util/random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace req {
+namespace util {
+namespace {
+
+TEST(SplitMix64Test, DeterministicAndDistinct) {
+  SplitMix64 a(42), b(42), c(43);
+  const uint64_t a1 = a.Next();
+  EXPECT_EQ(a1, b.Next());
+  EXPECT_NE(a1, c.Next());
+  // Known reference value for seed 0 (SplitMix64 is a fixed algorithm).
+  SplitMix64 zero(0);
+  EXPECT_EQ(zero.Next(), 0xe220a8397b1dcdafULL);
+}
+
+TEST(Xoshiro256Test, DeterministicPerSeed) {
+  Xoshiro256 a(7), b(7), c(8);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+  bool any_different = false;
+  Xoshiro256 a2(7);
+  for (int i = 0; i < 100; ++i) {
+    if (a2.Next() != c.Next()) any_different = true;
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(Xoshiro256Test, DoubleInUnitInterval) {
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Xoshiro256Test, DoubleMeanNearHalf) {
+  Xoshiro256 rng(2);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.NextDouble();
+  // Std error ~ 1/sqrt(12 n) ~ 0.0009; 5 sigma margin.
+  EXPECT_NEAR(sum / n, 0.5, 0.005);
+}
+
+TEST(Xoshiro256Test, BitIsFair) {
+  Xoshiro256 rng(3);
+  int ones = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ones += rng.NextBit() ? 1 : 0;
+  // Binomial std dev = sqrt(n)/2 ~ 158; allow 5 sigma.
+  EXPECT_NEAR(ones, n / 2, 800);
+}
+
+TEST(Xoshiro256Test, BoundedInRangeAndRoughlyUniform) {
+  Xoshiro256 rng(4);
+  const uint64_t bound = 10;
+  std::vector<int> counts(bound, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const uint64_t x = rng.NextBounded(bound);
+    ASSERT_LT(x, bound);
+    ++counts[x];
+  }
+  for (uint64_t b = 0; b < bound; ++b) {
+    // Expected 10000 per bucket, sigma ~ 95; 6 sigma margin.
+    EXPECT_NEAR(counts[b], n / static_cast<int>(bound), 600) << "bucket " << b;
+  }
+}
+
+TEST(Xoshiro256Test, BoundedOne) {
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.NextBounded(1), 0u);
+}
+
+TEST(Xoshiro256Test, GaussianMoments) {
+  Xoshiro256 rng(6);
+  const int n = 200000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.NextGaussian();
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(Xoshiro256Test, JumpProducesDisjointStream) {
+  Xoshiro256 a(9);
+  Xoshiro256 b(9);
+  b.Jump();
+  std::set<uint64_t> first;
+  for (int i = 0; i < 1000; ++i) first.insert(a.Next());
+  int collisions = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (first.count(b.Next())) ++collisions;
+  }
+  EXPECT_EQ(collisions, 0);
+}
+
+TEST(Xoshiro256Test, UsableWithStdAdapters) {
+  Xoshiro256 rng(10);
+  static_assert(Xoshiro256::min() == 0);
+  static_assert(Xoshiro256::max() == ~uint64_t{0});
+  EXPECT_NE(rng(), rng());
+}
+
+}  // namespace
+}  // namespace util
+}  // namespace req

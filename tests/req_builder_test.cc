@@ -1,0 +1,115 @@
+#include "core/req_builder.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/req_common.h"
+#include "sim/metrics.h"
+#include "workload/distributions.h"
+
+namespace req {
+namespace {
+
+TEST(ReqBuilderTest, ExplicitKPassesThrough) {
+  const ReqConfig config = ReqSketchBuilder().SetKBase(48).ResolveConfig();
+  EXPECT_EQ(config.k_base, 48u);
+}
+
+TEST(ReqBuilderTest, FluentSettersCompose) {
+  const ReqConfig config = ReqSketchBuilder()
+                               .SetKBase(32)
+                               .SetLowRankAccuracy()
+                               .SetNHint(1 << 20)
+                               .SetSeed(777)
+                               .SetDeterministic(true)
+                               .ResolveConfig();
+  EXPECT_EQ(config.k_base, 32u);
+  EXPECT_EQ(config.accuracy, RankAccuracy::kLowRanks);
+  EXPECT_EQ(config.n_hint, uint64_t{1} << 20);
+  EXPECT_EQ(config.seed, 777u);
+  EXPECT_EQ(config.coin, CoinMode::kDeterministic);
+}
+
+TEST(ReqBuilderTest, AccuracyTargetDerivesEvenK) {
+  for (double eps : {0.001, 0.01, 0.05, 0.2}) {
+    for (double delta : {0.5, 0.1, 0.01, 1e-6}) {
+      const ReqConfig config = ReqSketchBuilder()
+                                   .SetAccuracyTarget(eps, delta)
+                                   .ResolveConfig();
+      EXPECT_EQ(config.k_base % 2, 0u) << eps << "," << delta;
+      EXPECT_GE(config.k_base, params::kMinK);
+    }
+  }
+}
+
+TEST(ReqBuilderTest, TighterTargetsLargerK) {
+  const auto k_at = [](double eps, double delta) {
+    return ReqSketchBuilder().SetAccuracyTarget(eps, delta)
+        .ResolveConfig().k_base;
+  };
+  EXPECT_GT(k_at(0.005, 0.1), k_at(0.01, 0.1));
+  EXPECT_GT(k_at(0.01, 0.001), k_at(0.01, 0.1));
+  EXPECT_GT(k_at(0.01, 0.1), k_at(0.1, 0.1));
+}
+
+TEST(ReqBuilderTest, AllQuantilesBoostsK) {
+  const uint32_t plain = ReqSketchBuilder()
+                             .SetAccuracyTarget(0.02, 0.1)
+                             .ResolveConfig()
+                             .k_base;
+  const uint32_t boosted = ReqSketchBuilder()
+                               .SetAccuracyTarget(0.02, 0.1)
+                               .SetAllQuantiles(true)
+                               .ResolveConfig()
+                               .k_base;
+  EXPECT_GT(boosted, 2 * plain);
+}
+
+TEST(ReqBuilderTest, RejectsBadTargets) {
+  ReqSketchBuilder builder;
+  EXPECT_THROW(builder.SetAccuracyTarget(0.0, 0.1), std::invalid_argument);
+  EXPECT_THROW(builder.SetAccuracyTarget(1.5, 0.1), std::invalid_argument);
+  EXPECT_THROW(builder.SetAccuracyTarget(0.1, 0.0), std::invalid_argument);
+  EXPECT_THROW(builder.SetAccuracyTarget(0.1, 0.9), std::invalid_argument);
+}
+
+// End-to-end: the derived k actually delivers the requested accuracy.
+TEST(ReqBuilderTest, DerivedKMeetsTargetEmpirically) {
+  const double eps = 0.05, delta = 0.05;
+  const size_t n = 100000;
+  const auto values = workload::GenerateUniform(n, 42);
+  sim::RankOracle oracle(values);
+  const auto grid = sim::UniformRankGrid(n, 12);
+
+  int failures = 0;
+  const int trials = 30;
+  for (int trial = 0; trial < trials; ++trial) {
+    auto sketch = ReqSketchBuilder()
+                      .SetAccuracyTarget(eps, delta)
+                      .SetHighRankAccuracy()
+                      .SetSeed(9000 + trial)
+                      .Build<double>();
+    for (double v : values) sketch.Update(v);
+    // Single-quantile guarantee: check one fixed tail item per trial.
+    const double item = oracle.ItemAtRank(n - n / 16);
+    const uint64_t exact = oracle.RankInclusive(item);
+    const double rel = std::abs(static_cast<double>(sketch.GetRank(item)) -
+                                static_cast<double>(exact)) /
+                       static_cast<double>(n - exact + 1);
+    if (rel > eps) ++failures;
+  }
+  // Expected failure rate <= delta (5%); allow sampling slack over 30
+  // trials (binomial: >4 failures is a ~0.2% event at p=0.05).
+  EXPECT_LE(failures, 4);
+}
+
+TEST(ReqBuilderTest, BuildWithCustomComparator) {
+  auto sketch = ReqSketchBuilder().SetKBase(16).Build<double,
+      std::greater<double>>(std::greater<double>());
+  for (int i = 0; i < 100; ++i) sketch.Update(static_cast<double>(i));
+  EXPECT_EQ(sketch.MinItem(), 99.0);  // reversed order
+}
+
+}  // namespace
+}  // namespace req

@@ -1,0 +1,99 @@
+// Tests for the Section 5 close-out chain (ReqChain).
+#include "core/req_chain.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/req_common.h"
+#include "sim/metrics.h"
+#include "workload/distributions.h"
+#include "workload/stream_orders.h"
+
+namespace req {
+namespace {
+
+ReqConfig MakeConfig(uint32_t k_base = 16, uint64_t seed = 3) {
+  ReqConfig config;
+  config.k_base = k_base;
+  config.seed = seed;
+  return config;
+}
+
+TEST(ReqChainTest, EmptyChain) {
+  ReqChain<double> chain(MakeConfig());
+  EXPECT_TRUE(chain.is_empty());
+  EXPECT_EQ(chain.num_summaries(), 1u);
+  EXPECT_THROW(chain.GetRank(1.0), std::logic_error);
+  EXPECT_THROW(chain.GetQuantile(0.5), std::logic_error);
+}
+
+TEST(ReqChainTest, SmallStreamSingleSummary) {
+  ReqChain<double> chain(MakeConfig());
+  for (int i = 0; i < 50; ++i) chain.Update(static_cast<double>(i));
+  EXPECT_EQ(chain.num_summaries(), 1u);
+  EXPECT_EQ(chain.n(), 50u);
+  EXPECT_EQ(chain.GetRank(24.0), 25u);
+}
+
+TEST(ReqChainTest, SummariesOpenAsStreamGrows) {
+  ReqChain<double> chain(MakeConfig(16));
+  const uint64_t n0 = params::InitialN(16);  // 128
+  const auto values = workload::GenerateUniform(
+      static_cast<size_t>(n0 * n0 + 100), 1);
+  for (double v : values) chain.Update(v);
+  // Crossed N0 and N0^2: three summaries.
+  EXPECT_EQ(chain.num_summaries(), 3u);
+  EXPECT_EQ(chain.n(), values.size());
+}
+
+TEST(ReqChainTest, DoubleLogSummaryCount) {
+  ReqChain<double> chain(MakeConfig(16));
+  const auto values = workload::GenerateUniform(500000, 2);
+  for (double v : values) chain.Update(v);
+  // log2 log2 growth: 128 -> 16384 -> 2.7e8; 500k needs 3 summaries.
+  EXPECT_LE(chain.num_summaries(), 3u);
+}
+
+TEST(ReqChainTest, RankIsSumOfSummaries) {
+  ReqChain<double> chain(MakeConfig(32));
+  const size_t n = 150000;
+  const auto values = workload::GenerateUniform(n, 3);
+  for (double v : values) chain.Update(v);
+  sim::RankOracle oracle(values);
+  const auto grid = sim::GeometricRankGrid(n, true);
+  const auto samples = sim::EvaluateRankErrors(
+      oracle, [&](double y) { return chain.GetRank(y); }, grid, true);
+  const auto summary = sim::Summarize(samples);
+  // Section 5: per-summary relative error implies total relative error.
+  EXPECT_LT(summary.max_relative_error, 0.5);
+  EXPECT_LT(summary.mean_relative_error, 0.12);
+}
+
+TEST(ReqChainTest, QuantileAcrossSummaries) {
+  ReqChain<double> chain(MakeConfig(32));
+  const size_t n = 100000;
+  auto values = workload::GenerateSequential(n);
+  workload::Shuffle(&values, 4);
+  for (double v : values) chain.Update(v);
+  for (double q : {0.1, 0.5, 0.9}) {
+    const double v = chain.GetQuantile(q);
+    EXPECT_NEAR(v / static_cast<double>(n), q, 0.05) << "q=" << q;
+  }
+}
+
+TEST(ReqChainTest, SpaceComparableToInPlaceGrowth) {
+  ReqChain<double> chain(MakeConfig(16));
+  ReqSketch<double> inplace(MakeConfig(16));
+  const auto values = workload::GenerateUniform(300000, 5);
+  for (double v : values) {
+    chain.Update(v);
+    inplace.Update(v);
+  }
+  // The chain stores all closed summaries; Section 5 argues the total is
+  // dominated by the last summary (constant-factor overhead).
+  EXPECT_LT(chain.RetainedItems(), 5 * inplace.RetainedItems());
+}
+
+}  // namespace
+}  // namespace req

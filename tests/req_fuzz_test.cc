@@ -1,0 +1,151 @@
+// Failure injection: corrupted serialized payloads must never crash --
+// every byte flip either throws one of the library's exception types or
+// yields a sketch that still satisfies basic invariants. Also stresses the
+// sketch with long streams and randomized interleavings of update / merge /
+// serde operations.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "core/req_common.h"
+#include "core/req_serde.h"
+#include "core/req_sketch.h"
+#include "util/random.h"
+#include "workload/distributions.h"
+
+namespace req {
+namespace {
+
+ReqConfig MakeConfig(uint32_t k_base = 16, uint64_t seed = 1) {
+  ReqConfig config;
+  config.k_base = k_base;
+  config.seed = seed;
+  return config;
+}
+
+TEST(ReqFuzzTest, SingleByteCorruptionNeverCrashes) {
+  ReqSketch<double> sketch(MakeConfig());
+  const auto values = workload::GenerateUniform(20000, 2);
+  for (double v : values) sketch.Update(v);
+  const auto bytes = SerializeSketch(sketch);
+
+  util::Xoshiro256 rng(3);
+  int threw = 0, survived = 0;
+  for (int trial = 0; trial < 300; ++trial) {
+    auto corrupted = bytes;
+    // Half the trials target the header (where corruption is detectable);
+    // the rest hit the item payload (where flips are benign value edits).
+    const size_t pos = (trial % 2 == 0)
+                           ? rng.NextBounded(24)
+                           : rng.NextBounded(corrupted.size());
+    corrupted[pos] ^= static_cast<uint8_t>(1 + rng.NextBounded(255));
+    try {
+      auto restored = DeserializeSketch<double>(corrupted);
+      // If it deserialized, the basic invariant must hold (the weight
+      // check passed) and queries must not crash.
+      if (!restored.is_empty()) {
+        (void)restored.GetRank(0.5);
+        (void)restored.GetQuantile(0.5);
+      }
+      ++survived;
+    } catch (const std::runtime_error&) {
+      ++threw;
+    } catch (const std::invalid_argument&) {
+      ++threw;
+    } catch (const std::logic_error&) {
+      ++threw;
+    }
+  }
+  // Most flips hit item payload bytes (benign); header/state flips throw.
+  EXPECT_EQ(threw + survived, 300);
+  EXPECT_GT(threw, 0);
+}
+
+TEST(ReqFuzzTest, TruncationAtEveryPrefixLengthIsSafe) {
+  ReqSketch<double> sketch(MakeConfig());
+  for (int i = 0; i < 5000; ++i) sketch.Update(static_cast<double>(i));
+  const auto bytes = SerializeSketch(sketch);
+  // Step through prefix lengths (stride keeps runtime sane).
+  for (size_t len = 0; len < bytes.size(); len += 7) {
+    std::vector<uint8_t> prefix(bytes.begin(),
+                                bytes.begin() + static_cast<ptrdiff_t>(len));
+    EXPECT_THROW(DeserializeSketch<double>(prefix), std::exception)
+        << "prefix length " << len;
+  }
+}
+
+TEST(ReqFuzzTest, RandomOperationInterleaving) {
+  // Randomized workload: updates, merges of random-size side sketches,
+  // serde round-trips. Invariants checked continuously.
+  util::Xoshiro256 rng(5);
+  ReqSketch<double> sketch(MakeConfig(16, 100));
+  uint64_t expected_n = 0;
+  for (int step = 0; step < 400; ++step) {
+    const uint64_t op = rng.NextBounded(10);
+    if (op < 6) {  // burst of updates
+      const uint64_t burst = 1 + rng.NextBounded(500);
+      for (uint64_t i = 0; i < burst; ++i) {
+        sketch.Update(rng.NextDouble());
+      }
+      expected_n += burst;
+    } else if (op < 8) {  // merge a side sketch
+      ReqSketch<double> side(MakeConfig(16, 200 + step));
+      const uint64_t m = 1 + rng.NextBounded(2000);
+      for (uint64_t i = 0; i < m; ++i) side.Update(rng.NextDouble());
+      sketch.Merge(side);
+      expected_n += m;
+    } else if (!sketch.is_empty()) {  // serde round-trip
+      sketch = DeserializeSketch<double>(SerializeSketch(sketch));
+    }
+    ASSERT_EQ(sketch.n(), expected_n) << "step " << step;
+    ASSERT_EQ(sketch.TotalWeight(), expected_n) << "step " << step;
+    if (!sketch.is_empty()) {
+      const double q = sketch.GetQuantile(0.5);
+      ASSERT_GE(q, 0.0);
+      ASSERT_LE(q, 1.0);
+    }
+  }
+  EXPECT_NEAR(sketch.GetNormalizedRank(0.5), 0.5, 0.05);
+}
+
+TEST(ReqFuzzTest, LongStreamInvariants) {
+  // 2^21 updates with periodic invariant checks: exercises multiple
+  // parameter-regrowth epochs and ~12 levels.
+  ReqSketch<double> sketch(MakeConfig(8, 7));
+  util::Xoshiro256 rng(8);
+  const size_t n = size_t{1} << 21;
+  for (size_t i = 1; i <= n; ++i) {
+    sketch.Update(rng.NextDouble());
+    if ((i & (i - 1)) == 0) {  // at powers of two
+      ASSERT_EQ(sketch.n(), i);
+      ASSERT_EQ(sketch.TotalWeight(), i);
+      ASSERT_GE(sketch.n_bound(), i);
+    }
+  }
+  EXPECT_GE(sketch.num_levels(), 10u);
+  EXPECT_LT(sketch.RetainedItems(), n / 100);
+  EXPECT_NEAR(sketch.GetNormalizedRank(0.5), 0.5, 0.05);
+}
+
+TEST(ReqFuzzTest, AdversarialEqualKeysWithMerges) {
+  // Merging sketches full of identical keys must keep inclusive/exclusive
+  // semantics coherent.
+  ReqSketch<double> acc(MakeConfig(16, 9));
+  for (int part = 0; part < 20; ++part) {
+    ReqSketch<double> side(MakeConfig(16, 300 + part));
+    for (int i = 0; i < 5000; ++i) {
+      side.Update(part % 2 == 0 ? 1.0 : 2.0);
+    }
+    acc.Merge(side);
+  }
+  EXPECT_EQ(acc.n(), 100000u);
+  EXPECT_EQ(acc.GetRank(2.0, Criterion::kInclusive), 100000u);
+  const uint64_t ones = acc.GetRank(1.0, Criterion::kInclusive);
+  EXPECT_NEAR(static_cast<double>(ones), 50000.0, 2500.0);
+  EXPECT_EQ(acc.GetRank(1.0, Criterion::kExclusive), 0u);
+}
+
+}  // namespace
+}  // namespace req

@@ -1,0 +1,221 @@
+// Tests for the merge operation (Algorithm 3 / Theorem 3): compatibility
+// checks, weight bookkeeping, schedule-state combination, accuracy under
+// arbitrary merge trees, and parameter regrowth during merges.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/req_common.h"
+#include "core/req_sketch.h"
+#include "sim/merge_tree.h"
+#include "sim/metrics.h"
+#include "workload/distributions.h"
+
+namespace req {
+namespace {
+
+ReqConfig MakeConfig(uint32_t k_base = 16, uint64_t seed = 1,
+                     RankAccuracy acc = RankAccuracy::kHighRanks) {
+  ReqConfig config;
+  config.k_base = k_base;
+  config.accuracy = acc;
+  config.seed = seed;
+  return config;
+}
+
+TEST(ReqMergeTest, MergeEmptyIntoEmpty) {
+  ReqSketch<double> a(MakeConfig()), b(MakeConfig(16, 2));
+  a.Merge(b);
+  EXPECT_TRUE(a.is_empty());
+}
+
+TEST(ReqMergeTest, MergeNonEmptyIntoEmpty) {
+  ReqSketch<double> a(MakeConfig()), b(MakeConfig(16, 2));
+  for (int i = 0; i < 1000; ++i) b.Update(static_cast<double>(i));
+  a.Merge(b);
+  EXPECT_EQ(a.n(), 1000u);
+  EXPECT_EQ(a.TotalWeight(), 1000u);
+  EXPECT_EQ(a.MinItem(), 0.0);
+  EXPECT_EQ(a.MaxItem(), 999.0);
+  // b unchanged.
+  EXPECT_EQ(b.n(), 1000u);
+}
+
+TEST(ReqMergeTest, MergeEmptyIntoNonEmpty) {
+  ReqSketch<double> a(MakeConfig()), b(MakeConfig(16, 2));
+  for (int i = 0; i < 1000; ++i) a.Update(static_cast<double>(i));
+  const uint64_t before = a.GetRank(500.0);
+  a.Merge(b);
+  EXPECT_EQ(a.n(), 1000u);
+  EXPECT_EQ(a.GetRank(500.0), before);
+}
+
+TEST(ReqMergeTest, SelfMergeRejected) {
+  ReqSketch<double> a(MakeConfig());
+  a.Update(1.0);
+  EXPECT_THROW(a.Merge(a), std::invalid_argument);
+}
+
+TEST(ReqMergeTest, IncompatibleConfigsRejected) {
+  ReqSketch<double> a(MakeConfig(16));
+  ReqSketch<double> b(MakeConfig(32));
+  EXPECT_THROW(a.Merge(b), std::invalid_argument);
+  ReqSketch<double> c(MakeConfig(16, 1, RankAccuracy::kLowRanks));
+  EXPECT_THROW(a.Merge(c), std::invalid_argument);
+}
+
+TEST(ReqMergeTest, CountsAndWeightsAddUp) {
+  ReqSketch<double> a(MakeConfig(16, 1));
+  ReqSketch<double> b(MakeConfig(16, 2));
+  const auto va = workload::GenerateUniform(34567, 3);
+  const auto vb = workload::GenerateUniform(12345, 4);
+  for (double v : va) a.Update(v);
+  for (double v : vb) b.Update(v);
+  a.Merge(b);
+  EXPECT_EQ(a.n(), va.size() + vb.size());
+  EXPECT_EQ(a.TotalWeight(), a.n());
+  EXPECT_EQ(a.GetRank(2.0), a.n());
+  EXPECT_EQ(a.GetRank(-2.0), 0u);
+}
+
+TEST(ReqMergeTest, MinMaxCombine) {
+  ReqSketch<double> a(MakeConfig(16, 1));
+  ReqSketch<double> b(MakeConfig(16, 2));
+  for (int i = 0; i < 5000; ++i) a.Update(static_cast<double>(i));
+  for (int i = 5000; i < 10000; ++i) b.Update(static_cast<double>(i));
+  a.Merge(b);
+  EXPECT_EQ(a.MinItem(), 0.0);
+  EXPECT_EQ(a.MaxItem(), 9999.0);
+}
+
+TEST(ReqMergeTest, MergeOfDisjointRangesKeepsOrder) {
+  ReqSketch<double> a(MakeConfig(32, 1));
+  ReqSketch<double> b(MakeConfig(32, 2));
+  const size_t half = 50000;
+  auto low = workload::GenerateUniform(half, 5, 0.0, 1.0);
+  auto high = workload::GenerateUniform(half, 6, 10.0, 11.0);
+  for (double v : low) a.Update(v);
+  for (double v : high) b.Update(v);
+  a.Merge(b);
+  // Exactly half the mass is below 5.0.
+  EXPECT_NEAR(a.GetNormalizedRank(5.0), 0.5, 1e-9);
+  EXPECT_EQ(a.GetRank(5.0), half);
+}
+
+TEST(ReqMergeTest, MergedAccuracyWithinBound) {
+  const size_t n = 120000;
+  const auto values = workload::GenerateUniform(n, 7);
+  const auto parts = sim::SplitStream(values, 8);
+  auto sketch = sim::BuildAndMerge<ReqSketch<double>>(
+      parts, [](size_t p) { return ReqSketch<double>(MakeConfig(32, p)); },
+      sim::MergeTopology::kBalanced);
+  sim::RankOracle oracle(values);
+  const auto grid = sim::GeometricRankGrid(n, true);
+  const auto samples = sim::EvaluateRankErrors(
+      oracle, [&](double y) { return sketch.GetRank(y); }, grid, true);
+  const auto summary = sim::Summarize(samples);
+  // Theorem 3: merged accuracy comparable to streaming; generous margin.
+  EXPECT_LT(summary.max_relative_error, 5.0 * sketch.RelativeStdErr());
+}
+
+TEST(ReqMergeTest, AllTopologiesAccurate) {
+  const size_t n = 60000;
+  const auto values = workload::GenerateLognormal(n, 8);
+  sim::RankOracle oracle(values);
+  const auto parts = sim::SplitStream(values, 13);  // uneven, prime count
+  const auto grid = sim::GeometricRankGrid(n, true);
+  for (sim::MergeTopology topology : sim::kAllMergeTopologies) {
+    auto sketch = sim::BuildAndMerge<ReqSketch<double>>(
+        parts,
+        [](size_t p) { return ReqSketch<double>(MakeConfig(32, 100 + p)); },
+        topology, 9);
+    const auto samples = sim::EvaluateRankErrors(
+        oracle, [&](double y) { return sketch.GetRank(y); }, grid, true);
+    const auto summary = sim::Summarize(samples);
+    EXPECT_LT(summary.max_relative_error, 5.0 * sketch.RelativeStdErr())
+        << sim::TopologyName(topology);
+  }
+}
+
+// Merging two sketches whose N bounds differ exercises the special
+// compaction + regrowth path (lines 4-11 of Algorithm 3).
+TEST(ReqMergeTest, MergeAcrossDifferentNBounds) {
+  ReqSketch<double> big(MakeConfig(16, 1));
+  ReqSketch<double> small(MakeConfig(16, 2));
+  const auto many = workload::GenerateUniform(200000, 10);
+  for (double v : many) big.Update(v);
+  for (int i = 0; i < 100; ++i) small.Update(2.0 + i);  // all above
+  EXPECT_GT(big.n_bound(), small.n_bound());
+  big.Merge(small);
+  EXPECT_EQ(big.n(), 200100u);
+  EXPECT_EQ(big.TotalWeight(), big.n());
+  // The 100 large items sit at the very top.
+  EXPECT_EQ(big.n() - big.GetRank(1.5), 100u);
+
+  // And the mirror case: merging the big one into the small one forces the
+  // small sketch to regrow (GrowIfNeeded loop squaring N repeatedly).
+  ReqSketch<double> small2(MakeConfig(16, 3));
+  for (int i = 0; i < 100; ++i) small2.Update(2.0 + i);
+  small2.Merge(big);
+  EXPECT_EQ(small2.n(), 200200u);
+  EXPECT_EQ(small2.TotalWeight(), small2.n());
+  EXPECT_GE(small2.n_bound(), small2.n());
+}
+
+TEST(ReqMergeTest, RepeatedSelfAccumulation) {
+  // Chain-merge 50 small sketches into an accumulator; n and weights must
+  // stay exact throughout.
+  ReqSketch<double> acc(MakeConfig(16, 1));
+  uint64_t expected = 0;
+  for (int part = 0; part < 50; ++part) {
+    ReqSketch<double> s(MakeConfig(16, 100 + part));
+    const auto values = workload::GenerateUniform(997, 200 + part);
+    for (double v : values) s.Update(v);
+    acc.Merge(s);
+    expected += values.size();
+    ASSERT_EQ(acc.n(), expected);
+    ASSERT_EQ(acc.TotalWeight(), expected);
+  }
+  EXPECT_NEAR(acc.GetNormalizedRank(0.5), 0.5, 0.05);
+}
+
+TEST(ReqMergeTest, MergePreservesStateOr) {
+  // After merging, each level's schedule state contains the OR of the
+  // sources' states (plus any bits from the merge's own compactions).
+  ReqSketch<double> a(MakeConfig(16, 1));
+  ReqSketch<double> b(MakeConfig(16, 2));
+  const auto va = workload::GenerateUniform(30000, 11);
+  const auto vb = workload::GenerateUniform(30000, 12);
+  for (double v : va) a.Update(v);
+  for (double v : vb) b.Update(v);
+  std::vector<uint64_t> a_states, b_states;
+  for (const auto& level : a.levels()) a_states.push_back(level.state());
+  for (const auto& level : b.levels()) b_states.push_back(level.state());
+  const size_t common = std::min(a_states.size(), b_states.size());
+  a.Merge(b);
+  for (size_t h = 0; h < common; ++h) {
+    const uint64_t ored = a_states[h] | b_states[h];
+    // The merge may add at most one compaction per level: state is >= OR.
+    EXPECT_GE(a.levels()[h].state() | ored, ored);
+    EXPECT_GE(a.levels()[h].state(), ored & a.levels()[h].state());
+  }
+}
+
+TEST(ReqMergeTest, ManyTinySketches) {
+  // 1000 sketches of 10 items each: stresses level creation and growth.
+  ReqSketch<double> acc(MakeConfig(16, 1));
+  for (int part = 0; part < 1000; ++part) {
+    ReqSketch<double> s(MakeConfig(16, part));
+    for (int i = 0; i < 10; ++i) {
+      s.Update(static_cast<double>(part * 10 + i));
+    }
+    acc.Merge(s);
+  }
+  EXPECT_EQ(acc.n(), 10000u);
+  EXPECT_EQ(acc.TotalWeight(), 10000u);
+  EXPECT_NEAR(acc.GetNormalizedRank(5000.0), 0.5, 0.1);
+}
+
+}  // namespace
+}  // namespace req

@@ -1,0 +1,161 @@
+// Parameterized property sweep over (k_base, distribution, arrival order,
+// orientation): the invariants from DESIGN.md section 5 must hold for every
+// combination. This is the broad safety net behind the targeted unit tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/req_common.h"
+#include "core/req_sketch.h"
+#include "core/theory.h"
+#include "sim/metrics.h"
+#include "workload/distributions.h"
+#include "workload/stream_orders.h"
+
+namespace req {
+namespace {
+
+using workload::DistKind;
+using workload::OrderKind;
+
+using PropertyParam =
+    std::tuple<uint32_t /*k_base*/, DistKind, OrderKind, RankAccuracy>;
+
+class ReqPropertyTest : public ::testing::TestWithParam<PropertyParam> {
+ protected:
+  static constexpr size_t kN = 30000;
+
+  std::vector<double> MakeStream() const {
+    const auto& [k_base, dist, order, acc] = GetParam();
+    auto values = workload::Generate(dist, kN, /*seed=*/1234);
+    workload::ApplyOrder(&values, order, /*seed=*/99);
+    return values;
+  }
+
+  ReqSketch<double> MakeSketch() const {
+    const auto& [k_base, dist, order, acc] = GetParam();
+    ReqConfig config;
+    config.k_base = k_base;
+    config.accuracy = acc;
+    config.seed = 4242;
+    return ReqSketch<double>(config);
+  }
+};
+
+TEST_P(ReqPropertyTest, WeightConservationAndExtremes) {
+  auto sketch = MakeSketch();
+  const auto values = MakeStream();
+  double lo = values[0], hi = values[0];
+  for (double v : values) {
+    sketch.Update(v);
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  EXPECT_EQ(sketch.n(), values.size());
+  EXPECT_EQ(sketch.TotalWeight(), values.size());
+  EXPECT_EQ(sketch.MinItem(), lo);
+  EXPECT_EQ(sketch.MaxItem(), hi);
+  EXPECT_EQ(sketch.GetRank(hi, Criterion::kInclusive), sketch.n());
+  EXPECT_EQ(sketch.GetRank(lo, Criterion::kExclusive), 0u);
+}
+
+TEST_P(ReqPropertyTest, RankEstimatesMonotone) {
+  auto sketch = MakeSketch();
+  for (double v : MakeStream()) sketch.Update(v);
+  const auto quantiles =
+      sketch.GetQuantiles({0.0, 0.2, 0.4, 0.6, 0.8, 0.95, 1.0});
+  uint64_t prev_rank = 0;
+  for (double y : quantiles) {
+    const uint64_t r = sketch.GetRank(y);
+    EXPECT_GE(r, prev_rank);
+    prev_rank = r;
+    // Exclusive never exceeds inclusive.
+    EXPECT_LE(sketch.GetRank(y, Criterion::kExclusive), r);
+  }
+}
+
+TEST_P(ReqPropertyTest, ErrorBoundAtAccurateEnd) {
+  const auto& [k_base, dist, order, acc] = GetParam();
+  auto sketch = MakeSketch();
+  const auto values = MakeStream();
+  for (double v : values) sketch.Update(v);
+  sim::RankOracle oracle(values);
+  const bool high = acc == RankAccuracy::kHighRanks;
+  const auto grid = sim::GeometricRankGrid(values.size(), high);
+  const auto samples = sim::EvaluateRankErrors(
+      oracle, [&](double y) { return sketch.GetRank(y); }, grid, high);
+  const auto summary = sim::Summarize(samples);
+  // Generous 6-sigma envelope over the whole grid (max over ~35 points).
+  EXPECT_LT(summary.max_relative_error, 6.0 * sketch.RelativeStdErr())
+      << "k=" << k_base << " dist=" << workload::DistName(dist)
+      << " order=" << workload::OrderName(order);
+}
+
+TEST_P(ReqPropertyTest, CdfValid) {
+  auto sketch = MakeSketch();
+  const auto values = MakeStream();
+  for (double v : values) sketch.Update(v);
+  // Split points spanning the data range.
+  const double lo = sketch.MinItem(), hi = sketch.MaxItem();
+  if (lo == hi) GTEST_SKIP() << "degenerate range";
+  std::vector<double> splits;
+  for (int i = 1; i <= 7; ++i) {
+    splits.push_back(lo + (hi - lo) * i / 8.0);
+  }
+  std::sort(splits.begin(), splits.end());
+  splits.erase(std::unique(splits.begin(), splits.end()), splits.end());
+  const auto cdf = sketch.GetCDF(splits);
+  for (size_t i = 0; i + 1 < cdf.size(); ++i) {
+    EXPECT_LE(cdf[i], cdf[i + 1] + 1e-12);
+  }
+  EXPECT_DOUBLE_EQ(cdf.back(), 1.0);
+  const auto pmf = sketch.GetPMF(splits);
+  double total = 0.0;
+  for (double p : pmf) {
+    EXPECT_GE(p, -1e-12);
+    total += p;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST_P(ReqPropertyTest, SpaceWithinTheoryEnvelope) {
+  auto sketch = MakeSketch();
+  for (double v : MakeStream()) sketch.Update(v);
+  // Retained <= num_levels * level_capacity, and num_levels is
+  // logarithmic (Observation 13 with the level-capacity floor).
+  EXPECT_LE(sketch.RetainedItems(),
+            sketch.num_levels() * sketch.level_capacity());
+  EXPECT_LE(sketch.num_levels(),
+            theory::MaxLevels(sketch.n(), sketch.level_capacity() / 2) + 2);
+}
+
+std::string ParamName(
+    const ::testing::TestParamInfo<PropertyParam>& info) {
+  const auto& [k_base, dist, order, acc] = info.param;
+  std::string name = "k" + std::to_string(k_base) + "_" +
+                     workload::DistName(dist) + "_" +
+                     workload::OrderName(order) + "_" +
+                     (acc == RankAccuracy::kHighRanks ? "hra" : "lra");
+  for (char& c : name) {
+    if (c == '-') c = '_';
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ReqPropertyTest,
+    ::testing::Combine(
+        ::testing::Values(8u, 32u),
+        ::testing::Values(DistKind::kUniform, DistKind::kLognormal,
+                          DistKind::kZipf, DistKind::kSequential),
+        ::testing::Values(OrderKind::kRandom, OrderKind::kSorted,
+                          OrderKind::kReversed, OrderKind::kZoomIn),
+        ::testing::Values(RankAccuracy::kHighRanks,
+                          RankAccuracy::kLowRanks)),
+    ParamName);
+
+}  // namespace
+}  // namespace req

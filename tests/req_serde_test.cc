@@ -1,0 +1,172 @@
+// Serialization round-trip tests: estimates, state, growth parameters and
+// merge-after-deserialize (the distributed scenario of Appendix D).
+#include "core/req_serde.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/req_common.h"
+#include "core/req_sketch.h"
+#include "workload/distributions.h"
+
+namespace req {
+namespace {
+
+ReqConfig MakeConfig(uint32_t k_base = 16, uint64_t seed = 7) {
+  ReqConfig config;
+  config.k_base = k_base;
+  config.seed = seed;
+  return config;
+}
+
+TEST(ReqSerdeTest, EmptySketchRoundTrip) {
+  ReqSketch<double> sketch(MakeConfig());
+  const auto bytes = SerializeSketch(sketch);
+  auto restored = DeserializeSketch<double>(bytes);
+  EXPECT_TRUE(restored.is_empty());
+  EXPECT_EQ(restored.n(), 0u);
+  EXPECT_EQ(restored.config().k_base, 16u);
+}
+
+TEST(ReqSerdeTest, EstimatesSurviveRoundTrip) {
+  ReqSketch<double> sketch(MakeConfig(32));
+  const auto values = workload::GenerateUniform(100000, 1);
+  for (double v : values) sketch.Update(v);
+  const auto bytes = SerializeSketch(sketch);
+  auto restored = DeserializeSketch<double>(bytes);
+
+  EXPECT_EQ(restored.n(), sketch.n());
+  EXPECT_EQ(restored.n_bound(), sketch.n_bound());
+  EXPECT_EQ(restored.RetainedItems(), sketch.RetainedItems());
+  EXPECT_EQ(restored.num_levels(), sketch.num_levels());
+  EXPECT_EQ(restored.MinItem(), sketch.MinItem());
+  EXPECT_EQ(restored.MaxItem(), sketch.MaxItem());
+  for (double y : {0.001, 0.1, 0.5, 0.9, 0.999}) {
+    EXPECT_EQ(restored.GetRank(y), sketch.GetRank(y)) << "y=" << y;
+  }
+  for (double q : {0.01, 0.5, 0.99}) {
+    EXPECT_EQ(restored.GetQuantile(q), sketch.GetQuantile(q)) << "q=" << q;
+  }
+}
+
+TEST(ReqSerdeTest, StatePreserved) {
+  ReqSketch<double> sketch(MakeConfig());
+  const auto values = workload::GenerateUniform(50000, 2);
+  for (double v : values) sketch.Update(v);
+  const auto bytes = SerializeSketch(sketch);
+  auto restored = DeserializeSketch<double>(bytes);
+  ASSERT_EQ(restored.num_levels(), sketch.num_levels());
+  for (size_t h = 0; h < sketch.num_levels(); ++h) {
+    EXPECT_EQ(restored.levels()[h].state(), sketch.levels()[h].state());
+    EXPECT_EQ(restored.levels()[h].num_compactions(),
+              sketch.levels()[h].num_compactions());
+    EXPECT_EQ(restored.levels()[h].size(), sketch.levels()[h].size());
+  }
+}
+
+TEST(ReqSerdeTest, DeserializedSketchRemainsUsable) {
+  ReqSketch<double> sketch(MakeConfig());
+  for (int i = 0; i < 30000; ++i) {
+    sketch.Update(static_cast<double>(i % 1000));
+  }
+  auto restored = DeserializeSketch<double>(SerializeSketch(sketch));
+  for (int i = 0; i < 30000; ++i) {
+    restored.Update(static_cast<double>(i % 1000));
+  }
+  EXPECT_EQ(restored.n(), 60000u);
+  EXPECT_EQ(restored.TotalWeight(), 60000u);
+  EXPECT_NEAR(restored.GetNormalizedRank(499.5), 0.5, 0.05);
+}
+
+TEST(ReqSerdeTest, MergeAfterDeserialize) {
+  // The distributed pattern: worker sketches are serialized, shipped, and
+  // merged at the coordinator.
+  std::vector<std::vector<uint8_t>> shipped;
+  uint64_t total = 0;
+  for (int worker = 0; worker < 5; ++worker) {
+    ReqSketch<double> s(MakeConfig(16, 100 + worker));
+    const auto values = workload::GenerateUniform(20000, worker);
+    for (double v : values) s.Update(v);
+    total += s.n();
+    shipped.push_back(SerializeSketch(s));
+  }
+  ReqSketch<double> coordinator(MakeConfig(16, 999));
+  for (const auto& bytes : shipped) {
+    auto s = DeserializeSketch<double>(bytes);
+    coordinator.Merge(s);
+  }
+  EXPECT_EQ(coordinator.n(), total);
+  EXPECT_EQ(coordinator.TotalWeight(), total);
+  EXPECT_NEAR(coordinator.GetNormalizedRank(0.5), 0.5, 0.05);
+}
+
+TEST(ReqSerdeTest, FloatItemType) {
+  ReqConfig config = MakeConfig();
+  ReqSketch<float> sketch(config);
+  for (int i = 0; i < 10000; ++i) {
+    sketch.Update(static_cast<float>(i) * 0.5f);
+  }
+  auto restored =
+      ReqSerde<float, std::less<float>>::Deserialize(
+          ReqSerde<float, std::less<float>>::Serialize(sketch));
+  EXPECT_EQ(restored.n(), sketch.n());
+  EXPECT_EQ(restored.GetRank(2500.0f), sketch.GetRank(2500.0f));
+}
+
+TEST(ReqSerdeTest, ConfigFlagsPreserved) {
+  ReqConfig config = MakeConfig(64);
+  config.accuracy = RankAccuracy::kLowRanks;
+  config.coin = CoinMode::kDeterministic;
+  config.schedule = SchedulePolicy::kUniform;
+  config.n_hint = 1 << 20;
+  ReqSketch<double> sketch(config);
+  sketch.Update(1.0);
+  auto restored = DeserializeSketch<double>(SerializeSketch(sketch));
+  EXPECT_EQ(restored.config().accuracy, RankAccuracy::kLowRanks);
+  EXPECT_EQ(restored.config().coin, CoinMode::kDeterministic);
+  EXPECT_EQ(restored.config().schedule, SchedulePolicy::kUniform);
+  EXPECT_EQ(restored.config().n_hint, uint64_t{1} << 20);
+  EXPECT_EQ(restored.n_bound(), sketch.n_bound());
+}
+
+TEST(ReqSerdeTest, CorruptMagicRejected) {
+  ReqSketch<double> sketch(MakeConfig());
+  sketch.Update(1.0);
+  auto bytes = SerializeSketch(sketch);
+  bytes[0] ^= 0xff;
+  EXPECT_THROW(DeserializeSketch<double>(bytes), std::runtime_error);
+}
+
+TEST(ReqSerdeTest, TruncatedPayloadRejected) {
+  ReqSketch<double> sketch(MakeConfig());
+  for (int i = 0; i < 1000; ++i) sketch.Update(static_cast<double>(i));
+  auto bytes = SerializeSketch(sketch);
+  bytes.resize(bytes.size() / 2);
+  EXPECT_THROW(DeserializeSketch<double>(bytes), std::runtime_error);
+}
+
+TEST(ReqSerdeTest, WeightMismatchRejected) {
+  ReqSketch<double> sketch(MakeConfig());
+  for (int i = 0; i < 1000; ++i) sketch.Update(static_cast<double>(i));
+  auto bytes = SerializeSketch(sketch);
+  // Corrupt n (offset: magic u32 + version u8 + 3 enum u8 + k_base u32).
+  const size_t n_offset = 4 + 1 + 3 + 4;
+  bytes[n_offset] ^= 0x01;
+  EXPECT_THROW(DeserializeSketch<double>(bytes), std::runtime_error);
+}
+
+TEST(ReqSerdeTest, SerializedSizeTracksRetained) {
+  ReqSketch<double> sketch(MakeConfig());
+  const auto values = workload::GenerateUniform(100000, 3);
+  for (double v : values) sketch.Update(v);
+  const auto bytes = SerializeSketch(sketch);
+  // Dominated by 8 bytes per retained item plus ~24 per level + header.
+  const size_t expected_min = sketch.RetainedItems() * sizeof(double);
+  EXPECT_GE(bytes.size(), expected_min);
+  EXPECT_LE(bytes.size(), expected_min + sketch.num_levels() * 64 + 256);
+}
+
+}  // namespace
+}  // namespace req

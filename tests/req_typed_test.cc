@@ -1,0 +1,119 @@
+// Typed tests: the sketch is templated on the item type; the same
+// invariants must hold for every numeric type (and serde must round-trip
+// each trivially copyable one).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/req_common.h"
+#include "core/req_serde.h"
+#include "core/req_sketch.h"
+#include "util/random.h"
+
+namespace req {
+namespace {
+
+template <typename T>
+class ReqTypedTest : public ::testing::Test {
+ protected:
+  static ReqConfig MakeConfig(uint64_t seed = 3) {
+    ReqConfig config;
+    config.k_base = 16;
+    config.seed = seed;
+    return config;
+  }
+
+  // A shuffled stream of distinct values 0..n-1 representable in T.
+  static std::vector<T> MakeStream(size_t n, uint64_t seed) {
+    std::vector<T> values(n);
+    for (size_t i = 0; i < n; ++i) values[i] = static_cast<T>(i);
+    util::Xoshiro256 rng(seed);
+    for (size_t i = n; i > 1; --i) {
+      std::swap(values[i - 1], values[rng.NextBounded(i)]);
+    }
+    return values;
+  }
+};
+
+using ItemTypes =
+    ::testing::Types<float, double, int32_t, int64_t, uint32_t, uint64_t>;
+TYPED_TEST_SUITE(ReqTypedTest, ItemTypes);
+
+TYPED_TEST(ReqTypedTest, UpdateRankQuantile) {
+  const size_t n = 40000;
+  ReqSketch<TypeParam> sketch(TestFixture::MakeConfig());
+  for (TypeParam v : TestFixture::MakeStream(n, 5)) sketch.Update(v);
+  EXPECT_EQ(sketch.n(), n);
+  EXPECT_EQ(sketch.TotalWeight(), n);
+  EXPECT_EQ(sketch.MinItem(), static_cast<TypeParam>(0));
+  EXPECT_EQ(sketch.MaxItem(), static_cast<TypeParam>(n - 1));
+  // Mid rank within a few percent.
+  const double mid =
+      sketch.GetNormalizedRank(static_cast<TypeParam>(n / 2));
+  EXPECT_NEAR(mid, 0.5, 0.05);
+  // Median quantile near the middle value.
+  const double median = static_cast<double>(sketch.GetQuantile(0.5));
+  EXPECT_NEAR(median / n, 0.5, 0.06);
+}
+
+TYPED_TEST(ReqTypedTest, BatchedRanksMatchScalar) {
+  const size_t n = 30000;
+  ReqSketch<TypeParam> sketch(TestFixture::MakeConfig(7));
+  for (TypeParam v : TestFixture::MakeStream(n, 8)) sketch.Update(v);
+  std::vector<TypeParam> queries;
+  for (size_t i = 0; i < n; i += n / 13) {
+    queries.push_back(static_cast<TypeParam>(i));
+  }
+  const auto batched = sketch.GetRanks(queries);
+  ASSERT_EQ(batched.size(), queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(batched[i], sketch.GetRank(queries[i])) << "query " << i;
+  }
+}
+
+TYPED_TEST(ReqTypedTest, SerdeRoundTrip) {
+  const size_t n = 30000;
+  ReqSketch<TypeParam> sketch(TestFixture::MakeConfig(9));
+  for (TypeParam v : TestFixture::MakeStream(n, 10)) sketch.Update(v);
+  auto restored = ReqSerde<TypeParam, std::less<TypeParam>>::Deserialize(
+      ReqSerde<TypeParam, std::less<TypeParam>>::Serialize(sketch));
+  EXPECT_EQ(restored.n(), sketch.n());
+  EXPECT_EQ(restored.MinItem(), sketch.MinItem());
+  EXPECT_EQ(restored.MaxItem(), sketch.MaxItem());
+  for (size_t i = 0; i < n; i += n / 7) {
+    const TypeParam y = static_cast<TypeParam>(i);
+    EXPECT_EQ(restored.GetRank(y), sketch.GetRank(y));
+  }
+}
+
+TYPED_TEST(ReqTypedTest, MergeBookkeeping) {
+  const size_t n = 20000;
+  ReqSketch<TypeParam> a(TestFixture::MakeConfig(11));
+  ReqSketch<TypeParam> b(TestFixture::MakeConfig(12));
+  const auto stream = TestFixture::MakeStream(n, 13);
+  for (size_t i = 0; i < n; ++i) {
+    (i % 2 == 0 ? a : b).Update(stream[i]);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.n(), n);
+  EXPECT_EQ(a.TotalWeight(), n);
+  EXPECT_EQ(a.GetRank(static_cast<TypeParam>(n - 1)), n);
+}
+
+TYPED_TEST(ReqTypedTest, DuplicatesAndExtremes) {
+  ReqSketch<TypeParam> sketch(TestFixture::MakeConfig(14));
+  for (int i = 0; i < 20000; ++i) {
+    sketch.Update(static_cast<TypeParam>(i % 3));
+  }
+  EXPECT_EQ(sketch.GetRank(static_cast<TypeParam>(2)), 20000u);
+  EXPECT_EQ(sketch.GetRank(static_cast<TypeParam>(0),
+                           Criterion::kExclusive),
+            0u);
+  const double one_third = sketch.GetNormalizedRank(
+      static_cast<TypeParam>(0), Criterion::kInclusive);
+  EXPECT_NEAR(one_third, 1.0 / 3.0, 0.04);
+}
+
+}  // namespace
+}  // namespace req

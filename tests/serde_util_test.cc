@@ -1,0 +1,101 @@
+#include "util/serde.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace req {
+namespace util {
+namespace {
+
+TEST(SerdeTest, RoundTripScalars) {
+  BinaryWriter writer;
+  writer.Write<uint32_t>(0xdeadbeef);
+  writer.Write<int64_t>(-123456789);
+  writer.Write<double>(3.14159);
+  writer.Write<uint8_t>(7);
+
+  BinaryReader reader(writer.bytes());
+  EXPECT_EQ(reader.Read<uint32_t>(), 0xdeadbeefu);
+  EXPECT_EQ(reader.Read<int64_t>(), -123456789);
+  EXPECT_DOUBLE_EQ(reader.Read<double>(), 3.14159);
+  EXPECT_EQ(reader.Read<uint8_t>(), 7);
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(SerdeTest, RoundTripString) {
+  BinaryWriter writer;
+  writer.WriteString("hello sketch");
+  writer.WriteString("");
+  BinaryReader reader(writer.bytes());
+  EXPECT_EQ(reader.ReadString(), "hello sketch");
+  EXPECT_EQ(reader.ReadString(), "");
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(SerdeTest, RoundTripVector) {
+  BinaryWriter writer;
+  const std::vector<double> values = {1.5, -2.5, 1e100, 0.0};
+  writer.WriteVector(values);
+  writer.WriteVector(std::vector<uint32_t>{});
+  BinaryReader reader(writer.bytes());
+  EXPECT_EQ(reader.ReadVector<double>(), values);
+  EXPECT_TRUE(reader.ReadVector<uint32_t>().empty());
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(SerdeTest, TruncatedScalarThrows) {
+  BinaryWriter writer;
+  writer.Write<uint32_t>(1);
+  BinaryReader reader(writer.bytes());
+  EXPECT_THROW(reader.Read<uint64_t>(), std::runtime_error);
+}
+
+TEST(SerdeTest, TruncatedVectorThrows) {
+  BinaryWriter writer;
+  writer.Write<uint64_t>(1000);  // claims 1000 doubles follow; none do
+  BinaryReader reader(writer.bytes());
+  EXPECT_THROW(reader.ReadVector<double>(), std::runtime_error);
+}
+
+TEST(SerdeTest, TruncatedStringThrows) {
+  BinaryWriter writer;
+  writer.Write<uint64_t>(100);  // claims a 100-byte string follows
+  BinaryReader reader(writer.bytes());
+  EXPECT_THROW(reader.ReadString(), std::runtime_error);
+}
+
+TEST(SerdeTest, HugeLengthDoesNotOverflow) {
+  BinaryWriter writer;
+  writer.Write<uint64_t>(~uint64_t{0});  // 2^64-1 "elements"
+  BinaryReader reader(writer.bytes());
+  EXPECT_THROW(reader.ReadVector<uint64_t>(), std::runtime_error);
+}
+
+TEST(SerdeTest, RemainingTracksPosition) {
+  BinaryWriter writer;
+  writer.Write<uint32_t>(1);
+  writer.Write<uint32_t>(2);
+  BinaryReader reader(writer.bytes());
+  EXPECT_EQ(reader.remaining(), 8u);
+  reader.Read<uint32_t>();
+  EXPECT_EQ(reader.remaining(), 4u);
+  reader.Read<uint32_t>();
+  EXPECT_EQ(reader.remaining(), 0u);
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(SerdeTest, ReleaseMovesBuffer) {
+  BinaryWriter writer;
+  writer.Write<uint32_t>(42);
+  std::vector<uint8_t> bytes = writer.Release();
+  EXPECT_EQ(bytes.size(), 4u);
+  BinaryReader reader(bytes);
+  EXPECT_EQ(reader.Read<uint32_t>(), 42u);
+}
+
+}  // namespace
+}  // namespace util
+}  // namespace req

@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/req_sketch.h"
+#include "sim/merge_tree.h"
+#include "sim/metrics.h"
+#include "workload/distributions.h"
+
+namespace req {
+namespace sim {
+namespace {
+
+TEST(RankOracleTest, BasicRanks) {
+  RankOracle oracle({3.0, 1.0, 2.0, 2.0, 5.0});
+  EXPECT_EQ(oracle.n(), 5u);
+  EXPECT_EQ(oracle.RankInclusive(2.0), 3u);
+  EXPECT_EQ(oracle.RankExclusive(2.0), 1u);
+  EXPECT_EQ(oracle.RankInclusive(0.0), 0u);
+  EXPECT_EQ(oracle.RankInclusive(10.0), 5u);
+  EXPECT_EQ(oracle.ItemAtRank(1), 1.0);
+  EXPECT_EQ(oracle.ItemAtRank(5), 5.0);
+  EXPECT_THROW(oracle.ItemAtRank(0), std::invalid_argument);
+  EXPECT_THROW(oracle.ItemAtRank(6), std::invalid_argument);
+}
+
+TEST(GeometricRankGridTest, CoversExtremesAndIsDenseAtHighEnd) {
+  const auto grid = GeometricRankGrid(100000, /*from_high_end=*/true);
+  EXPECT_EQ(grid.front(), 1u);          // eventually reaches rank 1
+  EXPECT_EQ(grid.back(), 100000u);      // starts at rank n
+  EXPECT_TRUE(std::is_sorted(grid.begin(), grid.end()));
+  // Dense near n: the top 10 ranks include several grid points.
+  size_t near_top = 0;
+  for (uint64_t r : grid) {
+    if (r > 100000 - 10) ++near_top;
+  }
+  EXPECT_GE(near_top, 3u);
+}
+
+TEST(GeometricRankGridTest, LowEndOrientation) {
+  const auto grid = GeometricRankGrid(1000, /*from_high_end=*/false);
+  EXPECT_EQ(grid.front(), 1u);
+  size_t near_bottom = 0;
+  for (uint64_t r : grid) {
+    if (r <= 10) ++near_bottom;
+  }
+  EXPECT_GE(near_bottom, 3u);
+}
+
+TEST(UniformRankGridTest, EvenlySpaced) {
+  const auto grid = UniformRankGrid(1000, 10);
+  ASSERT_EQ(grid.size(), 10u);
+  EXPECT_EQ(grid.front(), 100u);
+  EXPECT_EQ(grid.back(), 1000u);
+}
+
+TEST(SummarizeTest, Aggregates) {
+  std::vector<RankErrorSample> samples;
+  for (int i = 1; i <= 100; ++i) {
+    RankErrorSample s;
+    s.exact_rank = 1000;
+    s.estimated_rank = 1000 + i;
+    s.relative_error = static_cast<double>(i) / 1000.0;
+    samples.push_back(s);
+  }
+  const auto summary = Summarize(samples);
+  EXPECT_EQ(summary.num_samples, 100u);
+  EXPECT_DOUBLE_EQ(summary.max_relative_error, 0.1);
+  EXPECT_NEAR(summary.mean_relative_error, 0.0505, 1e-9);
+  EXPECT_NEAR(summary.p95_relative_error, 0.095, 0.002);
+  EXPECT_NEAR(summary.max_additive_error, 0.1, 1e-9);
+}
+
+TEST(SummarizeTest, EmptyIsZero) {
+  const auto summary = Summarize({});
+  EXPECT_EQ(summary.num_samples, 0u);
+  EXPECT_EQ(summary.max_relative_error, 0.0);
+}
+
+TEST(EvaluateRankErrorsTest, PerfectEstimatorHasZeroError) {
+  const auto values = workload::GenerateUniform(10000, 1);
+  RankOracle oracle(values);
+  const auto grid = GeometricRankGrid(10000, true);
+  const auto samples = EvaluateRankErrors(
+      oracle, [&](double y) { return oracle.RankInclusive(y); }, grid, true);
+  for (const auto& s : samples) {
+    EXPECT_EQ(s.relative_error, 0.0);
+    EXPECT_EQ(s.exact_rank, s.estimated_rank);
+  }
+}
+
+TEST(EvaluateRankErrorsTest, HighEndDenominator) {
+  RankOracle oracle(workload::GenerateSequential(1000));
+  // Estimator that is always off by +10.
+  const auto samples = EvaluateRankErrors(
+      oracle, [&](double y) { return oracle.RankInclusive(y) + 10; },
+      {1000}, /*from_high_end=*/true);
+  ASSERT_EQ(samples.size(), 1u);
+  // Exact rank 1000 = n: denominator is n - R + 1 = 1.
+  EXPECT_DOUBLE_EQ(samples[0].relative_error, 10.0);
+}
+
+TEST(SplitStreamTest, BalancedSplit) {
+  const auto values = workload::GenerateSequential(103);
+  const auto parts = SplitStream(values, 10);
+  ASSERT_EQ(parts.size(), 10u);
+  size_t total = 0;
+  for (const auto& p : parts) {
+    EXPECT_GE(p.size(), 10u);
+    EXPECT_LE(p.size(), 11u);
+    total += p.size();
+  }
+  EXPECT_EQ(total, 103u);
+  // Concatenation preserves order.
+  EXPECT_EQ(parts[0][0], 0.0);
+  EXPECT_EQ(parts[9].back(), 102.0);
+}
+
+TEST(SplitStreamTest, RejectsTooManyParts) {
+  EXPECT_THROW(SplitStream({1.0, 2.0}, 3), std::invalid_argument);
+}
+
+TEST(MergeTreeTest, AllTopologiesSummarizeEverything) {
+  const size_t n = 40000;
+  const auto values = workload::GenerateUniform(n, 2);
+  const auto parts = SplitStream(values, 16);
+  for (MergeTopology topology : kAllMergeTopologies) {
+    auto sketch = BuildAndMerge<ReqSketch<double>>(
+        parts,
+        [](size_t p) {
+          ReqConfig config;
+          config.k_base = 16;
+          config.seed = 1000 + p;
+          return ReqSketch<double>(config);
+        },
+        topology, /*seed=*/3);
+    EXPECT_EQ(sketch.n(), n) << TopologyName(topology);
+    EXPECT_EQ(sketch.TotalWeight(), n) << TopologyName(topology);
+    // Median should be near 0.5.
+    EXPECT_NEAR(sketch.GetNormalizedRank(0.5), 0.5, 0.05)
+        << TopologyName(topology);
+  }
+}
+
+TEST(MergeTreeTest, SinglePartIsJustStreaming) {
+  const auto values = workload::GenerateUniform(5000, 4);
+  const auto parts = SplitStream(values, 1);
+  auto sketch = BuildAndMerge<ReqSketch<double>>(
+      parts,
+      [](size_t) {
+        ReqConfig config;
+        config.k_base = 16;
+        return ReqSketch<double>(config);
+      },
+      MergeTopology::kBalanced);
+  EXPECT_EQ(sketch.n(), 5000u);
+}
+
+}  // namespace
+}  // namespace sim
+}  // namespace req

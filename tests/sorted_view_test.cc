@@ -1,0 +1,107 @@
+#include "core/sorted_view.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace req {
+namespace {
+
+SortedView<double> MakeView(std::vector<std::pair<double, uint64_t>> items) {
+  uint64_t total = 0;
+  for (const auto& [v, w] : items) total += w;
+  return SortedView<double>(std::move(items), total);
+}
+
+TEST(SortedViewTest, RejectsEmpty) {
+  EXPECT_THROW(SortedView<double>({}, 0), std::invalid_argument);
+}
+
+TEST(SortedViewTest, RejectsWeightMismatch) {
+  EXPECT_THROW(SortedView<double>({{1.0, 2}}, 3), std::logic_error);
+}
+
+TEST(SortedViewTest, SortsAndAccumulates) {
+  auto view = MakeView({{3.0, 1}, {1.0, 2}, {2.0, 4}});
+  ASSERT_EQ(view.size(), 3u);
+  EXPECT_EQ(view.total_weight(), 7u);
+  EXPECT_EQ(view.entries()[0].item, 1.0);
+  EXPECT_EQ(view.entries()[0].cum_weight, 2u);
+  EXPECT_EQ(view.entries()[1].item, 2.0);
+  EXPECT_EQ(view.entries()[1].cum_weight, 6u);
+  EXPECT_EQ(view.entries()[2].cum_weight, 7u);
+}
+
+TEST(SortedViewTest, RankInclusiveExclusive) {
+  auto view = MakeView({{1.0, 2}, {2.0, 4}, {3.0, 1}});
+  EXPECT_EQ(view.GetRank(0.5, Criterion::kInclusive), 0u);
+  EXPECT_EQ(view.GetRank(1.0, Criterion::kInclusive), 2u);
+  EXPECT_EQ(view.GetRank(1.0, Criterion::kExclusive), 0u);
+  EXPECT_EQ(view.GetRank(2.0, Criterion::kInclusive), 6u);
+  EXPECT_EQ(view.GetRank(2.0, Criterion::kExclusive), 2u);
+  EXPECT_EQ(view.GetRank(2.5, Criterion::kInclusive), 6u);
+  EXPECT_EQ(view.GetRank(99.0, Criterion::kInclusive), 7u);
+}
+
+TEST(SortedViewTest, NormalizedRank) {
+  auto view = MakeView({{1.0, 5}, {2.0, 5}});
+  EXPECT_DOUBLE_EQ(view.GetNormalizedRank(1.0, Criterion::kInclusive), 0.5);
+  EXPECT_DOUBLE_EQ(view.GetNormalizedRank(2.0, Criterion::kInclusive), 1.0);
+}
+
+TEST(SortedViewTest, QuantileInclusive) {
+  // Weights: 1.0 x2, 2.0 x4, 3.0 x1 (total 7).
+  auto view = MakeView({{1.0, 2}, {2.0, 4}, {3.0, 1}});
+  EXPECT_EQ(view.GetQuantile(0.0, Criterion::kInclusive), 1.0);
+  EXPECT_EQ(view.GetQuantile(0.2, Criterion::kInclusive), 1.0);  // ceil(1.4)=2
+  EXPECT_EQ(view.GetQuantile(0.5, Criterion::kInclusive), 2.0);
+  EXPECT_EQ(view.GetQuantile(6.0 / 7.0, Criterion::kInclusive), 2.0);
+  EXPECT_EQ(view.GetQuantile(1.0, Criterion::kInclusive), 3.0);
+}
+
+TEST(SortedViewTest, QuantileExclusive) {
+  auto view = MakeView({{1.0, 2}, {2.0, 4}, {3.0, 1}});
+  // Exclusive: smallest item whose cum weight exceeds floor(q*n).
+  EXPECT_EQ(view.GetQuantile(0.0, Criterion::kExclusive), 1.0);
+  EXPECT_EQ(view.GetQuantile(2.0 / 7.0, Criterion::kExclusive), 2.0);
+  EXPECT_EQ(view.GetQuantile(1.0, Criterion::kExclusive), 3.0);
+}
+
+TEST(SortedViewTest, QuantileRejectsOutOfRange) {
+  auto view = MakeView({{1.0, 1}});
+  EXPECT_THROW(view.GetQuantile(-0.01, Criterion::kInclusive),
+               std::invalid_argument);
+  EXPECT_THROW(view.GetQuantile(1.01, Criterion::kInclusive),
+               std::invalid_argument);
+}
+
+TEST(SortedViewTest, QuantileRankInverse) {
+  // For every entry boundary, quantile(rank) should return that entry.
+  auto view = MakeView({{10.0, 3}, {20.0, 2}, {30.0, 5}});
+  const double n = 10.0;
+  EXPECT_EQ(view.GetQuantile(3.0 / n, Criterion::kInclusive), 10.0);
+  EXPECT_EQ(view.GetQuantile(3.5 / n, Criterion::kInclusive), 20.0);
+  EXPECT_EQ(view.GetQuantile(5.0 / n, Criterion::kInclusive), 20.0);
+  EXPECT_EQ(view.GetQuantile(5.1 / n, Criterion::kInclusive), 30.0);
+}
+
+TEST(SortedViewTest, DuplicateItemsAggregate) {
+  auto view = MakeView({{5.0, 1}, {5.0, 2}, {5.0, 4}});
+  EXPECT_EQ(view.GetRank(5.0, Criterion::kInclusive), 7u);
+  EXPECT_EQ(view.GetRank(5.0, Criterion::kExclusive), 0u);
+  EXPECT_EQ(view.GetQuantile(0.5, Criterion::kInclusive), 5.0);
+}
+
+TEST(SortedViewTest, CustomComparator) {
+  std::vector<std::pair<std::string, uint64_t>> items = {
+      {"banana", 1}, {"apple", 1}, {"cherry", 1}};
+  SortedView<std::string> view(std::move(items), 3);
+  EXPECT_EQ(view.entries()[0].item, "apple");
+  EXPECT_EQ(view.GetRank("b", Criterion::kInclusive), 1u);
+  EXPECT_EQ(view.GetQuantile(1.0, Criterion::kInclusive), "cherry");
+}
+
+}  // namespace
+}  // namespace req

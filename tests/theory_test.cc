@@ -1,0 +1,169 @@
+// Tests for the paper-constant formulas in core/theory.h and the practical
+// parameter derivations in core/req_common.h.
+#include "core/theory.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/req_common.h"
+
+namespace req {
+namespace {
+
+TEST(TheoryTest, KnownNSectionSizeMatchesEq6) {
+  // Eq. (6): k = 2 ceil( (4/eps) sqrt( ln(1/delta) / log2(eps n) ) ).
+  const double eps = 0.01, delta = 0.05;
+  const uint64_t n = 1 << 20;
+  const double inner = (4.0 / eps) * std::sqrt(std::log(1.0 / delta) /
+                                               std::log2(eps * n));
+  EXPECT_EQ(theory::KnownNSectionSize(eps, delta, n),
+            2 * static_cast<uint64_t>(std::ceil(inner)));
+}
+
+TEST(TheoryTest, KnownNSectionSizeIsEven) {
+  for (double eps : {0.001, 0.01, 0.1, 0.5}) {
+    for (double delta : {0.5, 0.1, 0.001}) {
+      EXPECT_EQ(theory::KnownNSectionSize(eps, delta, 1 << 20) % 2, 0u);
+    }
+  }
+}
+
+TEST(TheoryTest, SectionSizeShrinksWithN) {
+  // k scales as 1/sqrt(log2(eps n)).
+  const uint64_t k_small = theory::KnownNSectionSize(0.01, 0.1, 1 << 12);
+  const uint64_t k_large = theory::KnownNSectionSize(0.01, 0.1, 1 << 30);
+  EXPECT_GT(k_small, k_large);
+}
+
+TEST(TheoryTest, KHatMergeableMatchesEq26) {
+  EXPECT_DOUBLE_EQ(theory::KHatMergeable(0.1, 0.1),
+                   10.0 * std::sqrt(std::log(10.0)));
+}
+
+TEST(TheoryTest, SmallDeltaSectionSizeLogLog) {
+  // Doubling log(1/delta) moves log2 log(1/delta) by +1: k grows slowly.
+  const uint64_t k1 = theory::SmallDeltaSectionSize(0.1, 1e-3);
+  const uint64_t k2 = theory::SmallDeltaSectionSize(0.1, 1e-12);
+  const uint64_t k3 = theory::SmallDeltaSectionSize(0.1, 1e-48);
+  EXPECT_LE(k1, k2);
+  EXPECT_LE(k2, k3);
+  // 1e-3 -> loglog ~ 2.8; 1e-48 -> loglog ~ 6.8: ratio stays ~2-3x.
+  EXPECT_LT(static_cast<double>(k3) / static_cast<double>(k1), 4.0);
+}
+
+TEST(TheoryTest, SpaceBoundOrdering) {
+  // Lower bound <= Thm1 <= Thm2 <= deterministic, for moderate eps/delta.
+  const double eps = 0.01, delta = 0.1;
+  const uint64_t n = 1 << 24;
+  const double lower = theory::SpaceLowerBound(eps, n);
+  const double thm1 = theory::SpaceBoundThm1(eps, delta, n);
+  const double thm2 = theory::SpaceBoundThm2(eps, delta, n);
+  const double det = theory::SpaceBoundDeterministic(eps, n);
+  EXPECT_LT(lower, thm1);
+  EXPECT_LT(thm1, thm2);
+  EXPECT_LT(thm2, det);
+}
+
+TEST(TheoryTest, SpaceBoundGrowthExponents) {
+  // Thm1 grows as log^1.5: quadrupling log(eps n) should scale it ~8x.
+  const double eps = 0.01, delta = 0.1;
+  const double small = theory::SpaceBoundThm1(eps, delta, 1 << 10);
+  const double large = theory::SpaceBoundThm1(eps, delta, uint64_t{1} << 34);
+  const double log_small = std::log2(eps * (1 << 10));
+  const double log_large = std::log2(eps * (uint64_t{1} << 34));
+  const double expected_ratio = std::pow(log_large / log_small, 1.5);
+  EXPECT_NEAR(large / small, expected_ratio, expected_ratio * 0.01);
+}
+
+TEST(TheoryTest, VarianceBoundLemma12) {
+  // Var <= 2^5 R^2 / (k B).
+  EXPECT_DOUBLE_EQ(theory::VarianceBound(1000, 32, 512),
+                   32.0 * 1000.0 * 1000.0 / (32.0 * 512.0));
+}
+
+TEST(TheoryTest, FailureProbDecaysWithKB) {
+  const double p1 = theory::FailureProbBound(0.05, 32, 512);
+  const double p2 = theory::FailureProbBound(0.05, 64, 1024);
+  EXPECT_LT(p2, p1);
+  EXPECT_LE(p1, 1.0);
+  EXPECT_GT(p2, 0.0);
+}
+
+TEST(TheoryTest, MaxLevelsObservation13) {
+  EXPECT_EQ(theory::MaxLevels(1000, 2000), 1u);
+  EXPECT_EQ(theory::MaxLevels(4096, 512), 4u);  // ceil(log2(8)) + 1
+  EXPECT_EQ(theory::MaxLevels(4097, 512), 5u);
+}
+
+TEST(TheoryTest, BufferSizeFormula) {
+  // B = 2 k ceil(log2(n/k)).
+  EXPECT_EQ(theory::BufferSize(32, 1 << 15), 2 * 32 * 10u);
+}
+
+TEST(TheoryTest, RejectsBadParameters) {
+  EXPECT_THROW(theory::KnownNSectionSize(0.0, 0.1, 100),
+               std::invalid_argument);
+  EXPECT_THROW(theory::KnownNSectionSize(0.1, 0.9, 100),
+               std::invalid_argument);
+  EXPECT_THROW(theory::SpaceBoundThm1(1.5, 0.1, 100),
+               std::invalid_argument);
+  EXPECT_THROW(theory::VarianceBound(10, 0, 10), std::invalid_argument);
+}
+
+// --- practical parameter scheme (req_common.h) ---
+
+TEST(ParamsTest, SectionSizeEvenAndBounded) {
+  for (uint32_t k_base : {4u, 16u, 64u, 256u}) {
+    for (uint64_t n : {100ull, 10000ull, 1000000ull, 1ull << 40}) {
+      const uint32_t k = params::SectionSize(k_base, n);
+      EXPECT_EQ(k % 2, 0u);
+      EXPECT_GE(k, params::kMinK);
+      EXPECT_LE(k, 2 * k_base + 2);
+    }
+  }
+}
+
+TEST(ParamsTest, SectionSizeShrinksPerSquaring) {
+  // Squaring N doubles log2 N, so k = 2 ceil(k_base / sqrt(log2(N/k_base)))
+  // shrinks each epoch (asymptotically by sqrt(2); faster at small N where
+  // log2(N/k_base) << log2(N)). Two epochs stay within uint64.
+  const uint32_t k_base = 256;
+  uint64_t n = params::InitialN(k_base);
+  uint32_t prev = params::SectionSize(k_base, n);
+  for (int epoch = 0; epoch < 2; ++epoch) {
+    n = n * n;
+    const uint32_t next = params::SectionSize(k_base, n);
+    EXPECT_LT(next, prev);
+    EXPECT_GE(next, params::kMinK);
+    prev = next;
+  }
+}
+
+TEST(ParamsTest, CapacityGrowsWithN) {
+  const uint32_t k_base = 32;
+  uint64_t n = params::InitialN(k_base);
+  uint32_t prev_cap = params::Capacity(
+      params::SectionSize(k_base, n),
+      params::NumSections(params::SectionSize(k_base, n), n));
+  for (int epoch = 0; epoch < 2; ++epoch) {
+    n = n * n;
+    const uint32_t k = params::SectionSize(k_base, n);
+    const uint32_t cap = params::Capacity(k, params::NumSections(k, n));
+    EXPECT_GT(cap, prev_cap);
+    prev_cap = cap;
+  }
+}
+
+TEST(ParamsTest, ValidateConfigRules) {
+  ReqConfig config;
+  config.k_base = 16;
+  EXPECT_NO_THROW(params::ValidateConfig(config));
+  config.k_base = 15;
+  EXPECT_THROW(params::ValidateConfig(config), std::invalid_argument);
+  config.k_base = 2;
+  EXPECT_THROW(params::ValidateConfig(config), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace req

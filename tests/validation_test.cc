@@ -1,0 +1,51 @@
+#include "util/validation.h"
+
+#include <gtest/gtest.h>
+
+namespace req {
+namespace util {
+namespace {
+
+TEST(ValidationTest, CheckArgThrowsWithMessage) {
+  EXPECT_NO_THROW(CheckArg(true, "unused"));
+  try {
+    CheckArg(false, "k must be even");
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_STREQ(e.what(), "k must be even");
+  }
+}
+
+TEST(ValidationTest, CheckStateThrowsLogicError) {
+  EXPECT_NO_THROW(CheckState(true, "unused"));
+  EXPECT_THROW(CheckState(false, "empty sketch"), std::logic_error);
+}
+
+TEST(ValidationTest, CheckDataThrowsRuntimeError) {
+  EXPECT_NO_THROW(CheckData(true, "unused"));
+  EXPECT_THROW(CheckData(false, "corrupt"), std::runtime_error);
+}
+
+TEST(ValidationTest, ExceptionHierarchyDistinct) {
+  // logic_error is not a runtime_error and vice versa: callers can
+  // distinguish API misuse from data corruption.
+  bool caught_logic = false;
+  try {
+    CheckState(false, "x");
+  } catch (const std::runtime_error&) {
+    FAIL() << "CheckState must not throw runtime_error";
+  } catch (const std::logic_error&) {
+    caught_logic = true;
+  }
+  EXPECT_TRUE(caught_logic);
+}
+
+TEST(ValidationTest, DescribeValueFormats) {
+  EXPECT_EQ(DescribeValue("k", 42), "k=42");
+  EXPECT_EQ(DescribeValue("eps", 0.5), "eps=0.5");
+  EXPECT_EQ(DescribeValue("name", std::string("abc")), "name=abc");
+}
+
+}  // namespace
+}  // namespace util
+}  // namespace req

@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "workload/distributions.h"
+#include "workload/latency_model.h"
+#include "workload/stream_orders.h"
+
+namespace req {
+namespace workload {
+namespace {
+
+TEST(DistributionsTest, DeterministicInSeed) {
+  for (DistKind kind : kAllDistKinds) {
+    const auto a = Generate(kind, 1000, 42);
+    const auto b = Generate(kind, 1000, 42);
+    EXPECT_EQ(a, b) << DistName(kind);
+  }
+}
+
+TEST(DistributionsTest, DifferentSeedsDiffer) {
+  for (DistKind kind : kAllDistKinds) {
+    if (kind == DistKind::kSequential) continue;  // seed-independent
+    const auto a = Generate(kind, 1000, 1);
+    const auto b = Generate(kind, 1000, 2);
+    EXPECT_NE(a, b) << DistName(kind);
+  }
+}
+
+TEST(DistributionsTest, SizesRespected) {
+  for (DistKind kind : kAllDistKinds) {
+    EXPECT_EQ(Generate(kind, 0, 1).size(), 0u);
+    EXPECT_EQ(Generate(kind, 12345, 1).size(), 12345u);
+  }
+}
+
+TEST(DistributionsTest, UniformRange) {
+  const auto values = GenerateUniform(100000, 3, -2.0, 5.0);
+  for (double v : values) {
+    ASSERT_GE(v, -2.0);
+    ASSERT_LT(v, 5.0);
+  }
+  const double mean =
+      std::accumulate(values.begin(), values.end(), 0.0) / values.size();
+  EXPECT_NEAR(mean, 1.5, 0.05);
+}
+
+TEST(DistributionsTest, GaussianMoments) {
+  const auto values = GenerateGaussian(200000, 4, 10.0, 2.0);
+  double sum = 0.0, sum_sq = 0.0;
+  for (double v : values) {
+    sum += v;
+    sum_sq += v * v;
+  }
+  const double mean = sum / values.size();
+  const double var = sum_sq / values.size() - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.1);
+}
+
+TEST(DistributionsTest, ExponentialMean) {
+  const auto values = GenerateExponential(200000, 5, 2.0);
+  const double mean =
+      std::accumulate(values.begin(), values.end(), 0.0) / values.size();
+  EXPECT_NEAR(mean, 0.5, 0.02);
+  for (double v : values) ASSERT_GE(v, 0.0);
+}
+
+TEST(DistributionsTest, ParetoTailIndex) {
+  // For Pareto(xm=1, alpha): P(X > x) = x^-alpha; check the empirical
+  // survival at x=4 for alpha=1.5: 4^-1.5 = 0.125.
+  const auto values = GeneratePareto(200000, 6, 1.0, 1.5);
+  size_t above = 0;
+  for (double v : values) {
+    ASSERT_GE(v, 1.0);
+    if (v > 4.0) ++above;
+  }
+  EXPECT_NEAR(static_cast<double>(above) / values.size(), 0.125, 0.01);
+}
+
+TEST(DistributionsTest, ZipfSkew) {
+  const auto values = GenerateZipf(100000, 7, 1000, 1.1);
+  size_t ones = 0;
+  for (double v : values) {
+    ASSERT_GE(v, 1.0);
+    ASSERT_LE(v, 1000.0);
+    if (v == 1.0) ++ones;
+  }
+  // The head of a Zipf(1.1) over 1000 values carries >10% of the mass.
+  EXPECT_GT(ones, values.size() / 10);
+}
+
+TEST(DistributionsTest, SequentialIsIdentity) {
+  const auto values = GenerateSequential(100);
+  for (size_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(values[i], static_cast<double>(i));
+  }
+}
+
+TEST(LatencyModelTest, CalibratedTailSpread) {
+  // The substitution target (DESIGN.md): p98.5 ~ 2 s, p99.5 ~ 20 s.
+  LatencyModel model;
+  auto trace = model.GenerateTrace(400000, 8);
+  std::sort(trace.begin(), trace.end());
+  const double p985 = trace[static_cast<size_t>(0.985 * trace.size())];
+  const double p995 = trace[static_cast<size_t>(0.995 * trace.size())];
+  EXPECT_GT(p985, 0.8);
+  EXPECT_LT(p985, 5.0);
+  EXPECT_GT(p995, 8.0);
+  EXPECT_LT(p995, 60.0);
+  // The defining property: an order of magnitude between them.
+  EXPECT_GT(p995 / p985, 4.0);
+}
+
+TEST(LatencyModelTest, AllPositive) {
+  LatencyModel model;
+  const auto trace = model.GenerateTrace(50000, 9);
+  for (double v : trace) ASSERT_GT(v, 0.0);
+}
+
+TEST(LatencyModelTest, RejectsBadConfig) {
+  LatencyModel::Config config;
+  config.tail_probability = 1.5;
+  EXPECT_THROW(LatencyModel{config}, std::invalid_argument);
+  config = LatencyModel::Config();
+  config.body_sigma = -1.0;
+  EXPECT_THROW(LatencyModel{config}, std::invalid_argument);
+}
+
+TEST(StreamOrdersTest, AllOrdersArePermutations) {
+  const auto original = GenerateUniform(5000, 10);
+  for (OrderKind kind : kAllOrderKinds) {
+    auto v = original;
+    ApplyOrder(&v, kind, 11);
+    auto a = original, b = v;
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    EXPECT_EQ(a, b) << OrderName(kind) << " is not a permutation";
+  }
+}
+
+TEST(StreamOrdersTest, SortedAndReversed) {
+  auto v = GenerateUniform(1000, 12);
+  ApplyOrder(&v, OrderKind::kSorted, 0);
+  EXPECT_TRUE(std::is_sorted(v.begin(), v.end()));
+  ApplyOrder(&v, OrderKind::kReversed, 0);
+  EXPECT_TRUE(std::is_sorted(v.rbegin(), v.rend()));
+}
+
+TEST(StreamOrdersTest, ZoomInNarrowsRange) {
+  auto v = GenerateSequential(1000);
+  ApplyOrder(&v, OrderKind::kZoomIn, 0);
+  // First two arrivals are the extremes.
+  EXPECT_EQ(v[0], 999.0);
+  EXPECT_EQ(v[1], 0.0);
+  // The running range of the remaining stream strictly narrows.
+  EXPECT_GT(v[2], v[4]);  // from the top side, decreasing
+}
+
+TEST(StreamOrdersTest, ZoomOutWidensRange) {
+  auto v = GenerateSequential(1001);
+  ApplyOrder(&v, OrderKind::kZoomOut, 0);
+  // Starts near the median.
+  EXPECT_NEAR(v[0], 500.0, 2.0);
+  // Ends at the extremes.
+  const double last = v.back();
+  EXPECT_TRUE(last <= 1.0 || last >= 999.0);
+}
+
+TEST(StreamOrdersTest, ShuffleDeterministicInSeed) {
+  auto a = GenerateSequential(1000);
+  auto b = GenerateSequential(1000);
+  Shuffle(&a, 13);
+  Shuffle(&b, 13);
+  EXPECT_EQ(a, b);
+  auto c = GenerateSequential(1000);
+  Shuffle(&c, 14);
+  EXPECT_NE(a, c);
+}
+
+TEST(StreamOrdersTest, BlockShuffledKeepsLocalOrder) {
+  auto v = GenerateSequential(10000);
+  ApplyOrder(&v, OrderKind::kBlockShuffled, 15);
+  // Each block of 100 must be internally ascending.
+  for (size_t start = 0; start + 100 <= v.size(); start += 100) {
+    EXPECT_TRUE(std::is_sorted(v.begin() + start, v.begin() + start + 100))
+        << "block at " << start;
+  }
+  // But the whole stream is not sorted.
+  EXPECT_FALSE(std::is_sorted(v.begin(), v.end()));
+}
+
+}  // namespace
+}  // namespace workload
+}  // namespace req
