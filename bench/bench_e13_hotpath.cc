@@ -1,0 +1,239 @@
+// E13 -- Hot-path microbenchmarks with a machine-readable baseline trail.
+//
+// Measures, for k_base in {16, 64, 256} on a lognormal stream:
+//   * single-item update throughput (Mups),
+//   * batch update throughput (Mups; only when ReqSketch exposes the
+//     batch Update(const T*, size_t) API -- detected at compile time so
+//     this same file builds against pre-batch revisions of the sketch),
+//   * GetRank latency (ns/query),
+//   * sorted-view build time after an invalidating update (us/build).
+//
+// Results go to stdout as a table and to a JSON report (default
+// BENCH_e13_hotpath.json). Passing --baseline <file> embeds a previously
+// captured report under "baseline_pre_refactor", which is how the repo
+// records the before/after trajectory of hot-path optimization PRs.
+//
+// Usage: bench_e13_hotpath [--items N] [--out report.json]
+//                          [--baseline old_report.json]
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/req_sketch.h"
+#include "workload/distributions.h"
+
+namespace {
+
+// Compile-time probe for the batch update API so the bench is buildable
+// against revisions of ReqSketch that predate it.
+template <typename S, typename = void>
+struct HasBatchUpdate : std::false_type {};
+template <typename S>
+struct HasBatchUpdate<
+    S, std::void_t<decltype(std::declval<S&>().Update(
+           std::declval<const double*>(), size_t{1}))>> : std::true_type {};
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+req::ReqSketch<double> MakeSketch(uint32_t k_base) {
+  req::ReqConfig config;
+  config.k_base = k_base;
+  config.seed = 13;
+  return req::ReqSketch<double>(config);
+}
+
+// A sink the optimizer cannot remove.
+volatile uint64_t g_sink = 0;
+
+struct Measurement {
+  std::string metric;
+  uint32_t k = 0;
+  double value = 0.0;
+  std::string unit;
+};
+
+double MupsSingle(uint32_t k, const std::vector<double>& values, int reps) {
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    auto sketch = MakeSketch(k);
+    const auto start = Clock::now();
+    for (double v : values) sketch.Update(v);
+    const double secs = SecondsSince(start);
+    g_sink += sketch.RetainedItems();
+    best = std::max(best, static_cast<double>(values.size()) / secs / 1e6);
+  }
+  return best;
+}
+
+template <typename S = req::ReqSketch<double>>
+double MupsBatch(uint32_t k, const std::vector<double>& values, int reps) {
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    S sketch = MakeSketch(k);
+    const auto start = Clock::now();
+    if constexpr (HasBatchUpdate<S>::value) {
+      sketch.Update(values.data(), values.size());
+    }
+    const double secs = SecondsSince(start);
+    g_sink += sketch.RetainedItems();
+    best = std::max(best, static_cast<double>(values.size()) / secs / 1e6);
+  }
+  return best;
+}
+
+double RankLatencyNs(uint32_t k, const std::vector<double>& values,
+                     int reps) {
+  auto sketch = MakeSketch(k);
+  for (double v : values) sketch.Update(v);
+  const size_t kQueries = 200000;
+  double best = 1e18;
+  for (int r = 0; r < reps; ++r) {
+    uint64_t sum = 0;
+    const auto start = Clock::now();
+    for (size_t i = 0; i < kQueries; ++i) {
+      sum += sketch.GetRank(values[i % values.size()]);
+    }
+    const double secs = SecondsSince(start);
+    g_sink += sum;
+    best = std::min(best, secs * 1e9 / static_cast<double>(kQueries));
+  }
+  return best;
+}
+
+double SortedViewBuildUs(uint32_t k, const std::vector<double>& values,
+                         int reps) {
+  auto sketch = MakeSketch(k);
+  for (double v : values) sketch.Update(v);
+  const int kBuilds = 50;
+  double best = 1e18;
+  for (int r = 0; r < reps; ++r) {
+    double total = 0.0;
+    for (int b = 0; b < kBuilds; ++b) {
+      // The update invalidates any memoized view so every iteration pays
+      // the full O(S log S) construction.
+      sketch.Update(values[static_cast<size_t>(b) % values.size()]);
+      const auto start = Clock::now();
+      const auto view = sketch.GetSortedView();
+      total += SecondsSince(start);
+      g_sink += view.size();
+    }
+    best = std::min(best, total * 1e6 / kBuilds);
+  }
+  return best;
+}
+
+std::string ReadWholeFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::string();
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  std::string text = ss.str();
+  while (!text.empty() && (text.back() == '\n' || text.back() == '\r')) {
+    text.pop_back();
+  }
+  return text;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  size_t num_items = size_t{1} << 20;
+  std::string out_path = "BENCH_e13_hotpath.json";
+  std::string baseline_path;
+  for (int i = 1; i < argc; i += 2) {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "flag %s requires a value\n", argv[i]);
+      return 1;
+    }
+    if (std::strcmp(argv[i], "--items") == 0) {
+      num_items = static_cast<size_t>(std::strtoull(argv[i + 1], nullptr, 10));
+      if (num_items == 0) {
+        std::fprintf(stderr, "--items must be positive\n");
+        return 1;
+      }
+    } else if (std::strcmp(argv[i], "--out") == 0) {
+      out_path = argv[i + 1];
+    } else if (std::strcmp(argv[i], "--baseline") == 0) {
+      baseline_path = argv[i + 1];
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      return 1;
+    }
+  }
+
+  constexpr bool kBatch = HasBatchUpdate<req::ReqSketch<double>>::value;
+  req::bench::PrintBanner(
+      "E13: hot-path microbenchmarks (update / rank / sorted view)",
+      "merge-based compaction + binary-search ranks + batch updates keep "
+      "the REQ hot paths cheap");
+  std::printf("items: %zu   batch API: %s\n\n", num_items,
+              kBatch ? "yes" : "no (pre-batch revision)");
+
+  const std::vector<double> values =
+      req::workload::GenerateLognormal(num_items, 101);
+  const int kReps = 5;
+  std::vector<Measurement> results;
+
+  std::printf("%6s %22s %14s %10s\n", "k", "metric", "value", "unit");
+  for (uint32_t k : {16u, 64u, 256u}) {
+    const double single = MupsSingle(k, values, kReps);
+    results.push_back({"update_single", k, single, "Mups"});
+    std::printf("%6u %22s %14.2f %10s\n", k, "update_single", single, "Mups");
+    if (kBatch) {
+      const double batch = MupsBatch(k, values, kReps);
+      results.push_back({"update_batch", k, batch, "Mups"});
+      std::printf("%6u %22s %14.2f %10s\n", k, "update_batch", batch, "Mups");
+    }
+    const double rank_ns = RankLatencyNs(k, values, kReps);
+    results.push_back({"get_rank", k, rank_ns, "ns/query"});
+    std::printf("%6u %22s %14.1f %10s\n", k, "get_rank", rank_ns, "ns/query");
+    const double view_us = SortedViewBuildUs(k, values, kReps);
+    results.push_back({"sorted_view_build", k, view_us, "us/build"});
+    std::printf("%6u %22s %14.1f %10s\n", k, "sorted_view_build", view_us,
+                "us/build");
+  }
+
+  req::bench::JsonWriter json;
+  json.BeginObject()
+      .Field("experiment", "e13_hotpath")
+      .Field("items", static_cast<uint64_t>(num_items))
+      .Field("reps", kReps)
+      .Field("batch_api", kBatch);
+  json.BeginArray("results");
+  for (const Measurement& m : results) {
+    json.BeginObject()
+        .Field("metric", m.metric)
+        .Field("k", static_cast<uint64_t>(m.k))
+        .Field("value", m.value)
+        .Field("unit", m.unit)
+        .EndObject();
+  }
+  json.EndArray();
+  if (!baseline_path.empty()) {
+    const std::string baseline = ReadWholeFile(baseline_path);
+    if (baseline.empty()) {
+      std::fprintf(stderr, "could not read baseline %s\n",
+                   baseline_path.c_str());
+      return 1;
+    }
+    json.RawField("baseline_pre_refactor", baseline);
+  }
+  json.EndObject();
+  if (!json.WriteFile(out_path)) {
+    std::fprintf(stderr, "could not write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("\nwrote %s\n", out_path.c_str());
+  return 0;
+}

@@ -15,6 +15,106 @@
 namespace req {
 namespace bench {
 
+// A minimal streaming JSON writer, just enough for the machine-readable
+// bench outputs (BENCH_*.json): nested objects/arrays with string, number
+// and boolean fields, plus raw embedding of pre-serialized JSON (used to
+// splice a captured baseline run into a fresh report). No dependencies, no
+// escaping beyond what bench strings need.
+class JsonWriter {
+ public:
+  JsonWriter() { out_.reserve(4096); }
+
+  JsonWriter& BeginObject() { return Open('{'); }
+  JsonWriter& BeginObject(const std::string& key) { return Open('{', &key); }
+  JsonWriter& BeginArray() { return Open('['); }
+  JsonWriter& BeginArray(const std::string& key) { return Open('[', &key); }
+  JsonWriter& EndObject() { return Close('}'); }
+  JsonWriter& EndArray() { return Close(']'); }
+
+  JsonWriter& Field(const std::string& key, const std::string& value) {
+    Prefix(&key);
+    Quoted(value);
+    return *this;
+  }
+  JsonWriter& Field(const std::string& key, const char* value) {
+    return Field(key, std::string(value));
+  }
+  JsonWriter& Field(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.10g", value);
+    Prefix(&key);
+    out_ += buf;
+    return *this;
+  }
+  JsonWriter& Field(const std::string& key, uint64_t value) {
+    Prefix(&key);
+    out_ += std::to_string(value);
+    return *this;
+  }
+  JsonWriter& Field(const std::string& key, int value) {
+    Prefix(&key);
+    out_ += std::to_string(value);
+    return *this;
+  }
+  JsonWriter& Field(const std::string& key, bool value) {
+    Prefix(&key);
+    out_ += value ? "true" : "false";
+    return *this;
+  }
+  // Embeds `raw` verbatim as the value of `key`; the caller guarantees it
+  // is valid JSON (e.g. the contents of a previously written report).
+  JsonWriter& RawField(const std::string& key, const std::string& raw) {
+    Prefix(&key);
+    out_ += raw;
+    return *this;
+  }
+
+  const std::string& str() const { return out_; }
+
+  bool WriteFile(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    const size_t written = std::fwrite(out_.data(), 1, out_.size(), f);
+    const bool ok = written == out_.size() && std::fputc('\n', f) != EOF;
+    return std::fclose(f) == 0 && ok;
+  }
+
+ private:
+  JsonWriter& Open(char bracket, const std::string* key = nullptr) {
+    Prefix(key);
+    out_ += bracket;
+    comma_stack_.push_back(false);
+    return *this;
+  }
+  JsonWriter& Close(char bracket) {
+    out_ += bracket;
+    comma_stack_.pop_back();
+    return *this;
+  }
+  // Writes the separating comma and (inside objects) the quoted key.
+  void Prefix(const std::string* key) {
+    if (!comma_stack_.empty()) {
+      if (comma_stack_.back()) out_ += ',';
+      comma_stack_.back() = true;
+    }
+    if (key != nullptr) {
+      Quoted(*key);
+      out_ += ':';
+    }
+  }
+  void Quoted(const std::string& s) {
+    out_ += '"';
+    for (char c : s) {
+      if (c == '"' || c == '\\') out_ += '\\';
+      out_ += c;
+    }
+    out_ += '"';
+  }
+
+  std::string out_;
+  std::vector<bool> comma_stack_;
+};
+
 inline void PrintBanner(const std::string& id, const std::string& claim) {
   std::printf("==============================================================="
               "=================\n");
