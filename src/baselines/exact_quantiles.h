@@ -19,6 +19,16 @@ class ExactQuantiles {
     sorted_ = false;
   }
 
+  // Batch update mirroring the sketch API.
+  void Update(const double* data, size_t count) {
+    values_.insert(values_.end(), data, data + count);
+    if (count > 0) sorted_ = false;
+  }
+
+  void Update(const std::vector<double>& values) {
+    Update(values.data(), values.size());
+  }
+
   void Merge(const ExactQuantiles& other) {
     values_.insert(values_.end(), other.values_.begin(),
                    other.values_.end());

@@ -36,6 +36,28 @@ class KllSketch {
     if (TotalSize() > TotalCapacity()) Compress();
   }
 
+  // Batch update mirroring ReqSketch's hot-path API (used by the E13 bench
+  // for like-for-like comparisons): bulk-appends into level 0 and runs the
+  // compression check once per fill instead of once per item.
+  void Update(const double* data, size_t count) {
+    size_t i = 0;
+    while (i < count) {
+      const size_t total_size = TotalSize();
+      const size_t total_cap = TotalCapacity();
+      const size_t room =
+          total_cap > total_size ? total_cap - total_size + 1 : 1;
+      const size_t chunk = std::min(count - i, room);
+      levels_[0].insert(levels_[0].end(), data + i, data + i + chunk);
+      n_ += chunk;
+      i += chunk;
+      if (TotalSize() > TotalCapacity()) Compress();
+    }
+  }
+
+  void Update(const std::vector<double>& values) {
+    Update(values.data(), values.size());
+  }
+
   void Merge(const KllSketch& other) {
     util::CheckArg(this != &other, "cannot merge a sketch into itself");
     while (levels_.size() < other.levels_.size()) levels_.emplace_back();

@@ -22,12 +22,21 @@
 // For mergeability (Appendix D), the state C is public: Algorithm 3 combines
 // the states of two sketches with bitwise OR, and "special" compactions
 // (parameter regrowth) compact everything above the protected half.
+//
+// Hot-path structure: the buffer maintains a *sorted-prefix invariant* --
+// items_[0, sorted_prefix_) is sorted ascending, everything after it is the
+// unsorted insert tail. Every compaction leaves the surviving buffer fully
+// sorted, so between compactions the tail is only the items inserted since.
+// Sort() therefore sorts just the tail and runs std::inplace_merge
+// (O(u log u + B) for tail length u instead of O(B log B)), and CountRank
+// binary-searches the prefix and linearly scans only the tail.
 #ifndef REQSKETCH_CORE_RELATIVE_COMPACTOR_H_
 #define REQSKETCH_CORE_RELATIVE_COMPACTOR_H_
 
 #include <algorithm>
 #include <cstdint>
 #include <functional>
+#include <iterator>
 #include <utility>
 #include <vector>
 
@@ -82,17 +91,41 @@ class RelativeCompactor {
 
   void Insert(const T& item) {
     items_.push_back(item);
-    sorted_ = false;
+    ExtendSortedPrefix();
   }
   void Insert(T&& item) {
     items_.push_back(std::move(item));
-    sorted_ = false;
+    ExtendSortedPrefix();
+  }
+
+  // Bulk insert used by the sketch's batch update: appends `count` items
+  // in order. Equivalent to `count` scalar Insert calls (including the
+  // sorted-prefix bookkeeping) minus the per-call overhead.
+  void Insert(const T* data, size_t count) {
+    items_.reserve(items_.size() + count);
+    items_.insert(items_.end(), data, data + count);
+    ExtendSortedPrefix();
   }
 
   // Bulk insert used by merge: appends all items from a sibling buffer.
   void InsertAll(const std::vector<T>& other_items) {
+    if (other_items.empty()) return;
+    items_.reserve(items_.size() + other_items.size());
     items_.insert(items_.end(), other_items.begin(), other_items.end());
-    if (!other_items.empty()) sorted_ = false;
+    ExtendSortedPrefix();
+  }
+
+  // Move-appending overload used for promotion during compaction cascades:
+  // the source keeps its allocation (the caller reuses it as a scratch
+  // buffer) but its items are moved, not copied.
+  void InsertAll(std::vector<T>&& other_items) {
+    if (other_items.empty()) return;
+    items_.reserve(items_.size() + other_items.size());
+    items_.insert(items_.end(),
+                  std::make_move_iterator(other_items.begin()),
+                  std::make_move_iterator(other_items.end()));
+    other_items.clear();
+    ExtendSortedPrefix();
   }
 
   // Reconfigures the section geometry after the sketch's global parameters
@@ -135,10 +168,13 @@ class RelativeCompactor {
 
   // Performs one scheduled compaction (Lines 5-10 of Algorithm 1, extended
   // per Algorithm 3 to also consume any items beyond the nominal capacity).
-  // Returns the promoted items, to be fed to the next level. Requires a
-  // non-empty compactible range; callers invoke it only when size() >=
-  // capacity().
-  std::vector<T> Compact(util::Xoshiro256& rng) {
+  // Fills `*promoted` (cleared first) with the items to be fed to the next
+  // level; the caller owns the vector and can reuse it across compactions
+  // as a scratch buffer. Leaves `*promoted` empty (and the schedule state
+  // untouched) when there is nothing to compact; callers invoke it only
+  // when size() >= capacity().
+  void Compact(util::Xoshiro256& rng, std::vector<T>* promoted) {
+    promoted->clear();
     const uint32_t width = NextCompactionWidth();
     // Everything beyond the nominal capacity B is "extra" (can only appear
     // during merges) and is always included in the compaction.
@@ -150,96 +186,142 @@ class RelativeCompactor {
     // total weight is conserved (the estimator then satisfies
     // RankEstimate(max) == n exactly).
     compact_count &= ~size_t{1};
-    if (compact_count < 2) return {};
-    std::vector<T> promoted = CompactRange(compact_count, rng);
+    if (compact_count < 2) return;
+    CompactRange(compact_count, rng, promoted);
     state_ += 1;
     ++num_compactions_;
+  }
+
+  // Value-returning convenience wrapper (tests and simple callers).
+  std::vector<T> Compact(util::Xoshiro256& rng) {
+    std::vector<T> promoted;
+    Compact(rng, &promoted);
     return promoted;
   }
 
   // "Special" compaction used when parameters regrow and during merges
   // (Algorithm 3, SpecialCompaction): compacts every item above the
-  // protected half, leaving at most capacity()/2 items. No-op (returns
-  // empty) if the buffer already holds <= capacity()/2 items.
-  std::vector<T> SpecialCompact(util::Xoshiro256& rng) {
+  // protected half, leaving at most capacity()/2 items. Leaves `*promoted`
+  // empty if the buffer already holds <= capacity()/2 items.
+  void SpecialCompact(util::Xoshiro256& rng, std::vector<T>* promoted) {
+    promoted->clear();
     const size_t protect = capacity() / 2;
-    if (items_.size() <= protect) return {};
-    size_t compact_count = (items_.size() - protect) & ~size_t{1};
-    if (compact_count < 2) return {};
-    std::vector<T> promoted = CompactRange(compact_count, rng);
+    if (items_.size() <= protect) return;
+    const size_t compact_count = (items_.size() - protect) & ~size_t{1};
+    if (compact_count < 2) return;
+    CompactRange(compact_count, rng, promoted);
     state_ += 1;
     ++num_compactions_;
+  }
+
+  std::vector<T> SpecialCompact(util::Xoshiro256& rng) {
+    std::vector<T> promoted;
+    SpecialCompact(rng, &promoted);
     return promoted;
   }
 
   // --- queries -------------------------------------------------------------
 
   // Number of stored items <= y (inclusive) or < y (exclusive), unweighted.
+  // Binary search over the sorted prefix plus a linear pass over the insert
+  // tail: O(log B + u) instead of O(B).
   uint64_t CountRank(const T& y, Criterion criterion) const {
-    uint64_t count = 0;
+    const auto prefix_end =
+        items_.begin() + static_cast<ptrdiff_t>(sorted_prefix_);
+    uint64_t count;
     if (criterion == Criterion::kInclusive) {
-      for (const T& x : items_) {
-        if (!comp_(y, x)) ++count;  // x <= y
+      count = static_cast<uint64_t>(
+          std::upper_bound(items_.begin(), prefix_end, y, comp_) -
+          items_.begin());
+      for (auto it = prefix_end; it != items_.end(); ++it) {
+        if (!comp_(y, *it)) ++count;  // x <= y
       }
     } else {
-      for (const T& x : items_) {
-        if (comp_(x, y)) ++count;  // x < y
+      count = static_cast<uint64_t>(
+          std::lower_bound(items_.begin(), prefix_end, y, comp_) -
+          items_.begin());
+      for (auto it = prefix_end; it != items_.end(); ++it) {
+        if (comp_(*it, y)) ++count;  // x < y
       }
     }
     return count;
   }
 
   // Restores buffer contents and schedule state; used by deserialization
-  // (core/req_serde.h) only.
+  // (core/req_serde.h) only. The sorted prefix is recomputed from the data.
   void Restore(std::vector<T> items, uint64_t state,
                uint64_t num_compactions) {
     items_ = std::move(items);
-    sorted_ = std::is_sorted(items_.begin(), items_.end(), comp_);
+    sorted_prefix_ = static_cast<size_t>(
+        std::is_sorted_until(items_.begin(), items_.end(), comp_) -
+        items_.begin());
     state_ = state;
     num_compactions_ = num_compactions;
   }
 
   // Ensures items_ is sorted ascending (queries that need order call this).
+  // Merge-based: only the insert tail is sorted from scratch, then merged
+  // with the already-sorted prefix -- O(u log u + B) for tail length u
+  // instead of the O(B log B) full sort.
   void Sort() {
-    if (!sorted_) {
-      std::sort(items_.begin(), items_.end(), comp_);
-      sorted_ = true;
+    if (sorted_prefix_ == items_.size()) return;
+    const auto mid =
+        items_.begin() + static_cast<ptrdiff_t>(sorted_prefix_);
+    std::sort(mid, items_.end(), comp_);
+    if (sorted_prefix_ > 0) {
+      std::inplace_merge(items_.begin(), mid, items_.end(), comp_);
     }
+    sorted_prefix_ = items_.size();
   }
-  bool sorted() const { return sorted_; }
+  bool sorted() const { return sorted_prefix_ == items_.size(); }
+  // Length of the sorted prefix (exposed for tests and diagnostics).
+  size_t sorted_prefix() const { return sorted_prefix_; }
 
  private:
+  // Advances sorted_prefix_ past any newly appended items that continue the
+  // ascending order. When the prefix is stalled short of the end this
+  // compares one adjacent pair and stops, so it is O(1) amortized; its
+  // purpose is to keep already-ordered input (sorted streams, promoted
+  // runs landing in an empty or fully sorted buffer) free to sort later.
+  void ExtendSortedPrefix() {
+    while (sorted_prefix_ < items_.size() &&
+           (sorted_prefix_ == 0 ||
+            !comp_(items_[sorted_prefix_], items_[sorted_prefix_ - 1]))) {
+      ++sorted_prefix_;
+    }
+  }
+
   // Compacts the `compact_count` items at the compactible end of the sorted
-  // buffer: removes them and returns every other one (random parity).
-  // LRA orientation compacts the largest items (the paper's pseudocode);
-  // HRA compacts the smallest, protecting the top of the distribution.
-  std::vector<T> CompactRange(size_t compact_count,
-                              util::Xoshiro256& rng) {
+  // buffer: removes them and appends every other one (random parity) to
+  // `*promoted`, in ascending order. LRA orientation compacts the largest
+  // items (the paper's pseudocode); HRA compacts the smallest, protecting
+  // the top of the distribution. Leaves the surviving buffer fully sorted.
+  void CompactRange(size_t compact_count, util::Xoshiro256& rng,
+                    std::vector<T>* promoted) {
     Sort();
     compact_count = std::min(compact_count, items_.size());
     const bool keep_odds = (coin_ == CoinMode::kDeterministic)
                                ? true
                                : rng.NextBit();
-    std::vector<T> promoted;
-    promoted.reserve(compact_count / 2 + 1);
+    promoted->reserve(compact_count / 2 + 1);
     if (accuracy_ == RankAccuracy::kLowRanks) {
       // Compact the suffix [size - compact_count, size).
       const size_t start = items_.size() - compact_count;
       for (size_t i = start + (keep_odds ? 1 : 0); i < items_.size();
            i += 2) {
-        promoted.push_back(std::move(items_[i]));
+        promoted->push_back(std::move(items_[i]));
       }
       items_.resize(start);
     } else {
       // Compact the prefix [0, compact_count); mirror-image of LRA so the
       // *largest* B/2 items are never touched.
       for (size_t i = (keep_odds ? 1 : 0); i < compact_count; i += 2) {
-        promoted.push_back(std::move(items_[i]));
+        promoted->push_back(std::move(items_[i]));
       }
       items_.erase(items_.begin(),
                    items_.begin() + static_cast<ptrdiff_t>(compact_count));
     }
-    return promoted;
+    sorted_prefix_ = items_.size();
   }
 
   Compare comp_;
@@ -251,7 +333,9 @@ class RelativeCompactor {
   CoinMode coin_;
   uint64_t state_ = 0;
   uint64_t num_compactions_ = 0;
-  bool sorted_ = true;
+  // items_[0, sorted_prefix_) is sorted ascending; [sorted_prefix_, end)
+  // is the unsorted insert tail. Compactions reset it to the full size.
+  size_t sorted_prefix_ = 0;
 };
 
 }  // namespace req

@@ -15,6 +15,7 @@
 #ifndef REQSKETCH_CORE_REQ_CHAIN_H_
 #define REQSKETCH_CORE_REQ_CHAIN_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -55,16 +56,28 @@ class ReqChain {
   void Update(const T& item) {
     // Section 5: when the *total* stream length reaches the current
     // estimate N_i, close out and open the next summary for N_{i+1}.
-    if (n_ >= current_bound_) {
-      // Close out: the summary stays read-only; open the next one with the
-      // squared estimate.
-      current_bound_ = (current_bound_ >= (uint64_t{1} << 31))
-                           ? params::kMaxN
-                           : current_bound_ * current_bound_;
-      OpenSummary();
-    }
+    if (n_ >= current_bound_) CloseOutAndGrow();
     summaries_.back()->Update(item);
     ++n_;
+  }
+
+  // Batch update: forwards run-length chunks to the active summary's batch
+  // path, breaking exactly at every close-out boundary, so the resulting
+  // chain is identical to the one built by single-item updates.
+  void Update(const T* data, size_t count) {
+    size_t i = 0;
+    while (i < count) {
+      if (n_ >= current_bound_) CloseOutAndGrow();
+      const size_t chunk = static_cast<size_t>(
+          std::min<uint64_t>(count - i, current_bound_ - n_));
+      summaries_.back()->Update(data + i, chunk);
+      n_ += chunk;
+      i += chunk;
+    }
+  }
+
+  void Update(const std::vector<T>& items) {
+    Update(items.data(), items.size());
   }
 
   // Rank estimate: sum of the per-summary estimates (Section 5).
@@ -99,6 +112,15 @@ class ReqChain {
   }
 
  private:
+  // Closes out the active summary (it stays read-only) and opens the next
+  // one with the squared estimate.
+  void CloseOutAndGrow() {
+    current_bound_ = (current_bound_ >= (uint64_t{1} << 31))
+                         ? params::kMaxN
+                         : current_bound_ * current_bound_;
+    OpenSummary();
+  }
+
   void OpenSummary() {
     ReqConfig sub_config = config_;
     sub_config.n_hint = current_bound_;  // fixed-N summary (Theorem 14)

@@ -9,12 +9,23 @@
 //     compactions (Section 5 / Appendix D, footnote-9 variant). The simpler
 //     close-out scheme of Section 5 is implemented separately in
 //     req_chain.h.
+//   * Batch updates: Update(const T*, size_t) appends run-length chunks
+//     directly into level 0 and runs the compaction cascade once per fill
+//     instead of once per item. Produces a sketch bit-identical to the
+//     equivalent sequence of single-item updates (same seeds, same
+//     compaction schedule, same coin flips).
 //   * Full mergeability (Theorem 3, Algorithm 3): Merge() combines two
 //     sketches built from arbitrary merge trees; compaction-schedule states
 //     combine by bitwise OR, parameters regrow as needed, and each level is
 //     compacted at most once per merge.
 //   * Rank, quantile, CDF and PMF queries with inclusive or exclusive
 //     semantics; HRA (accurate near the max; default) or LRA orientation.
+//     Order-based queries go through a memoized sorted view that is rebuilt
+//     lazily after the sketch changes.
+//
+// Thread safety: none, including const query methods -- order-based
+// queries lazily fill a mutable view cache. A sketch shared across threads
+// needs external synchronization for queries as well as updates.
 //
 // Error guarantee (Theorem 1): for a fixed item y, with probability 1-delta,
 //   |RankEstimate(y) - R(y)| <= eps * R(y)          (LRA)
@@ -124,6 +135,63 @@ class ReqSketch {
     levels_[0].Insert(item);
     ++n_;
     if (levels_[0].IsFull()) CompactCascade(0);
+    view_cache_.reset();
+  }
+
+  // Batch update: summarizes `count` items as if each had been passed to
+  // the single-item Update, but with the per-item overhead (growth check,
+  // min/max tracking, fullness test) amortized over level-0 fills. With
+  // identical configuration and seed, the resulting sketch is bit-identical
+  // to the one produced by single-item updates: the chunking below breaks
+  // exactly at every level-0 fill and every N-regrowth boundary, so the
+  // compaction schedule and the coin-flip sequence are the same.
+  //
+  // Unlike a sequence of single-item updates, the batch validates every
+  // item up front: if any item is NaN the call throws without applying
+  // anything (strong guarantee).
+  void Update(const T* data, size_t count) {
+    if (count == 0) return;
+    for (size_t i = 0; i < count; ++i) CheckUpdatable(data[i]);
+
+    size_t i = 0;
+    while (i < count) {
+      GrowIfNeeded(n_ + 1);
+      Level& level0 = levels_[0];
+      const size_t room = level0.capacity() > level0.size()
+                              ? level0.capacity() - level0.size()
+                              : 0;
+      if (room == 0) {
+        // Defensive: cannot normally happen (the cascade below always
+        // leaves level 0 under capacity).
+        CompactCascade(0);
+        continue;
+      }
+      size_t chunk = std::min(count - i, room);
+      if (!fixed_n_) {
+        // Never cross an N-regrowth boundary inside a chunk; the next loop
+        // iteration regrows first, exactly as single-item updates would.
+        chunk = static_cast<size_t>(std::min<uint64_t>(chunk, n_bound_ - n_));
+      }
+      // Min/max pass fused into the chunk loop: the chunk is still hot in
+      // cache when it is appended below.
+      const T* mn = data + i;
+      const T* mx = data + i;
+      for (size_t j = i + 1; j < i + chunk; ++j) {
+        if (comp_(data[j], *mn)) mn = data + j;
+        if (comp_(*mx, data[j])) mx = data + j;
+      }
+      TrackMinMax(*mn);
+      TrackMinMax(*mx);
+      level0.Insert(data + i, chunk);
+      n_ += chunk;
+      i += chunk;
+      if (levels_[0].IsFull()) CompactCascade(0);
+    }
+    view_cache_.reset();
+  }
+
+  void Update(const std::vector<T>& items) {
+    Update(items.data(), items.size());
   }
 
   // Merges `other` into this sketch (Algorithm 3). Both sketches must have
@@ -145,20 +213,25 @@ class ReqSketch {
     GrowIfNeeded(n_new);
 
     // Lines 10-11: if the source sketch was built under a smaller bound,
-    // special-compact a copy of its levels under *its* parameters.
-    std::vector<Level> source_levels = other.levels_;
+    // special-compact a copy of its levels under *its* parameters. When the
+    // bounds already agree the deep copy is skipped and the source buffers
+    // are read in place.
+    const std::vector<Level>* source = &other.levels_;
+    std::vector<Level> regrown;
     if (other.n_bound_ < n_bound_) {
-      SpecialCompactLevels(&source_levels);
+      regrown = other.levels_;
+      SpecialCompactLevels(&regrown);
+      source = &regrown;
     }
 
     // Combine schedule states (bitwise OR; Facts 18/19) and concatenate
     // buffers level by level.
-    while (levels_.size() < source_levels.size()) {
+    while (levels_.size() < source->size()) {
       levels_.emplace_back(MakeLevel());
     }
-    for (size_t h = 0; h < source_levels.size(); ++h) {
-      levels_[h].OrState(source_levels[h].state());
-      levels_[h].InsertAll(source_levels[h].items());
+    for (size_t h = 0; h < source->size(); ++h) {
+      levels_[h].OrState((*source)[h].state());
+      levels_[h].InsertAll((*source)[h].items());
     }
 
     n_ = n_new;
@@ -175,16 +248,19 @@ class ReqSketch {
     for (size_t h = 0; h < levels_.size(); ++h) {
       if (levels_[h].size() >= levels_[h].capacity()) {
         EnsureLevel(h + 1);
-        const std::vector<T> promoted = levels_[h].Compact(rng_);
-        levels_[h + 1].InsertAll(promoted);
+        levels_[h].Compact(rng_, &promote_scratch_);
+        levels_[h + 1].InsertAll(std::move(promote_scratch_));
       }
     }
+    view_cache_.reset();
   }
 
   // --- queries -------------------------------------------------------------
 
   // Estimate-Rank(y) of Algorithm 2: sum over levels of 2^h times the
-  // number of stored items <= y (inclusive) or < y (exclusive).
+  // number of stored items <= y (inclusive) or < y (exclusive). Each level
+  // answers by binary search over its sorted prefix plus a scan of its
+  // small insert tail: O(levels * log B) rather than O(RetainedItems).
   uint64_t GetRank(const T& y,
                    Criterion criterion = Criterion::kInclusive) const {
     util::CheckState(n_ > 0, "GetRank() on an empty sketch");
@@ -201,21 +277,22 @@ class ReqSketch {
            static_cast<double>(n_);
   }
 
-  // Batched rank queries: one O(S log S) sorted-view build amortized over
-  // all queries instead of an O(S) scan each.
+  // Batched rank queries through the memoized sorted view: amortized
+  // O(log S) per query after the first order-based query since the last
+  // update.
   std::vector<uint64_t> GetRanks(
       const std::vector<T>& ys,
       Criterion criterion = Criterion::kInclusive) const {
     util::CheckState(n_ > 0, "GetRanks() on an empty sketch");
-    const SortedView<T, Compare> view = GetSortedView();
+    const SortedView<T, Compare>& view = CachedSortedView();
     std::vector<uint64_t> out;
     out.reserve(ys.size());
     for (const T& y : ys) out.push_back(view.GetRank(y, criterion));
     return out;
   }
 
-  // Smallest item whose estimated rank reaches q * n. O(S log S); for many
-  // queries build GetSortedView() once.
+  // Smallest item whose estimated rank reaches q * n. Amortized O(log S)
+  // per query via the memoized sorted view.
   T GetQuantile(double q, Criterion criterion = Criterion::kInclusive) const {
     util::CheckState(n_ > 0, "GetQuantile() on an empty sketch");
     // q = 0 and q = 1 return the exactly tracked extremes (the extreme
@@ -228,14 +305,14 @@ class ReqSketch {
       util::CheckArg(q == 1.0, "normalized rank must be in [0, 1]");
       return *max_item_;
     }
-    return GetSortedView().GetQuantile(q, criterion);
+    return CachedSortedView().GetQuantile(q, criterion);
   }
 
   std::vector<T> GetQuantiles(
       const std::vector<double>& qs,
       Criterion criterion = Criterion::kInclusive) const {
     util::CheckState(n_ > 0, "GetQuantiles() on an empty sketch");
-    const SortedView<T, Compare> view = GetSortedView();
+    const SortedView<T, Compare>& view = CachedSortedView();
     std::vector<T> out;
     out.reserve(qs.size());
     for (double q : qs) {
@@ -259,13 +336,7 @@ class ReqSketch {
       Criterion criterion = Criterion::kInclusive) const {
     util::CheckState(n_ > 0, "GetCDF() on an empty sketch");
     CheckSplits(splits);
-    std::vector<double> cdf;
-    cdf.reserve(splits.size() + 1);
-    for (const T& split : splits) {
-      cdf.push_back(GetNormalizedRank(split, criterion));
-    }
-    cdf.push_back(1.0);
-    return cdf;
+    return CachedSortedView().GetCDF(splits, criterion);
   }
 
   // PMF over the intervals defined by the split points (mass of
@@ -290,12 +361,30 @@ class ReqSketch {
     }
   }
 
+  // The memoized sorted view of the sketch contents. Built lazily on first
+  // use and reused until the next Update/Merge invalidates it; the
+  // reference stays valid until then.
+  //
+  // NOTE: filling the cache mutates `mutable` state, so even const queries
+  // that go through it (GetQuantile(s), GetRanks, GetCDF, GetPMF) are NOT
+  // safe to call concurrently on a shared sketch without external
+  // synchronization -- same as the sketch's updates.
+  const SortedView<T, Compare>& CachedSortedView() const {
+    util::CheckState(n_ > 0, "CachedSortedView() on an empty sketch");
+    if (!view_cache_) view_cache_.emplace(BuildSortedView());
+    return *view_cache_;
+  }
+
+  // Value-semantics accessor kept for compatibility. On a warm cache this
+  // serves an O(S) copy of the memoized view; on a cold cache it builds
+  // and returns the view directly (the pre-memoization cost) without
+  // leaving a duplicate behind in the sketch -- one-shot callers pay
+  // exactly what they used to. Query-heavy callers should prefer
+  // CachedSortedView().
   SortedView<T, Compare> GetSortedView() const {
     util::CheckState(n_ > 0, "GetSortedView() on an empty sketch");
-    std::vector<std::pair<T, uint64_t>> weighted;
-    weighted.reserve(RetainedItems());
-    AppendWeightedItems(&weighted);
-    return SortedView<T, Compare>(std::move(weighted), TotalWeight(), comp_);
+    if (view_cache_) return *view_cache_;
+    return BuildSortedView();
   }
 
   // Conservative a-priori relative standard error at protected ranks:
@@ -327,6 +416,13 @@ class ReqSketch {
 
  private:
   friend struct ReqSerde<T, Compare>;
+
+  SortedView<T, Compare> BuildSortedView() const {
+    std::vector<std::pair<T, uint64_t>> weighted;
+    weighted.reserve(RetainedItems());
+    AppendWeightedItems(&weighted);
+    return SortedView<T, Compare>(std::move(weighted), TotalWeight(), comp_);
+  }
 
   Level MakeLevel() const {
     return Level(section_size_, num_sections_, config_.accuracy,
@@ -379,19 +475,21 @@ class ReqSketch {
   void SpecialCompactLevels(std::vector<Level>* levels) {
     if (levels->size() < 2) return;
     for (size_t h = 0; h + 1 < levels->size(); ++h) {
-      const std::vector<T> promoted = (*levels)[h].SpecialCompact(rng_);
-      (*levels)[h + 1].InsertAll(promoted);
+      (*levels)[h].SpecialCompact(rng_, &promote_scratch_);
+      (*levels)[h + 1].InsertAll(std::move(promote_scratch_));
     }
   }
 
   // Streaming compaction cascade: compact level h when full; promotions may
   // fill level h+1, which is then compacted in turn (Algorithm 2's
-  // recursive Insert).
+  // recursive Insert). Promotions go through promote_scratch_, whose
+  // allocation is reused across compactions (InsertAll moves the items out
+  // but leaves the vector's capacity in place).
   void CompactCascade(size_t h) {
     while (h < levels_.size() && levels_[h].IsFull()) {
       EnsureLevel(h + 1);
-      const std::vector<T> promoted = levels_[h].Compact(rng_);
-      levels_[h + 1].InsertAll(promoted);
+      levels_[h].Compact(rng_, &promote_scratch_);
+      levels_[h + 1].InsertAll(std::move(promote_scratch_));
       ++h;
     }
   }
@@ -427,6 +525,11 @@ class ReqSketch {
   bool fixed_n_ = false;
   std::optional<T> min_item_;
   std::optional<T> max_item_;
+  // Scratch buffer for promoted items; reused across compactions so the
+  // steady-state update path performs no allocations.
+  std::vector<T> promote_scratch_;
+  // Memoized sorted view for order-based queries; reset by Update/Merge.
+  mutable std::optional<SortedView<T, Compare>> view_cache_;
 };
 
 }  // namespace req

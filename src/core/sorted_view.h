@@ -79,6 +79,20 @@ class SortedView {
            static_cast<double>(total_weight_);
   }
 
+  // CDF at the given (ascending) split points: result[i] is the normalized
+  // rank of split[i]; a final entry of 1.0 is appended. One binary search
+  // per split point. Shared by the sketch and the Section 5 chain.
+  std::vector<double> GetCDF(const std::vector<T>& splits,
+                             Criterion criterion) const {
+    std::vector<double> cdf;
+    cdf.reserve(splits.size() + 1);
+    for (const T& split : splits) {
+      cdf.push_back(GetNormalizedRank(split, criterion));
+    }
+    cdf.push_back(1.0);
+    return cdf;
+  }
+
   // Quantile for normalized rank q in [0, 1]: the smallest stored item whose
   // cumulative weight reaches q * n (inclusive), or the smallest item whose
   // cumulative weight exceeds q * n (exclusive). q = 0 returns the smallest

@@ -13,17 +13,30 @@ namespace req {
 namespace util {
 
 // Throws std::invalid_argument with the given message if cond is false.
+// The const char* overloads keep the passing path allocation-free: the
+// std::string overloads would otherwise construct (and for messages beyond
+// the small-string optimization, heap-allocate) a temporary on every call,
+// which is measurable in per-item hot paths like Update and GetRank.
+inline void CheckArg(bool cond, const char* message) {
+  if (!cond) throw std::invalid_argument(message);
+}
 inline void CheckArg(bool cond, const std::string& message) {
   if (!cond) throw std::invalid_argument(message);
 }
 
 // Throws std::logic_error: used for operations invalid in the current state
 // (e.g., quantile query on an empty sketch).
+inline void CheckState(bool cond, const char* message) {
+  if (!cond) throw std::logic_error(message);
+}
 inline void CheckState(bool cond, const std::string& message) {
   if (!cond) throw std::logic_error(message);
 }
 
 // Throws std::runtime_error: used for corrupt serialized data.
+inline void CheckData(bool cond, const char* message) {
+  if (!cond) throw std::runtime_error(message);
+}
 inline void CheckData(bool cond, const std::string& message) {
   if (!cond) throw std::runtime_error(message);
 }

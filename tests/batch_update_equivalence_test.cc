@@ -1,0 +1,172 @@
+// Batch updates must be *bit-identical* to single-item updates: with the
+// same configuration and seed, Update(data, count) has to produce exactly
+// the same buffer contents, schedule states, coin-flip sequence and query
+// answers as `count` calls to Update(item). The strongest check is byte
+// equality of the serialized sketches, which covers n, bounds, min/max and
+// every level's state and item order.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "core/req_chain.h"
+#include "core/req_common.h"
+#include "core/req_serde.h"
+#include "core/req_sketch.h"
+#include "util/random.h"
+#include "workload/distributions.h"
+
+namespace req {
+namespace {
+
+ReqConfig MakeConfig(uint32_t k_base, RankAccuracy acc, uint64_t seed) {
+  ReqConfig config;
+  config.k_base = k_base;
+  config.accuracy = acc;
+  config.seed = seed;
+  return config;
+}
+
+std::vector<double> TestStream(size_t n, uint64_t seed) {
+  return workload::GenerateLognormal(n, seed);
+}
+
+void ExpectBitIdentical(const ReqSketch<double>& a,
+                        const ReqSketch<double>& b) {
+  ASSERT_EQ(a.n(), b.n());
+  ASSERT_EQ(a.num_levels(), b.num_levels());
+  EXPECT_EQ(a.RetainedItems(), b.RetainedItems());
+  EXPECT_EQ(a.NumCompactions(), b.NumCompactions());
+  for (size_t h = 0; h < a.num_levels(); ++h) {
+    EXPECT_EQ(a.levels()[h].state(), b.levels()[h].state()) << "level " << h;
+    EXPECT_EQ(a.levels()[h].items(), b.levels()[h].items()) << "level " << h;
+  }
+  EXPECT_EQ(SerializeSketch(a), SerializeSketch(b));
+}
+
+TEST(BatchUpdateEquivalenceTest, WholeStreamOneBatch) {
+  for (RankAccuracy acc : {RankAccuracy::kHighRanks, RankAccuracy::kLowRanks}) {
+    const auto values = TestStream(20000, 7);
+    ReqSketch<double> single(MakeConfig(16, acc, 42));
+    ReqSketch<double> batch(MakeConfig(16, acc, 42));
+    for (double v : values) single.Update(v);
+    batch.Update(values.data(), values.size());
+    ExpectBitIdentical(single, batch);
+  }
+}
+
+TEST(BatchUpdateEquivalenceTest, VectorOverload) {
+  const auto values = TestStream(5000, 8);
+  ReqSketch<double> single(MakeConfig(16, RankAccuracy::kHighRanks, 1));
+  ReqSketch<double> batch(MakeConfig(16, RankAccuracy::kHighRanks, 1));
+  for (double v : values) single.Update(v);
+  batch.Update(values);
+  ExpectBitIdentical(single, batch);
+}
+
+// Splitting the stream into arbitrary sub-batches (including size-1 and
+// empty ones) must not change anything either.
+TEST(BatchUpdateEquivalenceTest, RandomSubBatches) {
+  const auto values = TestStream(30000, 9);
+  ReqSketch<double> single(MakeConfig(32, RankAccuracy::kHighRanks, 3));
+  ReqSketch<double> batch(MakeConfig(32, RankAccuracy::kHighRanks, 3));
+  for (double v : values) single.Update(v);
+  util::Xoshiro256 rng(99);
+  size_t i = 0;
+  while (i < values.size()) {
+    const size_t chunk =
+        std::min(values.size() - i, static_cast<size_t>(rng.Next() % 700));
+    batch.Update(values.data() + i, chunk);
+    i += chunk;
+  }
+  ExpectBitIdentical(single, batch);
+}
+
+// A small k_base forces several N-regrowth boundaries (N0 = 8k squares
+// repeatedly) inside one batch call; the chunking must break exactly there.
+TEST(BatchUpdateEquivalenceTest, CrossesRegrowthBoundaries) {
+  const auto values = TestStream(60000, 10);
+  ReqSketch<double> single(MakeConfig(4, RankAccuracy::kHighRanks, 5));
+  ReqSketch<double> batch(MakeConfig(4, RankAccuracy::kHighRanks, 5));
+  for (double v : values) single.Update(v);
+  batch.Update(values.data(), values.size());
+  ExpectBitIdentical(single, batch);
+}
+
+TEST(BatchUpdateEquivalenceTest, FixedNMode) {
+  ReqConfig config = MakeConfig(16, RankAccuracy::kHighRanks, 6);
+  config.n_hint = 100000;  // Theorem 14 mode: no regrowth chunk clamping
+  const auto values = TestStream(50000, 11);
+  ReqSketch<double> single(config);
+  ReqSketch<double> batch(config);
+  for (double v : values) single.Update(v);
+  batch.Update(values.data(), values.size());
+  ExpectBitIdentical(single, batch);
+}
+
+TEST(BatchUpdateEquivalenceTest, QueriesAgree) {
+  const auto values = TestStream(20000, 12);
+  ReqSketch<double> single(MakeConfig(16, RankAccuracy::kHighRanks, 13));
+  ReqSketch<double> batch(MakeConfig(16, RankAccuracy::kHighRanks, 13));
+  for (double v : values) single.Update(v);
+  batch.Update(values.data(), values.size());
+  EXPECT_EQ(single.MinItem(), batch.MinItem());
+  EXPECT_EQ(single.MaxItem(), batch.MaxItem());
+  for (Criterion criterion : {Criterion::kInclusive, Criterion::kExclusive}) {
+    for (double y : {0.1, 0.5, 1.0, 2.0, 5.0, 20.0}) {
+      EXPECT_EQ(single.GetRank(y, criterion), batch.GetRank(y, criterion));
+    }
+    for (double q : {0.0, 0.01, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+      EXPECT_EQ(single.GetQuantile(q, criterion),
+                batch.GetQuantile(q, criterion));
+    }
+  }
+}
+
+TEST(BatchUpdateEquivalenceTest, EmptyBatchIsNoOp) {
+  ReqSketch<double> sketch(MakeConfig(16, RankAccuracy::kHighRanks, 14));
+  sketch.Update(1.0);
+  const auto before = SerializeSketch(sketch);
+  sketch.Update(nullptr, 0);
+  sketch.Update(std::vector<double>{});
+  EXPECT_EQ(before, SerializeSketch(sketch));
+}
+
+// Batch validates up front: a NaN anywhere in the batch throws without
+// applying *any* item (stronger than the sequential prefix application of
+// single-item updates).
+TEST(BatchUpdateEquivalenceTest, NaNBatchAppliesNothing) {
+  ReqSketch<double> sketch(MakeConfig(16, RankAccuracy::kHighRanks, 15));
+  sketch.Update(1.0);
+  const auto before = SerializeSketch(sketch);
+  std::vector<double> bad = {2.0, 3.0, std::nan(""), 4.0};
+  EXPECT_THROW(sketch.Update(bad.data(), bad.size()), std::invalid_argument);
+  EXPECT_EQ(sketch.n(), 1u);
+  EXPECT_EQ(before, SerializeSketch(sketch));
+}
+
+// The Section 5 chain chunks at close-out boundaries; its batch path must
+// produce summaries identical to single-item feeding (the per-summary
+// seeds are derived deterministically, so query answers must match too).
+TEST(BatchUpdateEquivalenceTest, ChainBatchMatchesSingle) {
+  ReqConfig config = MakeConfig(8, RankAccuracy::kHighRanks, 16);
+  const auto values = TestStream(40000, 17);
+  ReqChain<double> single(config);
+  ReqChain<double> batch(config);
+  for (double v : values) single.Update(v);
+  batch.Update(values.data(), values.size());
+  ASSERT_EQ(single.n(), batch.n());
+  EXPECT_EQ(single.num_summaries(), batch.num_summaries());
+  EXPECT_EQ(single.RetainedItems(), batch.RetainedItems());
+  for (double y : {0.2, 0.7, 1.0, 1.5, 3.0, 10.0}) {
+    EXPECT_EQ(single.GetRank(y), batch.GetRank(y));
+  }
+  for (double q : {0.01, 0.5, 0.95, 0.999}) {
+    EXPECT_EQ(single.GetQuantile(q), batch.GetQuantile(q));
+  }
+}
+
+}  // namespace
+}  // namespace req
