@@ -14,7 +14,13 @@
 // records the before/after trajectory of hot-path optimization PRs.
 //
 // Usage: bench_e13_hotpath [--items N] [--out report.json]
-//                          [--baseline old_report.json]
+//                          [--baseline old_report.json] [--smoke]
+//
+// --smoke caps the stream at 64Ki items and runs a single rep so CI can
+// exercise the full code path and the JSON schema in seconds; the report
+// carries "smoke": true so a quick run is never mistaken for a captured
+// baseline.
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -165,28 +171,28 @@ std::string ReadWholeFile(const std::string& path) {
 
 int main(int argc, char** argv) {
   size_t num_items = size_t{1} << 20;
+  bool smoke = false;
   std::string out_path = "BENCH_e13_hotpath.json";
   std::string baseline_path;
-  for (int i = 1; i < argc; i += 2) {
-    if (i + 1 >= argc) {
-      std::fprintf(stderr, "flag %s requires a value\n", argv[i]);
-      return 1;
-    }
-    if (std::strcmp(argv[i], "--items") == 0) {
-      num_items = static_cast<size_t>(std::strtoull(argv[i + 1], nullptr, 10));
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--items") == 0 && i + 1 < argc) {
+      num_items = static_cast<size_t>(std::strtoull(argv[++i], nullptr, 10));
       if (num_items == 0) {
         std::fprintf(stderr, "--items must be positive\n");
         return 1;
       }
-    } else if (std::strcmp(argv[i], "--out") == 0) {
-      out_path = argv[i + 1];
-    } else if (std::strcmp(argv[i], "--baseline") == 0) {
-      baseline_path = argv[i + 1];
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--baseline") == 0 && i + 1 < argc) {
+      baseline_path = argv[++i];
     } else {
-      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      std::fprintf(stderr, "unknown flag or missing value: %s\n", argv[i]);
       return 1;
     }
   }
+  if (smoke) num_items = std::min(num_items, size_t{1} << 16);
 
   constexpr bool kBatch = HasBatchUpdate<req::ReqSketch<double>>::value;
   req::bench::PrintBanner(
@@ -198,7 +204,7 @@ int main(int argc, char** argv) {
 
   const std::vector<double> values =
       req::workload::GenerateLognormal(num_items, 101);
-  const int kReps = 5;
+  const int kReps = smoke ? 1 : 5;
   std::vector<Measurement> results;
 
   std::printf("%6s %22s %14s %10s\n", "k", "metric", "value", "unit");
@@ -225,6 +231,7 @@ int main(int argc, char** argv) {
       .Field("experiment", "e13_hotpath")
       .Field("items", static_cast<uint64_t>(num_items))
       .Field("reps", kReps)
+      .Field("smoke", smoke)
       .Field("batch_api", kBatch);
   json.BeginArray("results");
   for (const Measurement& m : results) {

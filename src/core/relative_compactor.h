@@ -107,6 +107,12 @@ class RelativeCompactor {
     ExtendSortedPrefix();
   }
 
+  // Grows the underlying buffer's capacity (never shrinks, never changes
+  // contents); used by the N-way merge to size each level once up front.
+  void Reserve(size_t total) {
+    if (total > items_.capacity()) items_.reserve(total);
+  }
+
   // Bulk insert used by merge: appends all items from a sibling buffer.
   void InsertAll(const std::vector<T>& other_items) {
     if (other_items.empty()) return;

@@ -117,6 +117,15 @@ inline uint32_t Capacity(uint32_t section_size, uint32_t num_sections) {
   return 2 * section_size * num_sections;
 }
 
+// Conservative a-priori relative standard error at protected ranks:
+// sigma[Err(y)] / R*(y) where R*(y) is the rank measured from the accurate
+// end. Derived from Lemma 12's Var <= 2^5 R^2 / (k B) with this
+// implementation's k * B ~= 4 k_base^2. Single source of truth for the
+// sketch and every wrapper that reports its error bound.
+inline double RelativeStdErr(uint32_t k_base) {
+  return 2.83 / static_cast<double>(k_base);
+}
+
 inline void ValidateConfig(const ReqConfig& config) {
   util::CheckArg(config.k_base >= kMinK,
                  "k_base must be >= 4 (got " +

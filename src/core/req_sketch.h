@@ -23,9 +23,14 @@
 //     Order-based queries go through a memoized sorted view that is rebuilt
 //     lazily after the sketch changes.
 //
-// Thread safety: none, including const query methods -- order-based
-// queries lazily fill a mutable view cache. A sketch shared across threads
-// needs external synchronization for queries as well as updates.
+// Thread safety: any number of threads may run const query methods
+// concurrently on a shared sketch (the lazily memoized sorted view is
+// filled under an internal lock with a double-checked atomic flag), but
+// mutations (Update / Merge) still require exclusive access: no query or
+// other mutation may run concurrently with them. This is exactly the
+// contract the sharded orchestrator in concurrency/sharded_req_sketch.h
+// needs: shards are mutated under a per-shard lock while the merged
+// read-only view is queried freely from many threads.
 //
 // Error guarantee (Theorem 1): for a fixed item y, with probability 1-delta,
 //   |RankEstimate(y) - R(y)| <= eps * R(y)          (LRA)
@@ -36,10 +41,12 @@
 #define REQSKETCH_CORE_REQ_SKETCH_H_
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdint>
 #include <functional>
 #include <limits>
+#include <mutex>
 #include <optional>
 #include <type_traits>
 #include <utility>
@@ -52,6 +59,35 @@
 #include "util/validation.h"
 
 namespace req {
+
+namespace detail {
+
+// std::atomic<bool> with value-copy semantics so the sketch stays copyable.
+// Copies transfer the value, not any synchronization relationship: they are
+// only made while the source sketch is externally quiescent.
+struct CopyableAtomicBool {
+  std::atomic<bool> value{false};
+  CopyableAtomicBool() = default;
+  CopyableAtomicBool(const CopyableAtomicBool& other)
+      : value(other.value.load(std::memory_order_acquire)) {}
+  CopyableAtomicBool& operator=(const CopyableAtomicBool& other) {
+    value.store(other.value.load(std::memory_order_acquire),
+                std::memory_order_release);
+    return *this;
+  }
+};
+
+// A mutex that copy/move-constructs to a fresh, unlocked mutex: the lock
+// protects per-object lazy initialization, so it never travels with the
+// data it guards.
+struct CopyableMutex {
+  std::mutex mutex;
+  CopyableMutex() = default;
+  CopyableMutex(const CopyableMutex&) {}
+  CopyableMutex& operator=(const CopyableMutex&) { return *this; }
+};
+
+}  // namespace detail
 
 template <typename T, typename Compare>
 struct ReqSerde;  // defined in core/req_serde.h; needs internal access
@@ -135,7 +171,7 @@ class ReqSketch {
     levels_[0].Insert(item);
     ++n_;
     if (levels_[0].IsFull()) CompactCascade(0);
-    view_cache_.reset();
+    InvalidateView();
   }
 
   // Batch update: summarizes `count` items as if each had been passed to
@@ -187,7 +223,7 @@ class ReqSketch {
       i += chunk;
       if (levels_[0].IsFull()) CompactCascade(0);
     }
-    view_cache_.reset();
+    InvalidateView();
   }
 
   void Update(const std::vector<T>& items) {
@@ -199,52 +235,108 @@ class ReqSketch {
   // is not modified. After the call, this sketch summarizes the
   // concatenation of both inputs with the guarantees of Theorem 3.
   void Merge(const ReqSketch& other) {
-    util::CheckArg(this != &other, "cannot merge a sketch into itself");
-    util::CheckArg(config_.k_base == other.config_.k_base,
-                   "cannot merge sketches with different k_base");
-    util::CheckArg(config_.accuracy == other.config_.accuracy,
-                   "cannot merge sketches with different rank-accuracy "
-                   "orientation");
-    if (other.is_empty()) return;
-    const uint64_t n_new = n_ + other.n_;
+    const ReqSketch* source = &other;
+    Merge(&source, 1);
+  }
+
+  // N-way merge over a contiguous array of sketches. Equivalent to merging
+  // them pairwise left-to-right but cheaper: this sketch grows its bound
+  // and pre-sizes every level buffer exactly once for the combined
+  // contents, then runs a single bottom-up compaction sweep (at most one
+  // scheduled compaction per level for the whole batch) instead of one
+  // cascade per source.
+  void Merge(const ReqSketch* sketches, size_t count) {
+    std::vector<const ReqSketch*> sources;
+    sources.reserve(count);
+    for (size_t i = 0; i < count; ++i) sources.push_back(&sketches[i]);
+    Merge(sources.data(), count);
+  }
+
+  // Pointer-array form of the N-way merge, for sources that do not live in
+  // a contiguous array (e.g. the per-shard sketches of the concurrent
+  // orchestrator). `Merge(&p, 1)` is bit-identical to the pairwise
+  // `Merge(*p)` (same special compactions, same coin flips).
+  void Merge(const ReqSketch* const* sources, size_t count) {
+    uint64_t n_new = n_;
+    size_t max_levels = levels_.size();
+    for (size_t i = 0; i < count; ++i) {
+      const ReqSketch& src = *sources[i];
+      util::CheckArg(&src != this, "cannot merge a sketch into itself");
+      util::CheckArg(config_.k_base == src.config_.k_base,
+                     "cannot merge sketches with different k_base");
+      util::CheckArg(config_.accuracy == src.config_.accuracy,
+                     "cannot merge sketches with different rank-accuracy "
+                     "orientation");
+      if (src.is_empty()) continue;
+      n_new += src.n_;
+      max_levels = std::max(max_levels, src.levels_.size());
+    }
+    if (n_new == n_) return;  // every source empty
 
     // Lines 4-7 of Algorithm 3: if our bound is too small, run special
-    // compactions and square N (possibly repeatedly).
+    // compactions and square N (possibly repeatedly). One growth to the
+    // final combined size replaces the per-merge regrowth a pairwise
+    // cascade would perform.
     GrowIfNeeded(n_new);
+    EnsureLevel(max_levels - 1);
 
-    // Lines 10-11: if the source sketch was built under a smaller bound,
-    // special-compact a copy of its levels under *its* parameters. When the
-    // bounds already agree the deep copy is skipped and the source buffers
-    // are read in place.
-    const std::vector<Level>* source = &other.levels_;
-    std::vector<Level> regrown;
-    if (other.n_bound_ < n_bound_) {
-      regrown = other.levels_;
-      SpecialCompactLevels(&regrown);
-      source = &regrown;
+    // Pre-size each level buffer once for everything about to arrive, so
+    // the InsertAll loop below never reallocates mid-merge.
+    {
+      std::vector<size_t> incoming(levels_.size(), 0);
+      for (size_t i = 0; i < count; ++i) {
+        const ReqSketch& src = *sources[i];
+        if (src.is_empty()) continue;
+        // Sources below our bound shrink under special compaction, so
+        // their raw sizes are a valid (slightly loose) reservation.
+        for (size_t h = 0; h < src.levels_.size(); ++h) {
+          incoming[h] += src.levels_[h].size();
+        }
+      }
+      for (size_t h = 0; h < levels_.size(); ++h) {
+        levels_[h].Reserve(levels_[h].size() + incoming[h]);
+      }
     }
 
-    // Combine schedule states (bitwise OR; Facts 18/19) and concatenate
-    // buffers level by level.
-    while (levels_.size() < source->size()) {
-      levels_.emplace_back(MakeLevel());
-    }
-    for (size_t h = 0; h < source->size(); ++h) {
-      levels_[h].OrState((*source)[h].state());
-      levels_[h].InsertAll((*source)[h].items());
+    for (size_t i = 0; i < count; ++i) {
+      const ReqSketch& src = *sources[i];
+      if (src.is_empty()) continue;
+
+      // Lines 10-11: if a source sketch was built under a smaller bound,
+      // special-compact a copy of its levels under *its* parameters. When
+      // the bounds already agree the deep copy is skipped and the source
+      // buffers are read in place.
+      const std::vector<Level>* source = &src.levels_;
+      std::vector<Level> regrown;
+      if (src.n_bound_ < n_bound_) {
+        regrown = src.levels_;
+        SpecialCompactLevels(&regrown);
+        source = &regrown;
+      }
+
+      // Combine schedule states (bitwise OR; Facts 18/19) and concatenate
+      // buffers level by level.
+      for (size_t h = 0; h < source->size(); ++h) {
+        levels_[h].OrState((*source)[h].state());
+        levels_[h].InsertAll((*source)[h].items());
+      }
+
+      if (src.min_item_ &&
+          (!min_item_ || comp_(*src.min_item_, *min_item_))) {
+        min_item_ = src.min_item_;
+      }
+      if (src.max_item_ &&
+          (!max_item_ || comp_(*max_item_, *src.max_item_))) {
+        max_item_ = src.max_item_;
+      }
     }
 
     n_ = n_new;
-    if (other.min_item_ &&
-        (!min_item_ || comp_(*other.min_item_, *min_item_))) {
-      min_item_ = other.min_item_;
-    }
-    if (other.max_item_ &&
-        (!max_item_ || comp_(*max_item_, *other.max_item_))) {
-      max_item_ = other.max_item_;
-    }
 
     // Lines 22-24: at most one scheduled compaction per level, bottom-up.
+    // Compact() consumes everything beyond the nominal capacity, so a
+    // level that received items from many sources still settles in one
+    // pass.
     for (size_t h = 0; h < levels_.size(); ++h) {
       if (levels_[h].size() >= levels_[h].capacity()) {
         EnsureLevel(h + 1);
@@ -252,7 +344,7 @@ class ReqSketch {
         levels_[h + 1].InsertAll(std::move(promote_scratch_));
       }
     }
-    view_cache_.reset();
+    InvalidateView();
   }
 
   // --- queries -------------------------------------------------------------
@@ -365,34 +457,43 @@ class ReqSketch {
   // use and reused until the next Update/Merge invalidates it; the
   // reference stays valid until then.
   //
-  // NOTE: filling the cache mutates `mutable` state, so even const queries
-  // that go through it (GetQuantile(s), GetRanks, GetCDF, GetPMF) are NOT
-  // safe to call concurrently on a shared sketch without external
-  // synchronization -- same as the sketch's updates.
+  // Filling the cache is guarded by a double-checked atomic flag plus a
+  // lock, so any number of threads may call this (and the order-based
+  // const queries that go through it) concurrently on a shared sketch.
+  // Mutations still require exclusive access.
   const SortedView<T, Compare>& CachedSortedView() const {
     util::CheckState(n_ > 0, "CachedSortedView() on an empty sketch");
-    if (!view_cache_) view_cache_.emplace(BuildSortedView());
+    if (!view_ready_.value.load(std::memory_order_acquire)) {
+      std::lock_guard<std::mutex> lock(view_mutex_.mutex);
+      if (!view_ready_.value.load(std::memory_order_relaxed)) {
+        view_cache_.emplace(BuildSortedView());
+        view_ready_.value.store(true, std::memory_order_release);
+      }
+    }
     return *view_cache_;
   }
 
-  // Value-semantics accessor kept for compatibility. On a warm cache this
-  // serves an O(S) copy of the memoized view; on a cold cache it builds
-  // and returns the view directly (the pre-memoization cost) without
-  // leaving a duplicate behind in the sketch -- one-shot callers pay
-  // exactly what they used to. Query-heavy callers should prefer
-  // CachedSortedView().
-  SortedView<T, Compare> GetSortedView() const {
-    util::CheckState(n_ > 0, "GetSortedView() on an empty sketch");
-    if (view_cache_) return *view_cache_;
-    return BuildSortedView();
+  // Eagerly builds the memoized sorted view (no-op on an empty sketch or a
+  // warm cache). Callers that hand a sketch to many concurrent readers can
+  // warm the cache once here so every subsequent order-based query takes
+  // only the lock-free fast path.
+  void PrepareSortedView() const {
+    if (n_ > 0) CachedSortedView();
   }
 
-  // Conservative a-priori relative standard error at protected ranks:
-  // sigma[Err(y)] / R*(y) where R*(y) is the rank measured from the accurate
-  // end. Derived from Lemma 12's Var <= 2^5 R^2 / (k B) with this
-  // implementation's k * B ~= 4 k_base^2.
+  // Value-semantics accessor kept for compatibility: populates (and then
+  // shares) the memoized cache, so a one-shot call pays the O(S log S)
+  // build exactly once and query-heavy callers converge on the same cached
+  // view as CachedSortedView().
+  SortedView<T, Compare> GetSortedView() const {
+    util::CheckState(n_ > 0, "GetSortedView() on an empty sketch");
+    return CachedSortedView();
+  }
+
+  // Conservative a-priori relative standard error at protected ranks
+  // (params::RelativeStdErr; Lemma 12).
   double RelativeStdErr() const {
-    return 2.83 / static_cast<double>(config_.k_base);
+    return params::RelativeStdErr(config_.k_base);
   }
 
   // Rank confidence bounds at num_std_devs standard deviations (1, 2 or 3).
@@ -416,6 +517,13 @@ class ReqSketch {
 
  private:
   friend struct ReqSerde<T, Compare>;
+
+  // Drops the memoized view. Mutators run with exclusive access (no
+  // concurrent readers by contract), so plain stores suffice.
+  void InvalidateView() {
+    view_ready_.value.store(false, std::memory_order_release);
+    view_cache_.reset();
+  }
 
   SortedView<T, Compare> BuildSortedView() const {
     std::vector<std::pair<T, uint64_t>> weighted;
@@ -529,7 +637,12 @@ class ReqSketch {
   // steady-state update path performs no allocations.
   std::vector<T> promote_scratch_;
   // Memoized sorted view for order-based queries; reset by Update/Merge.
+  // view_ready_ is the double-checked publication flag: readers acquire-load
+  // it and only touch view_cache_ once it is true; the fill runs under
+  // view_mutex_ so concurrent cold readers build the view exactly once.
   mutable std::optional<SortedView<T, Compare>> view_cache_;
+  mutable detail::CopyableAtomicBool view_ready_;
+  mutable detail::CopyableMutex view_mutex_;
 };
 
 }  // namespace req

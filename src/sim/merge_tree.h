@@ -12,6 +12,8 @@
 #include <deque>
 #include <functional>
 #include <string>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "util/random.h"
@@ -24,11 +26,13 @@ enum class MergeTopology {
   kLeftDeep,   // ((s0 + s1) + s2) + ... : a streaming-aggregation chain
   kBalanced,   // pairwise rounds: the map-reduce combiner pattern
   kRandomTree, // random binary tree: adversarial "arbitrary" merges
+  kSharded,    // one flat N-way merge: the concurrent shard-per-thread
+               // merge-on-query pattern (concurrency/sharded_req_sketch.h)
 };
 
 inline constexpr MergeTopology kAllMergeTopologies[] = {
     MergeTopology::kLeftDeep, MergeTopology::kBalanced,
-    MergeTopology::kRandomTree};
+    MergeTopology::kRandomTree, MergeTopology::kSharded};
 
 inline std::string TopologyName(MergeTopology topology) {
   switch (topology) {
@@ -38,9 +42,22 @@ inline std::string TopologyName(MergeTopology topology) {
       return "balanced";
     case MergeTopology::kRandomTree:
       return "random-tree";
+    case MergeTopology::kSharded:
+      return "sharded";
   }
   return "unknown";
 }
+
+// Compile-time probe for the N-way pointer-array merge
+// (Merge(const Sketch* const*, size_t)); baseline sketches that only have
+// the pairwise API fall back to a left-deep chain under kSharded.
+template <typename S, typename = void>
+struct HasNWayMerge : std::false_type {};
+template <typename S>
+struct HasNWayMerge<
+    S, std::void_t<decltype(std::declval<S&>().Merge(
+           std::declval<const S* const*>(), size_t{0}))>> : std::true_type {
+};
 
 // Splits `values` into `parts` contiguous chunks (sizes differ by <= 1).
 inline std::vector<std::vector<double>> SplitStream(
@@ -81,6 +98,22 @@ Sketch BuildAndMerge(const std::vector<std::vector<double>>& parts,
       while (!sketches.empty()) {
         acc.Merge(sketches.front());
         sketches.pop_front();
+      }
+      return acc;
+    }
+    case MergeTopology::kSharded: {
+      // The merge-on-query shape of the sharded orchestrator: every
+      // per-part sketch is a shard, and one flat N-way merge combines all
+      // of them at once.
+      Sketch acc = std::move(sketches.front());
+      sketches.pop_front();
+      if constexpr (HasNWayMerge<Sketch>::value) {
+        std::vector<const Sketch*> sources;
+        sources.reserve(sketches.size());
+        for (const Sketch& s : sketches) sources.push_back(&s);
+        acc.Merge(sources.data(), sources.size());
+      } else {
+        for (const Sketch& s : sketches) acc.Merge(s);
       }
       return acc;
     }

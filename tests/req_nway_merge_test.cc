@@ -1,0 +1,189 @@
+// Tests for the N-way ReqSketch::Merge added for sharded merge-on-query:
+// argument validation, exact bookkeeping, equivalence with the pairwise
+// path, mixed-bound sources, the error envelope, and the kSharded merge
+// topology in sim/merge_tree.h.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "core/req_serde.h"
+#include "core/req_sketch.h"
+#include "sim/merge_tree.h"
+#include "sim/metrics.h"
+#include "workload/distributions.h"
+
+namespace req {
+namespace {
+
+ReqSketch<double> MakeSketch(uint32_t k_base, uint64_t seed) {
+  ReqConfig config;
+  config.k_base = k_base;
+  config.seed = seed;
+  return ReqSketch<double>(config);
+}
+
+std::vector<ReqSketch<double>> BuildParts(const std::vector<double>& values,
+                                          size_t parts, uint32_t k_base) {
+  const auto split = sim::SplitStream(values, parts);
+  std::vector<ReqSketch<double>> sketches;
+  sketches.reserve(parts);
+  for (size_t p = 0; p < parts; ++p) {
+    sketches.push_back(MakeSketch(k_base, 500 + p));
+    sketches.back().Update(split[p]);
+  }
+  return sketches;
+}
+
+TEST(NWayMergeTest, CountOneIsBitIdenticalToPairwise) {
+  const auto values = workload::GenerateLognormal(20000, 9);
+  auto parts = BuildParts(values, 2, 32);
+
+  auto pairwise = MakeSketch(32, 500);  // same seed as parts[0]
+  pairwise.Update(sim::SplitStream(values, 2)[0]);
+  ASSERT_EQ(SerializeSketch(pairwise), SerializeSketch(parts[0]));
+  pairwise.Merge(parts[1]);
+
+  auto nway = parts[0];  // copy
+  const ReqSketch<double>* src = &parts[1];
+  nway.Merge(&src, 1);
+
+  EXPECT_EQ(SerializeSketch(nway), SerializeSketch(pairwise));
+}
+
+TEST(NWayMergeTest, ContiguousAndPointerOverloadsAgree) {
+  const auto values = workload::GenerateUniform(30000, 21);
+  auto parts = BuildParts(values, 5, 32);
+
+  auto via_array = MakeSketch(32, 3);
+  via_array.Merge(parts.data(), parts.size());
+
+  auto via_pointers = MakeSketch(32, 3);
+  std::vector<const ReqSketch<double>*> ptrs;
+  for (const auto& p : parts) ptrs.push_back(&p);
+  via_pointers.Merge(ptrs.data(), ptrs.size());
+
+  EXPECT_EQ(SerializeSketch(via_array), SerializeSketch(via_pointers));
+}
+
+TEST(NWayMergeTest, ExactBookkeeping) {
+  const auto values = workload::GenerateGaussian(50000, 33);
+  auto parts = BuildParts(values, 8, 32);
+
+  auto merged = MakeSketch(32, 4);
+  merged.Merge(parts.data(), parts.size());
+
+  EXPECT_EQ(merged.n(), values.size());
+  EXPECT_EQ(merged.TotalWeight(), values.size());
+  EXPECT_EQ(merged.MinItem(),
+            *std::min_element(values.begin(), values.end()));
+  EXPECT_EQ(merged.MaxItem(),
+            *std::max_element(values.begin(), values.end()));
+  EXPECT_EQ(merged.GetRank(merged.MaxItem()), merged.n());
+}
+
+// Sources of wildly different sizes carry different input-size bounds N;
+// the N-way merge must special-compact the smaller-bound sources exactly
+// like the pairwise path does.
+TEST(NWayMergeTest, MixedBoundsSources) {
+  const auto big = workload::GenerateLognormal(60000, 1);
+  const auto small = workload::GenerateLognormal(200, 2);
+  const auto tiny = workload::GenerateLognormal(40, 3);
+
+  auto a = MakeSketch(32, 10);
+  a.Update(big);
+  auto b = MakeSketch(32, 11);
+  b.Update(small);
+  auto c = MakeSketch(32, 12);
+  c.Update(tiny);
+  ASSERT_LT(b.n_bound(), a.n_bound());
+
+  auto merged = MakeSketch(32, 13);
+  std::vector<const ReqSketch<double>*> ptrs{&a, &b, &c};
+  merged.Merge(ptrs.data(), ptrs.size());
+
+  EXPECT_EQ(merged.n(), big.size() + small.size() + tiny.size());
+  EXPECT_EQ(merged.TotalWeight(), merged.n());
+  EXPECT_EQ(merged.GetRank(merged.MaxItem()), merged.n());
+}
+
+TEST(NWayMergeTest, ErrorEnvelope) {
+  const auto values = workload::GenerateLognormal(50000, 55);
+  auto parts = BuildParts(values, 8, 32);
+
+  auto merged = MakeSketch(32, 6);
+  merged.Merge(parts.data(), parts.size());
+
+  sim::RankOracle oracle(values);
+  const auto grid = sim::GeometricRankGrid(values.size(), true);
+  const auto samples = sim::EvaluateRankErrors(
+      oracle, [&](double y) { return merged.GetRank(y); }, grid, true);
+  EXPECT_LT(sim::Summarize(samples).max_relative_error,
+            6.0 * merged.RelativeStdErr());
+}
+
+TEST(NWayMergeTest, EmptySourcesAreNoOps) {
+  auto target = MakeSketch(32, 7);
+  target.Update(std::vector<double>{1.0, 2.0, 3.0});
+  const auto before = SerializeSketch(target);
+
+  auto empty1 = MakeSketch(32, 8);
+  auto empty2 = MakeSketch(32, 9);
+  std::vector<const ReqSketch<double>*> ptrs{&empty1, &empty2};
+  target.Merge(ptrs.data(), ptrs.size());
+  EXPECT_EQ(SerializeSketch(target), before);
+
+  target.Merge(static_cast<const ReqSketch<double>*>(nullptr), 0);
+  EXPECT_EQ(SerializeSketch(target), before);
+
+  // Empty target absorbing non-empty sources.
+  auto fresh = MakeSketch(32, 14);
+  auto source = MakeSketch(32, 15);
+  source.Update(std::vector<double>{5.0, 6.0});
+  const ReqSketch<double>* sp = &source;
+  fresh.Merge(&sp, 1);
+  EXPECT_EQ(fresh.n(), 2u);
+}
+
+TEST(NWayMergeTest, ValidationErrors) {
+  auto a = MakeSketch(32, 1);
+  a.Update(std::vector<double>{1.0});
+  const ReqSketch<double>* self = &a;
+  EXPECT_THROW(a.Merge(&self, 1), std::invalid_argument);
+
+  auto different_k = MakeSketch(64, 2);
+  const ReqSketch<double>* dk = &different_k;
+  EXPECT_THROW(a.Merge(&dk, 1), std::invalid_argument);
+
+  ReqConfig lra;
+  lra.k_base = 32;
+  lra.accuracy = RankAccuracy::kLowRanks;
+  ReqSketch<double> lra_sketch(lra);
+  const ReqSketch<double>* lp = &lra_sketch;
+  EXPECT_THROW(a.Merge(&lp, 1), std::invalid_argument);
+}
+
+// The kSharded merge topology is exactly "first part absorbs the rest in
+// one flat N-way merge".
+TEST(NWayMergeTest, ShardedTopologyMatchesDirectNWay) {
+  const auto values = workload::GenerateLognormal(30000, 42);
+  constexpr size_t kParts = 6;
+  constexpr uint32_t kBase = 32;
+
+  auto make = [](size_t p) { return MakeSketch(kBase, 500 + p); };
+  const auto split = sim::SplitStream(values, kParts);
+  const auto topology_result = sim::BuildAndMerge<ReqSketch<double>>(
+      split, make, sim::MergeTopology::kSharded);
+
+  auto parts = BuildParts(values, kParts, kBase);
+  auto direct = std::move(parts[0]);
+  std::vector<const ReqSketch<double>*> rest;
+  for (size_t p = 1; p < kParts; ++p) rest.push_back(&parts[p]);
+  direct.Merge(rest.data(), rest.size());
+
+  EXPECT_EQ(SerializeSketch(topology_result), SerializeSketch(direct));
+}
+
+}  // namespace
+}  // namespace req

@@ -1,0 +1,153 @@
+// Property tests for the sharded orchestrator: shard-count invariance of
+// the error guarantee (1, 2, and 8 shards must all stay inside the rank
+// confidence envelope on the standard workload distributions) and
+// reproducibility (fixed seeds + fixed flush schedule give byte-identical
+// serialized state across runs, even with real producer threads).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "concurrency/sharded_req_sketch.h"
+#include "sim/metrics.h"
+#include "workload/distributions.h"
+
+namespace req {
+namespace concurrency {
+namespace {
+
+using workload::DistKind;
+
+using ShardParam = std::tuple<size_t /*shards*/, DistKind>;
+
+class ShardCountInvariance : public ::testing::TestWithParam<ShardParam> {
+ protected:
+  static constexpr size_t kN = 40000;
+  static constexpr uint32_t kBase = 32;
+
+  static ShardedReqConfig Config(size_t shards) {
+    ShardedReqConfig config;
+    config.num_shards = shards;
+    config.buffer_capacity = 512;
+    config.base.k_base = kBase;
+    config.base.accuracy = RankAccuracy::kHighRanks;
+    config.base.seed = 1234;
+    return config;
+  }
+};
+
+// The merged view's estimates stay within the statistical envelope the
+// analysis promises, independent of how many shards the stream was split
+// over (Theorem 3: mergeability does not degrade the guarantee).
+TEST_P(ShardCountInvariance, RankErrorEnvelope) {
+  const auto& [shards, dist] = GetParam();
+  const auto values = workload::Generate(dist, kN, /*seed=*/31337);
+
+  ShardedReqSketch<double> sketch(Config(shards));
+  for (size_t i = 0; i < values.size(); ++i) {
+    sketch.Update(i % shards, values[i]);
+  }
+  sketch.FlushAll();
+  ASSERT_EQ(sketch.n(), values.size());
+
+  sim::RankOracle oracle(values);
+  const auto grid = sim::GeometricRankGrid(values.size(), true);
+  const auto samples = sim::EvaluateRankErrors(
+      oracle, [&](double y) { return sketch.GetRank(y); }, grid, true);
+  EXPECT_LT(sim::Summarize(samples).max_relative_error,
+            6.0 * sketch.RelativeStdErr());
+}
+
+// The true rank must (almost) always lie inside the 3-standard-deviation
+// confidence interval reported by GetRankLowerBound/GetRankUpperBound.
+TEST_P(ShardCountInvariance, ConfidenceBoundsCoverTrueRank) {
+  const auto& [shards, dist] = GetParam();
+  const auto values = workload::Generate(dist, kN, /*seed=*/4711);
+
+  ShardedReqSketch<double> sketch(Config(shards));
+  for (size_t i = 0; i < values.size(); ++i) {
+    sketch.Update(i % shards, values[i]);
+  }
+  sketch.FlushAll();
+
+  sim::RankOracle oracle(values);
+  const auto grid = sim::GeometricRankGrid(values.size(), true);
+  size_t covered = 0;
+  for (uint64_t r : grid) {
+    const double item = oracle.ItemAtRank(r);
+    const uint64_t truth = oracle.RankInclusive(item);
+    const uint64_t lo = sketch.GetRankLowerBound(item, 3);
+    const uint64_t hi = sketch.GetRankUpperBound(item, 3);
+    ASSERT_LE(lo, hi);
+    if (lo <= truth && truth <= hi) ++covered;
+  }
+  // 3 standard deviations ~ 99.7% pointwise; demand >= 95% of the grid.
+  EXPECT_GE(static_cast<double>(covered),
+            0.95 * static_cast<double>(grid.size()))
+      << "covered " << covered << " of " << grid.size();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ShardCountInvariance,
+    ::testing::Combine(::testing::Values(size_t{1}, size_t{2}, size_t{8}),
+                       ::testing::Values(DistKind::kUniform,
+                                         DistKind::kLognormal,
+                                         DistKind::kZipf,
+                                         DistKind::kSequential)),
+    [](const ::testing::TestParamInfo<ShardParam>& info) {
+      return "shards" + std::to_string(std::get<0>(info.param)) + "_" +
+             workload::DistName(std::get<1>(info.param));
+    });
+
+// Fixed seed + fixed per-shard inputs + fixed flush schedule must
+// reproduce byte-identical serialized state, run after run, threads or
+// no threads: a shard's content depends only on its own stream, never on
+// cross-shard timing.
+TEST(ShardedDeterminismTest, ByteIdenticalAcrossRunsAndThreading) {
+  constexpr size_t kShards = 4;
+  const auto values = workload::GenerateLognormal(60000, 2024);
+  std::vector<std::vector<double>> slices(kShards);
+  for (size_t i = 0; i < values.size(); ++i) {
+    slices[i % kShards].push_back(values[i]);
+  }
+
+  ShardedReqConfig config;
+  config.num_shards = kShards;
+  config.buffer_capacity = 256;
+  config.base.k_base = 16;
+  config.base.seed = 77;
+
+  auto run_threaded = [&]() {
+    ShardedReqSketch<double> sketch(config);
+    std::vector<std::thread> producers;
+    for (size_t shard = 0; shard < kShards; ++shard) {
+      producers.emplace_back([&, shard] {
+        for (double v : slices[shard]) sketch.Update(shard, v);
+      });
+    }
+    for (auto& p : producers) p.join();
+    sketch.FlushAll();
+    return sketch.Serialize();
+  };
+
+  const auto run1 = run_threaded();
+  const auto run2 = run_threaded();
+  EXPECT_EQ(run1, run2) << "threaded runs must be bit-reproducible";
+
+  // A single-threaded run over the same per-shard slices (same flush
+  // boundaries: every buffer fill plus the final FlushAll) is the same
+  // sketch again.
+  ShardedReqSketch<double> sequential(config);
+  for (size_t shard = 0; shard < kShards; ++shard) {
+    sequential.Update(shard, slices[shard]);
+  }
+  sequential.FlushAll();
+  EXPECT_EQ(sequential.Serialize(), run1);
+}
+
+}  // namespace
+}  // namespace concurrency
+}  // namespace req

@@ -1,0 +1,150 @@
+// Unit and stress tests for the SPSC staging buffer
+// (concurrency/spsc_buffer.h): capacity rounding, FIFO order across
+// wraparound, bulk push boundaries, and a producer/consumer stress run
+// that the ThreadSanitizer CI job checks for races.
+#include "concurrency/spsc_buffer.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace req {
+namespace concurrency {
+namespace {
+
+TEST(SpscBufferTest, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(SpscBuffer<int>(1).capacity(), 2u);
+  EXPECT_EQ(SpscBuffer<int>(2).capacity(), 2u);
+  EXPECT_EQ(SpscBuffer<int>(3).capacity(), 4u);
+  EXPECT_EQ(SpscBuffer<int>(4).capacity(), 4u);
+  EXPECT_EQ(SpscBuffer<int>(1000).capacity(), 1024u);
+  EXPECT_EQ(SpscBuffer<int>(4096).capacity(), 4096u);
+}
+
+TEST(SpscBufferTest, RejectsZeroCapacity) {
+  EXPECT_THROW(SpscBuffer<int>(0), std::invalid_argument);
+}
+
+TEST(SpscBufferTest, PushPopFifo) {
+  SpscBuffer<int> buffer(4);
+  EXPECT_TRUE(buffer.empty());
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(buffer.TryPush(i));
+  EXPECT_FALSE(buffer.TryPush(99)) << "full buffer must reject pushes";
+  EXPECT_EQ(buffer.size(), 4u);
+
+  std::vector<int> out;
+  EXPECT_EQ(buffer.PopAll(&out), 4u);
+  EXPECT_EQ(out, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_TRUE(buffer.empty());
+  EXPECT_EQ(buffer.PopAll(&out), 0u);
+}
+
+TEST(SpscBufferTest, FifoAcrossWraparound) {
+  SpscBuffer<int> buffer(8);
+  std::vector<int> drained;
+  int next = 0;
+  // Repeatedly part-fill and drain so cursors run far past the capacity.
+  for (int round = 0; round < 100; ++round) {
+    const int batch = 1 + (round % 7);
+    for (int i = 0; i < batch; ++i) ASSERT_TRUE(buffer.TryPush(next++));
+    buffer.PopAll(&drained);
+  }
+  ASSERT_EQ(drained.size(), static_cast<size_t>(next));
+  for (int i = 0; i < next; ++i) EXPECT_EQ(drained[i], i);
+}
+
+TEST(SpscBufferTest, BulkPushStopsAtCapacity) {
+  SpscBuffer<int> buffer(8);
+  std::vector<int> data(20);
+  std::iota(data.begin(), data.end(), 0);
+
+  EXPECT_EQ(buffer.TryPushBulk(data.data(), 5), 5u);
+  EXPECT_EQ(buffer.TryPushBulk(data.data() + 5, 15), 3u)
+      << "bulk push must stop exactly at capacity";
+  EXPECT_EQ(buffer.TryPushBulk(data.data() + 8, 12), 0u);
+
+  std::vector<int> out;
+  buffer.PopAll(&out);
+  EXPECT_EQ(out, std::vector<int>(data.begin(), data.begin() + 8));
+  EXPECT_EQ(buffer.TryPushBulk(data.data() + 8, 12), 8u);
+}
+
+TEST(SpscBufferTest, WorksWithNonTrivialTypes) {
+  SpscBuffer<std::string> buffer(4);
+  EXPECT_TRUE(buffer.TryPush("alpha"));
+  EXPECT_TRUE(buffer.TryPush("beta"));
+  std::vector<std::string> out;
+  EXPECT_EQ(buffer.PopAll(&out), 2u);
+  EXPECT_EQ(out, (std::vector<std::string>{"alpha", "beta"}));
+}
+
+// One producer races one consumer; every pushed item must come out exactly
+// once, in order. Run under TSan in CI.
+TEST(SpscBufferStressTest, ConcurrentProducerConsumer) {
+  SpscBuffer<uint64_t> buffer(256);
+  constexpr uint64_t kItems = 200000;
+
+  std::thread producer([&] {
+    uint64_t pushed = 0;
+    while (pushed < kItems) {
+      if (buffer.TryPush(pushed)) {
+        ++pushed;
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  });
+
+  std::vector<uint64_t> received;
+  received.reserve(kItems);
+  while (received.size() < kItems) {
+    if (buffer.PopAll(&received) == 0) std::this_thread::yield();
+  }
+  producer.join();
+
+  ASSERT_EQ(received.size(), kItems);
+  for (uint64_t i = 0; i < kItems; ++i) {
+    ASSERT_EQ(received[i], i) << "FIFO order violated at " << i;
+  }
+}
+
+// Bulk-push producer against a PopAll consumer.
+TEST(SpscBufferStressTest, ConcurrentBulkProducerConsumer) {
+  SpscBuffer<uint64_t> buffer(128);
+  constexpr uint64_t kItems = 200000;
+
+  std::thread producer([&] {
+    std::vector<uint64_t> chunk(37);
+    uint64_t next = 0;
+    while (next < kItems) {
+      const size_t want =
+          static_cast<size_t>(std::min<uint64_t>(chunk.size(),
+                                                 kItems - next));
+      for (size_t i = 0; i < want; ++i) chunk[i] = next + i;
+      size_t sent = 0;
+      while (sent < want) {
+        sent += buffer.TryPushBulk(chunk.data() + sent, want - sent);
+        if (sent < want) std::this_thread::yield();
+      }
+      next += want;
+    }
+  });
+
+  std::vector<uint64_t> received;
+  received.reserve(kItems);
+  while (received.size() < kItems) {
+    if (buffer.PopAll(&received) == 0) std::this_thread::yield();
+  }
+  producer.join();
+
+  ASSERT_EQ(received.size(), kItems);
+  for (uint64_t i = 0; i < kItems; ++i) ASSERT_EQ(received[i], i);
+}
+
+}  // namespace
+}  // namespace concurrency
+}  // namespace req

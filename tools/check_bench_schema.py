@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Guards the machine-readable bench reports against schema drift.
+
+CI runs the E13/E14 binaries in --smoke mode and then validates the
+resulting JSON here (stdlib only). The committed full-run reports at the
+repo root satisfy the same schemas, so this can also be pointed at them.
+
+Usage: check_bench_schema.py REPORT.json [REPORT.json ...]
+"""
+import json
+import sys
+
+# Per-experiment schema: required top-level keys, plus required keys for
+# every element of the named arrays. Extra keys are allowed (additive
+# evolution does not break consumers); missing keys fail CI.
+SCHEMAS = {
+    "e13_hotpath": {
+        "top": {"experiment", "items", "reps", "batch_api", "results"},
+        "arrays": {
+            "results": {"metric", "k", "value", "unit"},
+        },
+    },
+    "e14_scaling": {
+        "top": {
+            "experiment",
+            "items_per_thread",
+            "reps",
+            "smoke",
+            "hardware_threads",
+            "buffer_capacity",
+            "results",
+            "plain_baseline",
+            "summary",
+        },
+        "arrays": {
+            "results": {
+                "k",
+                "threads",
+                "shards",
+                "wall_mups",
+                "agg_cpu_mups",
+                "merged_build_us",
+                "warm_rank_ns",
+            },
+            "plain_baseline": {"k", "plain_mups"},
+            "summary": {"k", "agg_speedup_8v1", "sharded_vs_plain_1t"},
+        },
+    },
+}
+
+
+def check(path):
+    errors = []
+    with open(path, "r", encoding="utf-8") as f:
+        try:
+            report = json.load(f)
+        except json.JSONDecodeError as e:
+            return [f"{path}: not valid JSON: {e}"]
+    experiment = report.get("experiment")
+    schema = SCHEMAS.get(experiment)
+    if schema is None:
+        return [
+            f"{path}: unknown experiment {experiment!r}; "
+            f"expected one of {sorted(SCHEMAS)}"
+        ]
+    missing = schema["top"] - report.keys()
+    if missing:
+        errors.append(f"{path}: missing top-level keys {sorted(missing)}")
+    for array_name, required in schema["arrays"].items():
+        rows = report.get(array_name)
+        if not isinstance(rows, list) or not rows:
+            errors.append(f"{path}: {array_name!r} must be a non-empty list")
+            continue
+        for i, row in enumerate(rows):
+            row_missing = required - row.keys()
+            if row_missing:
+                errors.append(
+                    f"{path}: {array_name}[{i}] missing {sorted(row_missing)}"
+                )
+    return errors
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    all_errors = []
+    for path in argv[1:]:
+        all_errors.extend(check(path))
+    for error in all_errors:
+        print(f"SCHEMA DRIFT: {error}", file=sys.stderr)
+    if all_errors:
+        return 1
+    print(f"schema OK for {len(argv) - 1} report(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
