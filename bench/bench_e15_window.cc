@@ -1,0 +1,330 @@
+// E15 -- Sliding-window quantiles: ingest, rotation and merge-on-query cost.
+//
+// Sweeps window size W (total items covered) x bucket count B x k_base over
+// a lognormal stream fed through WindowedReqSketch (bucket_items = W / B,
+// count-driven rotation) and reports per configuration:
+//
+//   * update_mups      -- per-item Update throughput through the window
+//                         (includes every automatic rotation the stream
+//                         triggers).
+//   * rotate_us        -- cost of one explicit Rotate() on a full window
+//                         (bucket Reset keeps its allocation, so this
+//                         should be near-free and independent of W).
+//   * merged_build_us  -- first query after a change: one B-way Merge over
+//                         the live buckets plus the sorted-view build.
+//   * warm_rank_ns     -- subsequent queries against the cached merged
+//                         view.
+//
+// A plain single ReqSketch over the same W items is measured as the
+// baseline; the summary reports merged_build_us / single_build_us per
+// configuration. The acceptance claim is that this cold-query ratio stays
+// within ~B of the single-sketch cost (the merge reads each bucket's
+// retained items once), while warm queries are cache hits at parity.
+//
+// Results go to stdout as a table and to BENCH_e15_window.json.
+//
+// Usage: bench_e15_window [--items N] [--reps R] [--out report.json]
+//                         [--smoke]
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/req_sketch.h"
+#include "window/windowed_req_sketch.h"
+#include "workload/distributions.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+// A sink the optimizer cannot remove.
+volatile uint64_t g_sink = 0;
+
+struct WindowResult {
+  uint32_t k = 0;
+  size_t buckets = 0;
+  uint64_t window_items = 0;
+  uint64_t bucket_items = 0;
+  double update_mups = 0.0;
+  double rotate_us = 0.0;
+  double merged_build_us = 0.0;
+  double warm_rank_ns = 0.0;
+  uint64_t rotations = 0;
+};
+
+struct SingleBaseline {
+  uint32_t k = 0;
+  uint64_t window_items = 0;
+  double build_us = 0.0;
+  double warm_rank_ns = 0.0;
+};
+
+req::window::WindowedReqConfig MakeConfig(uint32_t k, size_t buckets,
+                                          uint64_t window_items) {
+  req::window::WindowedReqConfig config;
+  config.num_buckets = buckets;
+  config.bucket_items = window_items / buckets;
+  config.base.k_base = k;
+  config.base.seed = 13;
+  return config;
+}
+
+// Feeds the whole stream per item (the realistic monitoring API), then
+// measures rotation and query costs on the full window. Best of `reps`.
+WindowResult MeasureWindow(uint32_t k, size_t buckets,
+                           uint64_t window_items,
+                           const std::vector<double>& values, int reps) {
+  WindowResult best;
+  best.k = k;
+  best.buckets = buckets;
+  best.window_items = window_items;
+  best.bucket_items = window_items / buckets;
+  for (int r = 0; r < reps; ++r) {
+    req::window::WindowedReqSketch<double> window(
+        MakeConfig(k, buckets, window_items));
+    const auto start = Clock::now();
+    for (double v : values) window.Update(v);
+    const double ingest_secs = SecondsSince(start);
+    const double update_mups =
+        static_cast<double>(values.size()) / ingest_secs / 1e6;
+
+    // Rotation cost: explicit rotations on the full window (each retires
+    // one bucket and Reset-recycles its sketch). Few enough that the
+    // window contents stay representative.
+    const size_t kRotations = 8;
+    const auto rot_start = Clock::now();
+    for (size_t i = 0; i < kRotations; ++i) window.Rotate();
+    const double rotate_us =
+        SecondsSince(rot_start) * 1e6 / static_cast<double>(kRotations);
+
+    // Refill what the rotations expired so queries see a full window.
+    window.Update(values.data(),
+                  std::min<size_t>(values.size(),
+                                   static_cast<size_t>(
+                                       window.bucket_items() * kRotations)));
+
+    const auto cold_start = Clock::now();
+    g_sink += window.GetRank(values[0]);
+    const double merged_build_us = SecondsSince(cold_start) * 1e6;
+    const size_t kWarmQueries = 2000;
+    const auto warm_start = Clock::now();
+    uint64_t sum = 0;
+    for (size_t i = 0; i < kWarmQueries; ++i) {
+      sum += window.GetRank(values[i % values.size()]);
+    }
+    const double warm_rank_ns =
+        SecondsSince(warm_start) * 1e9 / static_cast<double>(kWarmQueries);
+    g_sink += sum;
+
+    if (update_mups > best.update_mups) {
+      best.update_mups = update_mups;
+      best.rotate_us = rotate_us;
+      best.merged_build_us = merged_build_us;
+      best.warm_rank_ns = warm_rank_ns;
+      best.rotations = window.rotations();
+    }
+  }
+  return best;
+}
+
+// The single-sketch baseline at equal k over exactly W items: cold
+// sorted-view build (what one window bucket-merge is compared against) and
+// warm rank latency.
+SingleBaseline MeasureSingle(uint32_t k, uint64_t window_items,
+                             const std::vector<double>& values, int reps) {
+  SingleBaseline best;
+  best.k = k;
+  best.window_items = window_items;
+  best.build_us = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    req::ReqConfig config;
+    config.k_base = k;
+    config.seed = 13;
+    req::ReqSketch<double> sketch(config);
+    const size_t count =
+        std::min<size_t>(values.size(), static_cast<size_t>(window_items));
+    sketch.Update(values.data(), count);
+    const auto cold_start = Clock::now();
+    g_sink += sketch.GetRank(values[0]);
+    sketch.PrepareSortedView();
+    const double build_us = SecondsSince(cold_start) * 1e6;
+    const size_t kWarmQueries = 2000;
+    const auto warm_start = Clock::now();
+    uint64_t sum = 0;
+    for (size_t i = 0; i < kWarmQueries; ++i) {
+      sum += sketch.GetRank(values[i % values.size()]);
+    }
+    const double warm_rank_ns =
+        SecondsSince(warm_start) * 1e9 / static_cast<double>(kWarmQueries);
+    g_sink += sum;
+    if (best.build_us == 0.0 || build_us < best.build_us) {
+      best.build_us = build_us;
+      best.warm_rank_ns = warm_rank_ns;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint64_t items = uint64_t{1} << 20;  // stream length (4x the largest W)
+  int reps = 3;
+  bool smoke = false;
+  std::string out_path = "BENCH_e15_window.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--items") == 0 && i + 1 < argc) {
+      items = std::strtoull(argv[++i], nullptr, 10);
+      if (items == 0) {
+        std::fprintf(stderr, "--items must be positive\n");
+        return 1;
+      }
+    } else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
+      reps = std::atoi(argv[++i]);
+      if (reps <= 0) {
+        std::fprintf(stderr, "--reps must be positive\n");
+        return 1;
+      }
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "unknown flag or missing value: %s\n", argv[i]);
+      return 1;
+    }
+  }
+  std::vector<uint64_t> window_sizes{uint64_t{1} << 16, uint64_t{1} << 18};
+  if (smoke) {
+    items = std::min(items, uint64_t{1} << 15);
+    window_sizes = {uint64_t{1} << 13};
+    reps = 1;
+  }
+
+  const std::vector<size_t> bucket_counts{4, 8, 16};
+  const std::vector<uint32_t> ks{16, 64, 256};
+
+  req::bench::PrintBanner(
+      "E15: sliding-window quantiles (window size x buckets x k)",
+      "bucketed windows answer last-W-items quantile queries via "
+      "merge-on-query at a cold cost within ~B of a single sketch and "
+      "warm cost at parity");
+  std::printf("stream items: %llu   reps: %d   smoke: %s\n\n",
+              static_cast<unsigned long long>(items), reps,
+              smoke ? "yes" : "no");
+
+  const std::vector<double> values = req::workload::GenerateLognormal(
+      static_cast<size_t>(items), 101);
+
+  std::vector<WindowResult> results;
+  std::vector<SingleBaseline> baselines;
+
+  std::printf("%6s %8s %12s %12s %12s %10s %16s %14s\n", "k", "buckets",
+              "window", "bucket_items", "update_mups", "rotate_us",
+              "merged_build_us", "warm_rank_ns");
+  for (uint32_t k : ks) {
+    for (uint64_t w : window_sizes) {
+      const SingleBaseline base = MeasureSingle(k, w, values, reps);
+      baselines.push_back(base);
+      std::printf("%6u %8s %12llu %12s %12s %10s %16.1f %14.1f   "
+                  "(single ReqSketch)\n",
+                  k, "-", static_cast<unsigned long long>(w), "-", "-", "-",
+                  base.build_us, base.warm_rank_ns);
+      for (size_t buckets : bucket_counts) {
+        const WindowResult r = MeasureWindow(k, buckets, w, values, reps);
+        results.push_back(r);
+        std::printf("%6u %8zu %12llu %12llu %12.2f %10.2f %16.1f %14.1f\n",
+                    r.k, r.buckets,
+                    static_cast<unsigned long long>(r.window_items),
+                    static_cast<unsigned long long>(r.bucket_items),
+                    r.update_mups, r.rotate_us, r.merged_build_us,
+                    r.warm_rank_ns);
+      }
+    }
+  }
+
+  // Summary: cold merged-query cost relative to the single-sketch build,
+  // per configuration (the ~Bx acceptance claim).
+  struct Summary {
+    uint32_t k;
+    size_t buckets;
+    uint64_t window_items;
+    double cold_ratio_vs_single;
+    double warm_ratio_vs_single;
+  };
+  std::vector<Summary> summaries;
+  std::printf("\n%6s %8s %12s %22s %22s\n", "k", "buckets", "window",
+              "cold_ratio_vs_single", "warm_ratio_vs_single");
+  for (const WindowResult& r : results) {
+    const SingleBaseline* base = nullptr;
+    for (const SingleBaseline& b : baselines) {
+      if (b.k == r.k && b.window_items == r.window_items) base = &b;
+    }
+    const Summary s{r.k, r.buckets, r.window_items,
+                    r.merged_build_us / base->build_us,
+                    r.warm_rank_ns / base->warm_rank_ns};
+    summaries.push_back(s);
+    std::printf("%6u %8zu %12llu %22.2f %22.2f\n", s.k, s.buckets,
+                static_cast<unsigned long long>(s.window_items),
+                s.cold_ratio_vs_single, s.warm_ratio_vs_single);
+  }
+
+  req::bench::JsonWriter json;
+  json.BeginObject()
+      .Field("experiment", "e15_window")
+      .Field("items", items)
+      .Field("reps", reps)
+      .Field("smoke", smoke);
+  json.BeginArray("results");
+  for (const WindowResult& r : results) {
+    json.BeginObject()
+        .Field("k", static_cast<uint64_t>(r.k))
+        .Field("buckets", static_cast<uint64_t>(r.buckets))
+        .Field("window_items", r.window_items)
+        .Field("bucket_items", r.bucket_items)
+        .Field("update_mups", r.update_mups)
+        .Field("rotate_us", r.rotate_us)
+        .Field("merged_build_us", r.merged_build_us)
+        .Field("warm_rank_ns", r.warm_rank_ns)
+        .Field("rotations", r.rotations)
+        .EndObject();
+  }
+  json.EndArray();
+  json.BeginArray("single_baseline");
+  for (const SingleBaseline& b : baselines) {
+    json.BeginObject()
+        .Field("k", static_cast<uint64_t>(b.k))
+        .Field("window_items", b.window_items)
+        .Field("build_us", b.build_us)
+        .Field("warm_rank_ns", b.warm_rank_ns)
+        .EndObject();
+  }
+  json.EndArray();
+  json.BeginArray("summary");
+  for (const Summary& s : summaries) {
+    json.BeginObject()
+        .Field("k", static_cast<uint64_t>(s.k))
+        .Field("buckets", static_cast<uint64_t>(s.buckets))
+        .Field("window_items", s.window_items)
+        .Field("cold_ratio_vs_single", s.cold_ratio_vs_single)
+        .Field("warm_ratio_vs_single", s.warm_ratio_vs_single)
+        .EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+  if (!json.WriteFile(out_path)) {
+    std::fprintf(stderr, "could not write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("\nwrote %s\n", out_path.c_str());
+  return 0;
+}

@@ -1,64 +1,103 @@
-// Latency monitoring: the paper's motivating application (Section 1).
+// Latency monitoring: the paper's motivating application (Section 1),
+// windowed the way production monitoring actually wants it.
 //
-// Web response times are heavily long-tailed; operators track p50 / p90 /
-// p99 / p99.9. An additive-error sketch with eps n error cannot resolve
-// p99.9 at all once eps > 0.001, while the REQ sketch's multiplicative
-// guarantee keeps the tail sharp. This example monitors a synthetic
-// latency trace (calibrated to the Masson et al. spread the paper cites:
-// p98.5 ~ 2 s vs p99.5 ~ 20 s) and compares the sketch's percentiles with
-// exact ones computed offline.
+// Operators track p50 / p99 / p99.9 *over the last N requests* (or last N
+// minutes), not since process start: a lifetime sketch takes hours to
+// notice an incident and hours more to forget it. This example streams a
+// synthetic latency trace through a WindowedReqSketch (HRA orientation:
+// accuracy concentrated at the high percentiles) whose ring of bucketed
+// sub-sketches covers the most recent 200k requests, injects a tail
+// incident mid-stream (every tail response 10x slower for a stretch), and
+// reports at each checkpoint:
+//
+//   * the windowed sketch's percentiles vs the exact percentiles of the
+//     same window (the last window-n requests -- buckets hold contiguous
+//     stream ranges, so the comparison is apples-to-apples), and
+//   * a lifetime (never-expiring) sketch's p99.9, to show how it smears
+//     the incident: it barely moves when the incident starts and never
+//     recovers after it ends.
 #include <algorithm>
 #include <cstdio>
 #include <vector>
 
-#include "baselines/kll_sketch.h"
 #include "core/req_sketch.h"
+#include "window/windowed_req_sketch.h"
 #include "workload/latency_model.h"
 
 int main() {
   const size_t kRequests = 2'000'000;
+  const size_t kWindow = 200'000;   // "the last 200k requests"
+  const size_t kBuckets = 8;        // expiry granularity: 25k requests
 
   req::workload::LatencyModel model;
-  const auto trace = model.GenerateTrace(kRequests, /*seed=*/2026);
+  std::vector<double> trace = model.GenerateTrace(kRequests, /*seed=*/2026);
 
-  // HRA orientation: accuracy concentrated at the high percentiles.
-  req::ReqConfig config;
-  config.k_base = 64;
-  config.accuracy = req::RankAccuracy::kHighRanks;
-  req::ReqSketch<double> req_sketch(config);
-
-  // An additive-error sketch of comparable size, for contrast.
-  req::baselines::KllSketch kll(320, /*seed=*/3);
-
-  for (double latency : trace) {
-    req_sketch.Update(latency);
-    kll.Update(latency);
+  // Incident: between requests 800k and 1.2M, the tail gets 10x worse
+  // (e.g. an overloaded downstream dependency).
+  const size_t kIncidentStart = 800'000, kIncidentEnd = 1'200'000;
+  for (size_t i = kIncidentStart; i < kIncidentEnd; ++i) {
+    if (trace[i] > 1.0) trace[i] *= 10.0;
   }
 
-  // Exact percentiles for reference.
-  std::vector<double> sorted = trace;
-  std::sort(sorted.begin(), sorted.end());
-  const auto exact_at = [&](double q) {
-    return sorted[std::min(sorted.size() - 1,
-                           static_cast<size_t>(q * sorted.size()))];
-  };
+  req::window::WindowedReqConfig config;
+  config.num_buckets = kBuckets;
+  config.bucket_items = kWindow / kBuckets;
+  config.base.k_base = 64;
+  config.base.accuracy = req::RankAccuracy::kHighRanks;
+  req::window::WindowedReqSketch<double> window(config);
 
-  std::printf("monitoring %zu requests; REQ stores %zu items, "
-              "KLL stores %zu items\n\n",
-              kRequests, req_sketch.RetainedItems(), kll.RetainedItems());
-  std::printf("%10s %12s %12s %12s %14s %14s\n", "percentile", "exact(s)",
-              "REQ(s)", "KLL(s)", "REQ rel err", "KLL rel err");
-  for (double q : {0.50, 0.90, 0.99, 0.995, 0.999, 0.9999}) {
-    const double exact = exact_at(q);
-    const double est_req = req_sketch.GetQuantile(q);
-    const double est_kll = kll.GetQuantile(q);
-    std::printf("%10.4f %12.4f %12.4f %12.4f %13.2f%% %13.2f%%\n", q, exact,
-                est_req, est_kll, 100.0 * std::abs(est_req - exact) / exact,
-                100.0 * std::abs(est_kll - exact) / exact);
+  req::ReqConfig lifetime_config = config.base;
+  lifetime_config.n_hint = 0;  // unknown stream length
+  req::ReqSketch<double> lifetime(lifetime_config);
+
+  std::printf("monitoring %zu requests, window = last %zu (%zu buckets of "
+              "%llu)\n",
+              kRequests, kWindow, kBuckets,
+              static_cast<unsigned long long>(config.bucket_items));
+  std::printf("incident: tail responses 10x slower in [%zu, %zu)\n\n",
+              kIncidentStart, kIncidentEnd);
+  std::printf("%10s %12s | %34s | %23s | %14s\n", "", "",
+              "window p99.9 (s)", "window p99 (s)", "lifetime");
+  std::printf("%10s %12s | %10s %10s %12s | %10s %12s | %14s\n", "request",
+              "window n", "exact", "REQ", "rel err", "REQ", "rel err",
+              "p99.9 (s)");
+
+  std::vector<double> scratch;
+  const size_t kCheckpoint = 200'000;
+  for (size_t i = 0; i < kRequests; ++i) {
+    window.Update(trace[i]);
+    lifetime.Update(trace[i]);
+    if ((i + 1) % kCheckpoint != 0) continue;
+
+    // Exact percentiles of the window contents: buckets hold contiguous
+    // stream ranges, so the window is exactly the last window.n() items.
+    const size_t wn = static_cast<size_t>(window.n());
+    scratch.assign(trace.begin() + (i + 1 - wn), trace.begin() + (i + 1));
+    std::sort(scratch.begin(), scratch.end());
+    const auto exact_at = [&](double q) {
+      return scratch[std::min(scratch.size() - 1,
+                              static_cast<size_t>(q * scratch.size()))];
+    };
+
+    const double exact999 = exact_at(0.999);
+    const double est999 = window.GetQuantile(0.999);
+    const double exact99 = exact_at(0.99);
+    const double est99 = window.GetQuantile(0.99);
+    std::printf("%10zu %12llu | %10.3f %10.3f %11.2f%% | %10.3f %11.2f%% | "
+                "%14.3f\n",
+                i + 1, static_cast<unsigned long long>(window.n()),
+                exact999, est999,
+                100.0 * std::abs(est999 - exact999) / exact999, est99,
+                100.0 * std::abs(est99 - exact99) / exact99,
+                lifetime.GetQuantile(0.999));
   }
-  std::printf("\nNote the tail rows: the additive sketch's percentile "
-              "drifts by orders of\nmagnitude in value because a rank "
-              "error of eps*n crosses the whole tail,\nwhile REQ pins "
-              "p99.9+ accurately.\n");
+
+  std::printf("\nThe windowed p99.9 jumps ~10x within one window of the "
+              "incident start and\nrecovers within one window of its end; "
+              "the lifetime sketch reacts late and\nnever recovers. Window "
+              "memory: %zu stored items across %zu buckets (<= %zu\n"
+              "estimated), vs %zu for the lifetime sketch.\n",
+              window.RetainedItems(), window.num_buckets(),
+              window.EstimateRetainedItems(), lifetime.RetainedItems());
   return 0;
 }

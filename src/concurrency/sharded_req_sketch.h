@@ -232,60 +232,89 @@ class ShardedReqSketch {
   }
 
   // --- queries (delegating to the cached merged view) ----------------------
+  //
+  // Querying an empty sharded sketch throws the same "empty sketch"
+  // std::logic_error a plain ReqSketch does -- checked up front, so shards
+  // that were flushed while empty never cause an empty merged view to be
+  // built and queried (the plain sketch's own CheckState would fire only
+  // after that wasted merge, and with a message blaming the inner object).
 
   uint64_t GetRank(const T& y,
                    Criterion criterion = Criterion::kInclusive) const {
+    util::CheckState(!is_empty(), "GetRank() on an empty sketch");
     return View()->sketch.GetRank(y, criterion);
   }
 
   double GetNormalizedRank(
       const T& y, Criterion criterion = Criterion::kInclusive) const {
+    util::CheckState(!is_empty(), "GetNormalizedRank() on an empty sketch");
     return View()->sketch.GetNormalizedRank(y, criterion);
   }
 
   std::vector<uint64_t> GetRanks(
       const std::vector<T>& ys,
       Criterion criterion = Criterion::kInclusive) const {
+    util::CheckState(!is_empty(), "GetRanks() on an empty sketch");
     return View()->sketch.GetRanks(ys, criterion);
   }
 
   T GetQuantile(double q,
                 Criterion criterion = Criterion::kInclusive) const {
+    util::CheckState(!is_empty(), "GetQuantile() on an empty sketch");
+    // NaN-rejecting, and before the (possibly expensive) N-way merge the
+    // view rebuild performs.
+    util::CheckArg(q >= 0.0 && q <= 1.0,
+                   "normalized rank must be in [0, 1]");
     return View()->sketch.GetQuantile(q, criterion);
   }
 
   std::vector<T> GetQuantiles(
       const std::vector<double>& qs,
       Criterion criterion = Criterion::kInclusive) const {
+    util::CheckState(!is_empty(), "GetQuantiles() on an empty sketch");
+    for (double q : qs) {
+      util::CheckArg(q >= 0.0 && q <= 1.0,
+                     "normalized rank must be in [0, 1]");
+    }
     return View()->sketch.GetQuantiles(qs, criterion);
   }
 
   std::vector<double> GetCDF(
       const std::vector<T>& splits,
       Criterion criterion = Criterion::kInclusive) const {
+    util::CheckState(!is_empty(), "GetCDF() on an empty sketch");
     return View()->sketch.GetCDF(splits, criterion);
   }
 
   std::vector<double> GetPMF(
       const std::vector<T>& splits,
       Criterion criterion = Criterion::kInclusive) const {
+    util::CheckState(!is_empty(), "GetPMF() on an empty sketch");
     return View()->sketch.GetPMF(splits, criterion);
   }
 
   uint64_t GetRankLowerBound(
       const T& y, int num_std_devs,
       Criterion criterion = Criterion::kInclusive) const {
+    util::CheckState(!is_empty(), "GetRankLowerBound() on an empty sketch");
     return View()->sketch.GetRankLowerBound(y, num_std_devs, criterion);
   }
 
   uint64_t GetRankUpperBound(
       const T& y, int num_std_devs,
       Criterion criterion = Criterion::kInclusive) const {
+    util::CheckState(!is_empty(), "GetRankUpperBound() on an empty sketch");
     return View()->sketch.GetRankUpperBound(y, num_std_devs, criterion);
   }
 
-  T MinItem() const { return View()->sketch.MinItem(); }
-  T MaxItem() const { return View()->sketch.MaxItem(); }
+  T MinItem() const {
+    util::CheckState(!is_empty(), "MinItem() on an empty sketch");
+    return View()->sketch.MinItem();
+  }
+  T MaxItem() const {
+    util::CheckState(!is_empty(), "MaxItem() on an empty sketch");
+    return View()->sketch.MaxItem();
+  }
   double RelativeStdErr() const {
     return params::RelativeStdErr(config_.base.k_base);
   }
@@ -352,6 +381,10 @@ class ShardedReqSketch {
                   sketches[0].config().accuracy,
           "corrupt sharded sketch: shards disagree on k_base/accuracy");
     }
+    // A num_shards corrupted downward would otherwise parse cleanly and
+    // silently drop the unread shard payloads.
+    util::CheckData(reader.AtEnd(),
+                    "corrupt sharded sketch: trailing bytes");
     config.base = sketches.front().config();
     // Returned as a prvalue (guaranteed elision): the class itself is
     // neither copyable nor movable (per-shard mutexes and atomics).

@@ -1,0 +1,420 @@
+// ShardedWindowedReqSketch: concurrent producers feeding a sliding window.
+//
+// Composes the two subsystems this repo already has:
+//   * per-producer SPSC staging buffers (concurrency/spsc_buffer.h), so the
+//     per-item ingest path is a lock-free push, and
+//   * a single WindowedReqSketch (window/windowed_req_sketch.h) that full
+//     buffers drain into through the batch Update path.
+//
+// Unlike ShardedReqSketch, the sketch behind the buffers is NOT sharded:
+// the bucket ring is global (a rotation must retire the same time slice for
+// every producer), so flushes from all shards serialize on one window
+// mutex. What sharding buys here is the lock-free staging fast path and
+// batch-amortized ingestion -- producers contend only once per
+// buffer-capacity items -- not linear core scaling of the summarization
+// itself (use ShardedReqSketch when you need that and can live without
+// expiry).
+//
+// Threading contract:
+//   * SINGLE WRITER PER SHARD: at most one thread may call
+//     Update(shard, ...) for a given shard at a time.
+//   * Rotate() / Flush / FlushAll may be called from any thread (e.g. a
+//     timer thread driving tick-based rotation), concurrently with
+//     producers and queries.
+//   * Queries run from any number of threads, lock-free on the fast path:
+//     every flush/rotation bumps an atomic epoch, and the first query
+//     after it snapshots the window's merged view (one N-way merge over
+//     the buckets + a prewarmed sorted view) behind an atomic shared_ptr,
+//     exactly the ShardedReqSketch scheme. Queries see *flushed* items
+//     only.
+//   * Visibility vs. rotation: items still sitting in a staging buffer
+//     when Rotate() runs land in the *new* current bucket once flushed.
+//     Callers that need exact bucket boundaries call FlushAll() before
+//     Rotate() (as the timer thread in the E15 bench does).
+//
+// Note on determinism: the window's bucket contents depend on the order in
+// which flushes from different shards interleave, which real concurrency
+// does not fix. A fixed flush schedule (e.g. single producer, or join
+// producers then FlushAll) is deterministic exactly like the plain window.
+#ifndef REQSKETCH_CONCURRENCY_SHARDED_WINDOWED_REQ_SKETCH_H_
+#define REQSKETCH_CONCURRENCY_SHARDED_WINDOWED_REQ_SKETCH_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "concurrency/spsc_buffer.h"
+#include "core/req_common.h"
+#include "core/req_sketch.h"
+#include "util/serde.h"
+#include "util/validation.h"
+#include "window/windowed_req_sketch.h"
+
+namespace req {
+namespace concurrency {
+
+struct ShardedWindowedReqConfig {
+  // Number of independent staging lanes; one producer thread per shard.
+  size_t num_shards = 4;
+  // Per-shard staging buffer capacity in items (rounded up to a power of
+  // two by the buffer).
+  size_t buffer_capacity = 4096;
+  // The shared window every flush drains into.
+  window::WindowedReqConfig window;
+};
+
+template <typename T, typename Compare = std::less<T>>
+class ShardedWindowedReqSketch {
+ public:
+  using Window = window::WindowedReqSketch<T, Compare>;
+  using Sketch = ReqSketch<T, Compare>;
+  using value_type = T;
+
+  explicit ShardedWindowedReqSketch(
+      const ShardedWindowedReqConfig& config = {}, Compare comp = Compare())
+      : config_(config), window_(config.window, comp) {
+    util::CheckArg(config.num_shards >= 1, "num_shards must be >= 1");
+    util::CheckArg(config.buffer_capacity >= 1 &&
+                       config.buffer_capacity <= (uint64_t{1} << 32),
+                   "buffer_capacity must be in [1, 2^32]");
+    shards_.reserve(config.num_shards);
+    for (size_t i = 0; i < config.num_shards; ++i) {
+      shards_.push_back(std::make_unique<Shard>(config.buffer_capacity));
+    }
+  }
+
+  // --- basic accessors -----------------------------------------------------
+
+  const ShardedWindowedReqConfig& config() const { return config_; }
+  size_t num_shards() const { return shards_.size(); }
+
+  // Items inside the window and visible to queries (flushed only).
+  uint64_t n() const { return visible_n_.load(std::memory_order_acquire); }
+  bool is_empty() const { return n() == 0; }
+
+  // Items sitting in staging buffers, not yet visible. Exact only while
+  // producers are quiescent.
+  uint64_t BufferedItems() const {
+    uint64_t total = 0;
+    for (const auto& shard : shards_) total += shard->buffer.size();
+    return total;
+  }
+
+  uint64_t rotations() const {
+    std::lock_guard<std::mutex> lock(window_mutex_);
+    return window_.rotations();
+  }
+
+  size_t RetainedItems() const {
+    std::lock_guard<std::mutex> lock(window_mutex_);
+    return window_.RetainedItems();
+  }
+
+  // Monotone counter bumped after every flush/rotation (exposed for tests
+  // and monitoring); the cached merged snapshot is tagged with it.
+  uint64_t Epoch() const { return epoch_.load(std::memory_order_acquire); }
+
+  double RelativeStdErr() const {
+    return params::RelativeStdErr(config_.window.base.k_base);
+  }
+
+  // --- producer API (single writer per shard) ------------------------------
+
+  void Update(size_t shard, const T& item) {
+    Shard& s = GetShard(shard);
+    while (!s.buffer.TryPush(item)) Flush(shard);
+  }
+
+  void Update(size_t shard, const T* data, size_t count) {
+    Shard& s = GetShard(shard);
+    while (count > 0) {
+      const size_t pushed = s.buffer.TryPushBulk(data, count);
+      data += pushed;
+      count -= pushed;
+      if (count > 0) Flush(shard);
+    }
+  }
+
+  void Update(size_t shard, const std::vector<T>& items) {
+    Update(shard, items.data(), items.size());
+  }
+
+  // Drains `shard`'s staging buffer into the shared window via the batch
+  // update path. Callable by the shard's producer (buffer-full path) or an
+  // administrative thread; the window mutex serializes all flushes and
+  // rotations.
+  void Flush(size_t shard) {
+    Shard& s = GetShard(shard);
+    bool flushed = false;
+    {
+      std::lock_guard<std::mutex> lock(window_mutex_);
+      s.flush_scratch.clear();
+      if (s.buffer.PopAll(&s.flush_scratch) > 0) {
+        window_.Update(s.flush_scratch.data(), s.flush_scratch.size());
+        visible_n_.store(window_.n(), std::memory_order_release);
+        flushed = true;
+      }
+    }
+    if (flushed) BumpEpoch();
+  }
+
+  void FlushAll() {
+    for (size_t i = 0; i < shards_.size(); ++i) Flush(i);
+  }
+
+  // Advances the window by one bucket (see WindowedReqSketch::Rotate).
+  // Typically driven by a timer thread; flush first if the tick must also
+  // capture still-buffered items.
+  void Rotate() {
+    {
+      std::lock_guard<std::mutex> lock(window_mutex_);
+      window_.Rotate();
+      visible_n_.store(window_.n(), std::memory_order_release);
+    }
+    BumpEpoch();
+  }
+
+  // A standalone ReqSketch summarizing the current window (a copy of the
+  // cached merged snapshot).
+  Sketch Merged() const {
+    util::CheckState(!is_empty(), "Merged() on an empty window");
+    return View()->sketch;
+  }
+
+  // --- queries (delegating to the cached merged snapshot) ------------------
+  //
+  // Same empty-window contract as the plain window: std::logic_error up
+  // front, no empty snapshot is ever built.
+
+  uint64_t GetRank(const T& y,
+                   Criterion criterion = Criterion::kInclusive) const {
+    util::CheckState(!is_empty(), "GetRank() on an empty window");
+    return View()->sketch.GetRank(y, criterion);
+  }
+
+  double GetNormalizedRank(
+      const T& y, Criterion criterion = Criterion::kInclusive) const {
+    util::CheckState(!is_empty(),
+                     "GetNormalizedRank() on an empty window");
+    return View()->sketch.GetNormalizedRank(y, criterion);
+  }
+
+  std::vector<uint64_t> GetRanks(
+      const std::vector<T>& ys,
+      Criterion criterion = Criterion::kInclusive) const {
+    util::CheckState(!is_empty(), "GetRanks() on an empty window");
+    return View()->sketch.GetRanks(ys, criterion);
+  }
+
+  T GetQuantile(double q,
+                Criterion criterion = Criterion::kInclusive) const {
+    util::CheckState(!is_empty(), "GetQuantile() on an empty window");
+    util::CheckArg(q >= 0.0 && q <= 1.0,
+                   "normalized rank must be in [0, 1]");
+    return View()->sketch.GetQuantile(q, criterion);
+  }
+
+  std::vector<T> GetQuantiles(
+      const std::vector<double>& qs,
+      Criterion criterion = Criterion::kInclusive) const {
+    util::CheckState(!is_empty(), "GetQuantiles() on an empty window");
+    return View()->sketch.GetQuantiles(qs, criterion);
+  }
+
+  std::vector<double> GetCDF(
+      const std::vector<T>& splits,
+      Criterion criterion = Criterion::kInclusive) const {
+    util::CheckState(!is_empty(), "GetCDF() on an empty window");
+    return View()->sketch.GetCDF(splits, criterion);
+  }
+
+  std::vector<double> GetPMF(
+      const std::vector<T>& splits,
+      Criterion criterion = Criterion::kInclusive) const {
+    util::CheckState(!is_empty(), "GetPMF() on an empty window");
+    return View()->sketch.GetPMF(splits, criterion);
+  }
+
+  uint64_t GetRankLowerBound(
+      const T& y, int num_std_devs,
+      Criterion criterion = Criterion::kInclusive) const {
+    util::CheckState(!is_empty(),
+                     "GetRankLowerBound() on an empty window");
+    return View()->sketch.GetRankLowerBound(y, num_std_devs, criterion);
+  }
+
+  uint64_t GetRankUpperBound(
+      const T& y, int num_std_devs,
+      Criterion criterion = Criterion::kInclusive) const {
+    util::CheckState(!is_empty(),
+                     "GetRankUpperBound() on an empty window");
+    return View()->sketch.GetRankUpperBound(y, num_std_devs, criterion);
+  }
+
+  T MinItem() const {
+    util::CheckState(!is_empty(), "MinItem() on an empty window");
+    return View()->sketch.MinItem();
+  }
+  T MaxItem() const {
+    util::CheckState(!is_empty(), "MaxItem() on an empty window");
+    return View()->sketch.MaxItem();
+  }
+
+  // --- serialization (trivially copyable T) --------------------------------
+  //
+  // Layout: u32 magic | u8 version | u32 num_shards | u64 buffer_capacity |
+  //         windowed payload. Flushed state only: a non-empty staging
+  //         buffer is an error, as with ShardedReqSketch.
+
+  template <typename U = T>
+  std::vector<uint8_t> Serialize() const {
+    static_assert(std::is_trivially_copyable_v<U>,
+                  "Serialize supports trivially copyable item types");
+    util::CheckState(BufferedItems() == 0,
+                     "Serialize() requires FlushAll() first");
+    util::BinaryWriter writer;
+    writer.Write<uint32_t>(kMagic);
+    writer.Write<uint8_t>(kVersion);
+    writer.Write<uint32_t>(static_cast<uint32_t>(shards_.size()));
+    writer.Write<uint64_t>(config_.buffer_capacity);
+    std::vector<uint8_t> payload;
+    {
+      std::lock_guard<std::mutex> lock(window_mutex_);
+      payload = window_.Serialize();
+    }
+    writer.WriteVector<uint8_t>(payload);
+    return writer.Release();
+  }
+
+  template <typename U = T>
+  static ShardedWindowedReqSketch Deserialize(
+      const std::vector<uint8_t>& bytes, Compare comp = Compare()) {
+    static_assert(std::is_trivially_copyable_v<U>,
+                  "Deserialize supports trivially copyable item types");
+    util::BinaryReader reader(bytes);
+    util::CheckData(
+        reader.Read<uint32_t>() == kMagic,
+        "not a serialized sharded windowed REQ sketch (bad magic)");
+    util::CheckData(
+        reader.Read<uint8_t>() == kVersion,
+        "unsupported sharded windowed sketch serialization version");
+    const uint32_t num_shards = reader.Read<uint32_t>();
+    util::CheckData(num_shards >= 1 && num_shards <= (1u << 16),
+                    "corrupt sharded windowed sketch: implausible shard "
+                    "count");
+    const uint64_t buffer_capacity = reader.Read<uint64_t>();
+    util::CheckData(buffer_capacity >= 1 &&
+                        buffer_capacity <= (uint64_t{1} << 32),
+                    "corrupt sharded windowed sketch: implausible buffer "
+                    "capacity");
+    Window restored = Window::Deserialize(reader.ReadVector<uint8_t>(),
+                                          comp);
+    util::CheckData(reader.AtEnd(),
+                    "corrupt sharded windowed sketch: trailing bytes");
+    ShardedWindowedReqConfig config;
+    config.num_shards = num_shards;
+    config.buffer_capacity = buffer_capacity;
+    config.window = restored.config();
+    // Returned as a prvalue (guaranteed elision): the class itself is
+    // neither copyable nor movable (buffers, mutex, atomics).
+    return ShardedWindowedReqSketch(config, std::move(restored));
+  }
+
+ private:
+  static constexpr uint32_t kMagic = 0x53575251;  // "SWRQ"
+  static constexpr uint8_t kVersion = 1;
+
+  // Deserialization: installs the restored window directly (no throwaway
+  // scaffolding; the restored window already carries the comparator). The
+  // caller (Deserialize) has already validated every config field with
+  // CheckData.
+  ShardedWindowedReqSketch(const ShardedWindowedReqConfig& config,
+                           Window&& restored)
+      : config_(config), window_(std::move(restored)) {
+    shards_.reserve(config.num_shards);
+    for (size_t i = 0; i < config.num_shards; ++i) {
+      shards_.push_back(std::make_unique<Shard>(config.buffer_capacity));
+    }
+    visible_n_.store(window_.n(), std::memory_order_release);
+  }
+
+  // One staging lane, padded to its own cache line so producers on
+  // different shards never false-share.
+  struct alignas(kCacheLineSize) Shard {
+    explicit Shard(size_t buffer_capacity) : buffer(buffer_capacity) {}
+    SpscBuffer<T> buffer;
+    // Guarded by window_mutex_ (the consumer role serializes there).
+    std::vector<T> flush_scratch;
+  };
+
+  struct MergedView {
+    Sketch sketch;
+    uint64_t epoch;
+  };
+
+  Shard& GetShard(size_t shard) const {
+    util::CheckArg(shard < shards_.size(), "shard index out of range");
+    return *shards_[shard];
+  }
+
+  void BumpEpoch() { epoch_.fetch_add(1, std::memory_order_release); }
+
+  // Current merged snapshot, rebuilt when the epoch moved. Callers have
+  // already established non-emptiness; a rotation racing us can only make
+  // the tag stale (forcing a rebuild next query), never let stale data
+  // look fresh.
+  std::shared_ptr<const MergedView> View() const {
+    std::shared_ptr<const MergedView> current =
+        std::atomic_load_explicit(&merged_, std::memory_order_acquire);
+    if (current &&
+        current->epoch == epoch_.load(std::memory_order_acquire)) {
+      return current;
+    }
+    std::lock_guard<std::mutex> lock(merged_mutex_);
+    current = std::atomic_load_explicit(&merged_, std::memory_order_acquire);
+    if (current &&
+        current->epoch == epoch_.load(std::memory_order_acquire)) {
+      return current;
+    }
+    const uint64_t epoch = epoch_.load(std::memory_order_acquire);
+    std::shared_ptr<MergedView> fresh;
+    {
+      std::lock_guard<std::mutex> window_lock(window_mutex_);
+      // The caller's emptiness check can be outrun by concurrent
+      // rotations draining the window; re-check under the lock so the
+      // error names the real condition rather than an internal method.
+      util::CheckState(!window_.is_empty(),
+                       "window emptied concurrently during query");
+      fresh = std::make_shared<MergedView>(
+          MergedView{window_.MergedSnapshot(), epoch});
+    }
+    // Warm the sorted view outside the window lock so producers are not
+    // stalled behind the O(S log S) build.
+    fresh->sketch.PrepareSortedView();
+    std::shared_ptr<const MergedView> published = std::move(fresh);
+    std::atomic_store_explicit(&merged_, published,
+                               std::memory_order_release);
+    return published;
+  }
+
+  ShardedWindowedReqConfig config_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  // Guards window_ and every shard's flush_scratch / buffer-consumer role.
+  mutable std::mutex window_mutex_;
+  Window window_;
+  // window_.n() published after each flush/rotation (lock-free readers).
+  std::atomic<uint64_t> visible_n_{0};
+  std::atomic<uint64_t> epoch_{0};
+  mutable std::mutex merged_mutex_;
+  mutable std::shared_ptr<const MergedView> merged_;
+};
+
+}  // namespace concurrency
+}  // namespace req
+
+#endif  // REQSKETCH_CONCURRENCY_SHARDED_WINDOWED_REQ_SKETCH_H_

@@ -134,6 +134,16 @@ class RelativeCompactor {
     ExtendSortedPrefix();
   }
 
+  // Drops all contents and schedule state but keeps the buffer allocation:
+  // the cheap-retirement primitive behind ReqSketch::Reset(), which the
+  // sliding-window wrapper calls every bucket rotation.
+  void Clear() {
+    items_.clear();
+    sorted_prefix_ = 0;
+    state_ = 0;
+    num_compactions_ = 0;
+  }
+
   // Reconfigures the section geometry after the sketch's global parameters
   // regrow (N -> N^2 recomputes k and B; Appendix D.1). Existing items and
   // state are preserved; the caller is responsible for having run the

@@ -99,6 +99,8 @@ class ReqChain {
 
   T GetQuantile(double q, Criterion criterion = Criterion::kInclusive) const {
     util::CheckState(n_ > 0, "GetQuantile() on an empty chain");
+    // NaN-rejecting: validate before materializing the combined view.
+    util::CheckArg(q >= 0.0 && q <= 1.0, "normalized rank must be in [0, 1]");
     std::vector<std::pair<T, uint64_t>> weighted;
     weighted.reserve(RetainedItems());
     uint64_t total_weight = 0;

@@ -14,9 +14,24 @@
 // sketch remains a valid summary with identical estimates, but subsequent
 // coin flips are not bitwise-identical to the original object's (they are
 // fresh independent randomness, which the analysis permits).
+//
+// Validation guarantees: Deserialize treats the byte stream as untrusted.
+// Every field is checked before it is used to size an allocation or index
+// anything -- magic/version, enum ranges, k_base and size-bound
+// plausibility, level count, per-level item counts (against both the
+// remaining payload bytes and the level capacity), min/max presence
+// consistent with n (n > 0 requires both extremes, n == 0 forbids them,
+// so GetQuantile(0)/GetQuantile(1) can never dereference an empty
+// optional), no NaN items or extremes for floating-point T, every stored
+// item inside [min, max], and total stored weight equal to n. A corrupt or
+// truncated input of any shape either round-trips to a healthy sketch or
+// throws std::runtime_error -- it never reaches undefined behavior. The
+// corrupt-input fuzz suite (tests/serde_corruption_test.cc) bit-flips and
+// truncates serialized sketches to hold this line.
 #ifndef REQSKETCH_CORE_REQ_SERDE_H_
 #define REQSKETCH_CORE_REQ_SERDE_H_
 
+#include <cmath>
 #include <cstdint>
 #include <type_traits>
 #include <utility>
@@ -103,8 +118,26 @@ struct ReqSerde {
     sketch.fixed_n_ = fixed_n;
     sketch.RecomputeGeometry();
 
-    if (reader.Read<uint8_t>() != 0) sketch.min_item_ = reader.Read<T>();
-    if (reader.Read<uint8_t>() != 0) sketch.max_item_ = reader.Read<T>();
+    const uint8_t has_min = reader.Read<uint8_t>();
+    util::CheckData(has_min <= 1, "corrupt REQ sketch: bad min-presence flag");
+    if (has_min != 0) sketch.min_item_ = reader.Read<T>();
+    const uint8_t has_max = reader.Read<uint8_t>();
+    util::CheckData(has_max <= 1, "corrupt REQ sketch: bad max-presence flag");
+    if (has_max != 0) sketch.max_item_ = reader.Read<T>();
+    // The extremes must be present exactly when the sketch is non-empty:
+    // GetQuantile(0.0)/GetQuantile(1.0) (and the merge min/max fold)
+    // dereference them whenever n > 0, so a stream with n > 0 but absent
+    // extremes would be a latent dereference of an empty optional.
+    util::CheckData((n > 0) == (has_min != 0) && (n > 0) == (has_max != 0),
+                    "corrupt REQ sketch: min/max presence inconsistent "
+                    "with n");
+    if constexpr (std::is_floating_point_v<T>) {
+      util::CheckData(!(has_min && std::isnan(*sketch.min_item_)) &&
+                          !(has_max && std::isnan(*sketch.max_item_)),
+                      "corrupt REQ sketch: NaN extreme");
+    }
+    util::CheckData(n == 0 || !comp(*sketch.max_item_, *sketch.min_item_),
+                    "corrupt REQ sketch: min exceeds max");
 
     const uint32_t num_levels = reader.Read<uint32_t>();
     util::CheckData(num_levels >= 1 && num_levels <= 64,
@@ -118,12 +151,38 @@ struct ReqSerde {
       sketch.levels_.emplace_back(sketch.MakeLevel());
       const uint64_t state = reader.Read<uint64_t>();
       const uint64_t num_compactions = reader.Read<uint64_t>();
-      std::vector<T> items = reader.ReadVector<T>();
+      // Check the declared item count against both the remaining payload
+      // bytes and the structural invariant (a quiescent level never holds
+      // more than its capacity) BEFORE ReadArray sizes an allocation by it.
+      const uint64_t count = reader.Read<uint64_t>();
+      util::CheckData(count <= reader.remaining() / sizeof(T),
+                      "corrupt REQ sketch: level item count exceeds "
+                      "payload");
+      util::CheckData(count <= sketch.level_capacity(),
+                      "corrupt REQ sketch: level item count exceeds "
+                      "capacity");
+      // An empty sketch stores nothing; without this, the range check
+      // below would dereference the (absent) extremes.
+      util::CheckData(n > 0 || count == 0,
+                      "corrupt REQ sketch: items in an empty sketch");
+      std::vector<T> items = reader.ReadArray<T>(count);
+      for (const T& item : items) {
+        if constexpr (std::is_floating_point_v<T>) {
+          util::CheckData(!std::isnan(item), "corrupt REQ sketch: NaN item");
+        }
+        util::CheckData(!comp(item, *sketch.min_item_) &&
+                            !comp(*sketch.max_item_, item),
+                        "corrupt REQ sketch: item outside [min, max]");
+      }
       sketch.levels_.back().Restore(std::move(items), state,
                                     num_compactions);
     }
     util::CheckData(sketch.TotalWeight() == n,
                     "corrupt REQ sketch: weight does not match n");
+    // The payload length is fully determined by the declared counts, so a
+    // well-formed stream ends exactly here; trailing bytes mean a count
+    // was corrupted downward (silent data loss) and must be rejected.
+    util::CheckData(reader.AtEnd(), "corrupt REQ sketch: trailing bytes");
     return sketch;
   }
 };

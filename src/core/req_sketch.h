@@ -152,6 +152,14 @@ class ReqSketch {
     return total;
   }
 
+  // O(1) upper bound on RetainedItems(): a quiescent level never stores
+  // more than its capacity B. Useful where an exact count per call would
+  // be wasteful -- e.g. the sliding-window wrapper sizing its merge
+  // scratch or reporting window memory without walking every bucket level.
+  size_t EstimateRetainedItems() const {
+    return levels_.size() * static_cast<size_t>(level_capacity());
+  }
+
   // Exact stream minimum / maximum (tracked outside the buffers).
   const T& MinItem() const {
     util::CheckState(n_ > 0, "MinItem() on an empty sketch");
@@ -228,6 +236,42 @@ class ReqSketch {
 
   void Update(const std::vector<T>& items) {
     Update(items.data(), items.size());
+  }
+
+  // Returns the sketch to its freshly constructed state (same config, same
+  // comparator) while keeping the level-0 buffer allocation: the cheap
+  // bucket-retirement primitive for the sliding-window subsystem
+  // (window/windowed_req_sketch.h). Equivalent to assigning a
+  // newly-constructed ReqSketch(config()) but without revalidating the
+  // config or reallocating the hot level; with the same seed and input, a
+  // Reset() sketch serializes byte-identically to a fresh one.
+  void Reset() { Reset(config_.seed); }
+
+  // Reset variant that also reseeds the PRNG (and records the new seed in
+  // the config, so serialization round-trips it): the window gives every
+  // bucket epoch a distinct deterministic seed, so recycled buckets draw
+  // fresh, reproducible coin flips.
+  void Reset(uint64_t seed) {
+    config_.seed = seed;
+    rng_ = util::Xoshiro256(seed);
+    n_ = 0;
+    if (config_.n_hint > 0) {
+      n_bound_ = std::max(config_.n_hint, params::InitialN(config_.k_base));
+      fixed_n_ = true;
+    } else {
+      n_bound_ = params::InitialN(config_.k_base);
+      fixed_n_ = false;
+    }
+    RecomputeGeometry();
+    // Keep level 0 (and its allocation); upper levels are torn down so the
+    // level stack matches a fresh sketch exactly. (erase, not resize:
+    // Level has no default constructor.)
+    levels_.erase(levels_.begin() + 1, levels_.end());
+    levels_[0].Clear();
+    levels_[0].SetGeometry(section_size_, num_sections_);
+    min_item_.reset();
+    max_item_.reset();
+    InvalidateView();
   }
 
   // Merges `other` into this sketch (Algorithm 3). Both sketches must have
@@ -387,16 +431,13 @@ class ReqSketch {
   // per query via the memoized sorted view.
   T GetQuantile(double q, Criterion criterion = Criterion::kInclusive) const {
     util::CheckState(n_ > 0, "GetQuantile() on an empty sketch");
+    // NaN-rejecting up front: a NaN q fails both comparisons, so it can
+    // never silently index the sorted view.
+    util::CheckArg(q >= 0.0 && q <= 1.0, "normalized rank must be in [0, 1]");
     // q = 0 and q = 1 return the exactly tracked extremes (the extreme
     // items themselves may have been compacted out of the buffers).
-    if (q <= 0.0) {
-      util::CheckArg(q == 0.0, "normalized rank must be in [0, 1]");
-      return *min_item_;
-    }
-    if (q >= 1.0) {
-      util::CheckArg(q == 1.0, "normalized rank must be in [0, 1]");
-      return *max_item_;
-    }
+    if (q == 0.0) return *min_item_;
+    if (q == 1.0) return *max_item_;
     return CachedSortedView().GetQuantile(q, criterion);
   }
 
@@ -404,15 +445,19 @@ class ReqSketch {
       const std::vector<double>& qs,
       Criterion criterion = Criterion::kInclusive) const {
     util::CheckState(n_ > 0, "GetQuantiles() on an empty sketch");
+    // Validate every rank up front (NaN-rejecting), so a bad rank anywhere
+    // in the batch throws before any result is produced or any view built.
+    for (double q : qs) {
+      util::CheckArg(q >= 0.0 && q <= 1.0,
+                     "normalized rank must be in [0, 1]");
+    }
     const SortedView<T, Compare>& view = CachedSortedView();
     std::vector<T> out;
     out.reserve(qs.size());
     for (double q : qs) {
-      if (q <= 0.0) {
-        util::CheckArg(q == 0.0, "normalized rank must be in [0, 1]");
+      if (q == 0.0) {
         out.push_back(*min_item_);
-      } else if (q >= 1.0) {
-        util::CheckArg(q == 1.0, "normalized rank must be in [0, 1]");
+      } else if (q == 1.0) {
         out.push_back(*max_item_);
       } else {
         out.push_back(view.GetQuantile(q, criterion));

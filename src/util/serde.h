@@ -75,23 +75,36 @@ class BinaryReader {
 
   std::string ReadString() {
     const uint64_t n = Read<uint64_t>();
-    CheckData(pos_ + n <= size_, "serialized sketch truncated: string");
+    // Compare against the remaining byte count (never `pos_ + n`, which a
+    // crafted length near 2^64 would wrap past the bounds check).
+    CheckData(n <= size_ - pos_, "serialized sketch truncated: string");
     std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
     pos_ += n;
     return s;
   }
 
+  // Reads `count` items whose length prefix the caller has already read
+  // (and possibly validated against domain invariants). The byte-level
+  // bound is re-checked here before anything is allocated, so a crafted
+  // count can never trigger an oversized allocation or an out-of-bounds
+  // copy.
+  template <typename T>
+  std::vector<T> ReadArray(uint64_t count) {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "ReadArray requires trivially copyable types");
+    CheckData(count <= (size_ - pos_) / sizeof(T),
+              "serialized sketch truncated: array");
+    std::vector<T> values(static_cast<size_t>(count));
+    if (count > 0) {
+      std::memcpy(values.data(), data_ + pos_, count * sizeof(T));
+    }
+    pos_ += count * sizeof(T);
+    return values;
+  }
+
   template <typename T>
   std::vector<T> ReadVector() {
-    static_assert(std::is_trivially_copyable_v<T>,
-                  "ReadVector requires trivially copyable types");
-    const uint64_t n = Read<uint64_t>();
-    CheckData(n <= (size_ - pos_) / sizeof(T),
-              "serialized sketch truncated: vector");
-    std::vector<T> values(n);
-    if (n > 0) std::memcpy(values.data(), data_ + pos_, n * sizeof(T));
-    pos_ += n * sizeof(T);
-    return values;
+    return ReadArray<T>(Read<uint64_t>());
   }
 
   size_t remaining() const { return size_ - pos_; }

@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
+#include <stdexcept>
 
 #include "core/req_common.h"
 #include "sim/metrics.h"
@@ -26,6 +28,17 @@ TEST(ReqChainTest, EmptyChain) {
   EXPECT_EQ(chain.num_summaries(), 1u);
   EXPECT_THROW(chain.GetRank(1.0), std::logic_error);
   EXPECT_THROW(chain.GetQuantile(0.5), std::logic_error);
+}
+
+TEST(ReqChainTest, InvalidNormalizedRankRejected) {
+  ReqChain<double> chain(MakeConfig());
+  for (int i = 0; i < 100; ++i) chain.Update(static_cast<double>(i));
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(chain.GetQuantile(nan), std::invalid_argument);
+  EXPECT_THROW(chain.GetQuantile(-0.001), std::invalid_argument);
+  EXPECT_THROW(chain.GetQuantile(1.001), std::invalid_argument);
+  EXPECT_NO_THROW(chain.GetQuantile(0.0));
+  EXPECT_NO_THROW(chain.GetQuantile(1.0));
 }
 
 TEST(ReqChainTest, SmallStreamSingleSummary) {

@@ -4,10 +4,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 #include <vector>
 
 #include "core/req_common.h"
+#include "core/req_serde.h"
 #include "sim/metrics.h"
 #include "workload/distributions.h"
 #include "workload/stream_orders.h"
@@ -394,6 +396,74 @@ TEST(ReqSketchTest, RankBoundsBracketEstimate) {
     EXPECT_LE(lb, oracle.RankInclusive(y));
     EXPECT_GE(ub, oracle.RankInclusive(y));
   }
+}
+
+TEST(ReqSketchTest, InvalidNormalizedRankRejected) {
+  ReqSketch<double> sketch(MakeConfig());
+  for (int i = 0; i < 100; ++i) sketch.Update(static_cast<double>(i));
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(sketch.GetQuantile(nan), std::invalid_argument);
+  EXPECT_THROW(sketch.GetQuantile(-0.001), std::invalid_argument);
+  EXPECT_THROW(sketch.GetQuantile(1.001), std::invalid_argument);
+  EXPECT_THROW(sketch.GetQuantile(
+                   -std::numeric_limits<double>::infinity()),
+               std::invalid_argument);
+  // Batch form validates every rank before producing anything.
+  EXPECT_THROW(sketch.GetQuantiles({0.5, nan}), std::invalid_argument);
+  EXPECT_THROW(sketch.GetQuantiles({0.5, 2.0}), std::invalid_argument);
+  EXPECT_NO_THROW(sketch.GetQuantile(0.0));
+  EXPECT_NO_THROW(sketch.GetQuantile(1.0));
+  EXPECT_NO_THROW(sketch.GetQuantiles({0.0, 0.5, 1.0}));
+}
+
+TEST(ReqSketchTest, ResetMatchesFreshSketch) {
+  // Reset() is the cheap bucket-retirement primitive of the windowed
+  // subsystem: a reset sketch must be indistinguishable from a fresh one,
+  // down to serialized bytes, for the same subsequent input.
+  const ReqConfig config = MakeConfig(16, RankAccuracy::kHighRanks, 42);
+  ReqSketch<double> reset_sketch(config);
+  const auto first = workload::GenerateUniform(50000, 1);
+  for (double v : first) reset_sketch.Update(v);
+  reset_sketch.Reset();
+  EXPECT_TRUE(reset_sketch.is_empty());
+  EXPECT_EQ(reset_sketch.num_levels(), 1u);
+  EXPECT_THROW(reset_sketch.MinItem(), std::logic_error);
+
+  ReqSketch<double> fresh(config);
+  const auto second = workload::GenerateUniform(20000, 2);
+  for (double v : second) {
+    reset_sketch.Update(v);
+    fresh.Update(v);
+  }
+  EXPECT_EQ(SerializeSketch(reset_sketch), SerializeSketch(fresh));
+}
+
+TEST(ReqSketchTest, ResetWithSeedReseeds) {
+  ReqSketch<double> sketch(MakeConfig(16, RankAccuracy::kHighRanks, 42));
+  sketch.Update(1.0);
+  sketch.Reset(/*seed=*/77);
+  EXPECT_EQ(sketch.config().seed, 77u);
+  // And behaves like a sketch constructed with that seed.
+  ReqConfig other = MakeConfig(16, RankAccuracy::kHighRanks, 77);
+  ReqSketch<double> fresh(other);
+  const auto values = workload::GenerateUniform(30000, 3);
+  for (double v : values) {
+    sketch.Update(v);
+    fresh.Update(v);
+  }
+  EXPECT_EQ(SerializeSketch(sketch), SerializeSketch(fresh));
+}
+
+TEST(ReqSketchTest, EstimateRetainedItemsIsCheapUpperBound) {
+  ReqSketch<double> sketch(MakeConfig());
+  EXPECT_GE(sketch.EstimateRetainedItems(), sketch.RetainedItems());
+  const auto values = workload::GenerateUniform(200000, 4);
+  for (double v : values) {
+    sketch.Update(v);
+  }
+  EXPECT_GE(sketch.EstimateRetainedItems(), sketch.RetainedItems());
+  EXPECT_EQ(sketch.EstimateRetainedItems(),
+            sketch.num_levels() * sketch.level_capacity());
 }
 
 }  // namespace

@@ -10,6 +10,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <limits>
 #include <thread>
 #include <vector>
 
@@ -36,6 +37,47 @@ TEST(ShardedReqSketchTest, RejectsBadConfigAndShardIndex) {
                std::invalid_argument);
   ShardedReqSketch<double> sketch(MakeConfig(2));
   EXPECT_THROW(sketch.Update(2, 1.0), std::invalid_argument);
+}
+
+// Queries on an empty sharded sketch throw the same "empty sketch"
+// std::logic_error as a plain ReqSketch -- including after shards were
+// flushed while empty (no empty merged view is built and queried).
+TEST(ShardedReqSketchTest, EmptyQueriesThrowLikePlainSketch) {
+  ShardedReqSketch<double> sketch(MakeConfig(2));
+  const uint64_t epoch_before = sketch.Epoch();
+  sketch.FlushAll();  // all shards empty: a no-op, not an epoch bump
+  EXPECT_EQ(sketch.Epoch(), epoch_before);
+  EXPECT_TRUE(sketch.is_empty());
+  EXPECT_THROW(sketch.GetRank(1.0), std::logic_error);
+  EXPECT_THROW(sketch.GetNormalizedRank(1.0), std::logic_error);
+  EXPECT_THROW(sketch.GetRanks({1.0}), std::logic_error);
+  EXPECT_THROW(sketch.GetQuantile(0.5), std::logic_error);
+  EXPECT_THROW(sketch.GetQuantiles({0.5}), std::logic_error);
+  EXPECT_THROW(sketch.GetCDF({1.0}), std::logic_error);
+  EXPECT_THROW(sketch.GetPMF({1.0}), std::logic_error);
+  EXPECT_THROW(sketch.GetRankLowerBound(1.0, 2), std::logic_error);
+  EXPECT_THROW(sketch.GetRankUpperBound(1.0, 2), std::logic_error);
+  EXPECT_THROW(sketch.MinItem(), std::logic_error);
+  EXPECT_THROW(sketch.MaxItem(), std::logic_error);
+  // Buffered-but-unflushed items are not visible yet either.
+  sketch.Update(0, 1.0);
+  EXPECT_THROW(sketch.GetQuantile(0.5), std::logic_error);
+  // Once anything is flushed, the queries work.
+  sketch.Flush(0);
+  EXPECT_EQ(sketch.GetQuantile(0.5), 1.0);
+}
+
+TEST(ShardedReqSketchTest, InvalidNormalizedRankRejectedBeforeMerge) {
+  ShardedReqSketch<double> sketch(MakeConfig(2));
+  sketch.Update(0, 1.0);
+  sketch.FlushAll();
+  const uint64_t epoch = sketch.Epoch();
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(sketch.GetQuantile(nan), std::invalid_argument);
+  EXPECT_THROW(sketch.GetQuantile(-0.5), std::invalid_argument);
+  EXPECT_THROW(sketch.GetQuantiles({0.5, 1.5}), std::invalid_argument);
+  EXPECT_EQ(sketch.Epoch(), epoch);
+  EXPECT_EQ(sketch.GetQuantile(1.0), 1.0);
 }
 
 // One shard fed through the staging buffer is byte-identical to a plain

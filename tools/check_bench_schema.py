@@ -46,6 +46,34 @@ SCHEMAS = {
             "summary": {"k", "agg_speedup_8v1", "sharded_vs_plain_1t"},
         },
     },
+    "e15_window": {
+        "top": {
+            "experiment",
+            "items",
+            "reps",
+            "smoke",
+            "results",
+            "single_baseline",
+            "summary",
+        },
+        "arrays": {
+            "results": {
+                "k",
+                "buckets",
+                "window_items",
+                "bucket_items",
+                "update_mups",
+                "rotate_us",
+                "merged_build_us",
+                "warm_rank_ns",
+                "rotations",
+            },
+            "single_baseline": {"k", "window_items", "build_us",
+                                "warm_rank_ns"},
+            "summary": {"k", "buckets", "window_items",
+                        "cold_ratio_vs_single", "warm_ratio_vs_single"},
+        },
+    },
 }
 
 
