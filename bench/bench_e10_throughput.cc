@@ -3,9 +3,20 @@
 // but the practicality check a deployed sketch (Apache DataSketches ships
 // REQ) must pass: updates within a small factor of KLL's, queries in
 // microseconds.
+//
+// Usage: bench_e10_throughput [--smoke] [--out report.json]
+//                             [google-benchmark flags...]
+// --smoke shrinks per-benchmark min time so CI can exercise every
+// benchmark (and the JSON schema) in seconds; other flags pass through to
+// google-benchmark. Results are captured through a reporter and written
+// to the repo's uniform BENCH_*.json format.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <string>
 #include <vector>
+
+#include "bench/bench_util.h"
 
 #include "baselines/ddsketch.h"
 #include "baselines/gk_sketch.h"
@@ -141,6 +152,80 @@ void BM_ReqMerge(benchmark::State& state) {
 }
 BENCHMARK(BM_ReqMerge)->Unit(benchmark::kMicrosecond);
 
+// Console output as usual, plus a captured row per run for the JSON
+// report (name, wall time in ns, items/s where SetItemsProcessed was
+// used).
+class CaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  struct Row {
+    std::string name;
+    double real_time_ns = 0.0;
+    double items_per_second = 0.0;
+  };
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      Row row;
+      row.name = run.benchmark_name();
+      // GetAdjustedRealTime() is per-iteration time in the benchmark's
+      // display unit (seconds * GetTimeUnitMultiplier); normalize to ns.
+      row.real_time_ns =
+          run.GetAdjustedRealTime() * 1e9 /
+          benchmark::GetTimeUnitMultiplier(run.time_unit);
+      const auto it = run.counters.find("items_per_second");
+      if (it != run.counters.end()) row.items_per_second = it->second;
+      rows.push_back(row);
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  std::vector<Row> rows;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Strip this repo's uniform flags; everything else goes to
+  // google-benchmark untouched.
+  bool smoke = false;
+  std::string out_path = "BENCH_e10_throughput.json";
+  std::vector<char*> passthrough;
+  passthrough.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  std::string min_time = "--benchmark_min_time=0.02";
+  if (smoke) passthrough.push_back(min_time.data());
+  int pass_argc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&pass_argc, passthrough.data());
+
+  CaptureReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+
+  req::bench::JsonWriter json;
+  json.BeginObject()
+      .Field("experiment", "e10_throughput")
+      .Field("smoke", smoke);
+  json.BeginArray("results");
+  for (const auto& row : reporter.rows) {
+    json.BeginObject()
+        .Field("name", row.name)
+        .Field("real_time_ns", row.real_time_ns)
+        .Field("items_per_second", row.items_per_second)
+        .EndObject();
+  }
+  json.EndArray().EndObject();
+  if (!json.WriteFile(out_path)) {
+    std::fprintf(stderr, "could not write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", out_path.c_str());
+  benchmark::Shutdown();
+  return 0;
+}

@@ -7,6 +7,9 @@
 // Part 2 runs the deterministic coin mode (always keep odd-indexed, the
 // Appendix C derandomization) over many adversarial orders and seeds: the
 // error must stay bounded on EVERY run, not just with high probability.
+//
+// Usage: bench_e11_smalldelta [--items N] [--out report.json] [--smoke]
+#include <algorithm>
 #include <cstdio>
 
 #include "bench/bench_util.h"
@@ -16,7 +19,10 @@
 #include "workload/distributions.h"
 #include "workload/stream_orders.h"
 
-int main() {
+int main(int argc, char** argv) {
+  const req::bench::BenchArgs args =
+      req::bench::ParseBenchArgs(argc, argv, "BENCH_e11_smalldelta.json");
+  if (!args.ok) return 1;
   req::bench::PrintBanner(
       "E11: small-delta parameters (Thm 2 / App. C) + derandomized sketch",
       "Eq.(15)'s k grows ~loglog(1/delta) vs Eq.(6)'s ~sqrt(log(1/delta)); "
@@ -24,22 +30,41 @@ int main() {
 
   const double eps = 0.05;
   const uint64_t n = 1 << 20;
+  req::bench::JsonWriter json;
+  json.BeginObject()
+      .Field("experiment", "e11_smalldelta")
+      .Field("smoke", args.smoke);
+  json.BeginArray("formulas");
   std::printf("part 1: section-size formulas at eps=%.2f, n=2^20\n", eps);
   std::printf("%12s %16s %16s %18s %18s\n", "delta", "k (Eq.6)",
               "k (Eq.15)", "space Thm1", "space Thm2");
   for (double delta : {1e-1, 1e-3, 1e-6, 1e-12, 1e-24}) {
+    const uint64_t k6 = req::theory::KnownNSectionSize(eps, delta, n);
+    const uint64_t k15 = req::theory::SmallDeltaSectionSize(eps, delta);
     std::printf("%12.0e %16llu %16llu %18.0f %18.0f\n", delta,
-                static_cast<unsigned long long>(
-                    req::theory::KnownNSectionSize(eps, delta, n)),
-                static_cast<unsigned long long>(
-                    req::theory::SmallDeltaSectionSize(eps, delta)),
+                static_cast<unsigned long long>(k6),
+                static_cast<unsigned long long>(k15),
                 req::theory::SpaceBoundThm1(eps, delta, n),
                 req::theory::SpaceBoundThm2(eps, delta, n));
+    json.BeginObject()
+        .Field("delta", delta)
+        .Field("k_eq6", k6)
+        .Field("k_eq15", k15)
+        .Field("space_thm1", req::theory::SpaceBoundThm1(eps, delta, n))
+        .Field("space_thm2", req::theory::SpaceBoundThm2(eps, delta, n))
+        .EndObject();
   }
+  json.EndArray();
 
   std::printf("\npart 2: deterministic coin mode (App. C derandomization), "
               "worst error over runs\n");
-  const size_t kN = 1 << 17;
+  size_t kN = args.items > 0 ? args.items : size_t{1} << 17;
+  uint64_t num_seeds = 5;
+  if (args.smoke) {
+    kN = std::min(kN, size_t{1} << 14);
+    num_seeds = 2;
+  }
+  json.BeginArray("results");
   std::printf("%12s %8s %12s %12s\n", "order", "k", "worst max",
               "worst mean");
   const req::workload::OrderKind orders[] = {
@@ -50,7 +75,8 @@ int main() {
   for (const auto order : orders) {
     for (uint32_t k_base : {32u}) {
       double worst_max = 0.0, worst_mean = 0.0;
-      for (uint64_t shuffle_seed = 0; shuffle_seed < 5; ++shuffle_seed) {
+      for (uint64_t shuffle_seed = 0; shuffle_seed < num_seeds;
+           ++shuffle_seed) {
         auto values = req::workload::GenerateSequential(kN);
         req::workload::ApplyOrder(&values, order, shuffle_seed);
         req::ReqConfig config;
@@ -71,10 +97,22 @@ int main() {
       std::printf("%12s %8u %12.5f %12.5f\n",
                   req::workload::OrderName(order).c_str(), k_base,
                   worst_max, worst_mean);
+      json.BeginObject()
+          .Field("order", req::workload::OrderName(order))
+          .Field("k", static_cast<uint64_t>(k_base))
+          .Field("worst_max", worst_max)
+          .Field("worst_mean", worst_mean)
+          .EndObject();
     }
   }
+  json.EndArray().EndObject();
   std::printf("\n(deterministic mode trades the random +/-1 cancellation "
               "for a worst-case drift\nbound: errors are larger than the "
               "random coin's but bounded on every run)\n");
+  if (!json.WriteFile(args.out)) {
+    std::fprintf(stderr, "could not write %s\n", args.out.c_str());
+    return 1;
+  }
+  std::printf("\nwrote %s\n", args.out.c_str());
   return 0;
 }

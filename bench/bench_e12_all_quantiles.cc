@@ -7,6 +7,10 @@
 // recipe (boosted); run many independent trials; in each trial take the
 // max relative error over a dense rank grid; report the fraction of trials
 // where that max exceeds eps. Expected: well below delta.
+//
+// Usage: bench_e12_all_quantiles [--items N] [--reps R]
+//                                [--out report.json] [--smoke]
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 
@@ -15,9 +19,16 @@
 #include "sim/metrics.h"
 #include "workload/distributions.h"
 
-int main() {
-  const size_t kN = 1 << 17;
-  const int kTrials = 60;
+int main(int argc, char** argv) {
+  const req::bench::BenchArgs args = req::bench::ParseBenchArgs(
+      argc, argv, "BENCH_e12_all_quantiles.json");
+  if (!args.ok) return 1;
+  size_t kN = args.items > 0 ? args.items : size_t{1} << 17;
+  int kTrials = args.reps > 0 ? args.reps : 60;
+  if (args.smoke) {
+    kN = std::min(kN, size_t{1} << 14);
+    kTrials = std::min(kTrials, 10);
+  }
   const double eps = 0.02;
   req::bench::PrintBanner(
       "E12: all-quantiles guarantee (Corollary 1)",
@@ -34,6 +45,13 @@ int main() {
               "delta=0.10;\nthe failure fraction should drop through "
               "delta as k crosses the Corollary 1 boost\n\n",
               kN, grid.size(), kTrials, eps);
+  req::bench::JsonWriter json;
+  json.BeginObject()
+      .Field("experiment", "e12_all_quantiles")
+      .Field("n", static_cast<uint64_t>(kN))
+      .Field("reps", kTrials)
+      .Field("smoke", args.smoke);
+  json.BeginArray("results");
   std::printf("%8s %12s %14s %16s\n", "k_base", "retained",
               "mean of maxes", "frac > eps");
   // Sweep k to show the transition: small k fails often, the boosted k
@@ -57,6 +75,18 @@ int main() {
     }
     std::printf("%8u %12zu %14.5f %15.1f%%\n", k_base, retained,
                 sum_max / kTrials, 100.0 * failures / kTrials);
+    json.BeginObject()
+        .Field("k", static_cast<uint64_t>(k_base))
+        .Field("retained", static_cast<uint64_t>(retained))
+        .Field("mean_of_maxes", sum_max / kTrials)
+        .Field("frac_over_eps", 1.0 * failures / kTrials)
+        .EndObject();
   }
+  json.EndArray().EndObject();
+  if (!json.WriteFile(args.out)) {
+    std::fprintf(stderr, "could not write %s\n", args.out.c_str());
+    return 1;
+  }
+  std::printf("\nwrote %s\n", args.out.c_str());
   return 0;
 }

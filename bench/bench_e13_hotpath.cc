@@ -56,11 +56,9 @@ struct HasCachedView<
     S, std::void_t<decltype(std::declval<const S&>().CachedSortedView())>>
     : std::true_type {};
 
-using Clock = std::chrono::steady_clock;
-
-double SecondsSince(Clock::time_point start) {
-  return std::chrono::duration<double>(Clock::now() - start).count();
-}
+using req::bench::Clock;
+using req::bench::SecondsSince;
+using req::bench::g_sink;
 
 req::ReqSketch<double> MakeSketch(uint32_t k_base) {
   req::ReqConfig config;
@@ -68,9 +66,6 @@ req::ReqSketch<double> MakeSketch(uint32_t k_base) {
   config.seed = 13;
   return req::ReqSketch<double>(config);
 }
-
-// A sink the optimizer cannot remove.
-volatile uint64_t g_sink = 0;
 
 struct Measurement {
   std::string metric;
@@ -155,43 +150,16 @@ double SortedViewBuildUs(uint32_t k, const std::vector<double>& values,
   return best;
 }
 
-std::string ReadWholeFile(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) return std::string();
-  std::ostringstream ss;
-  ss << in.rdbuf();
-  std::string text = ss.str();
-  while (!text.empty() && (text.back() == '\n' || text.back() == '\r')) {
-    text.pop_back();
-  }
-  return text;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
-  size_t num_items = size_t{1} << 20;
-  bool smoke = false;
-  std::string out_path = "BENCH_e13_hotpath.json";
-  std::string baseline_path;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--smoke") == 0) {
-      smoke = true;
-    } else if (std::strcmp(argv[i], "--items") == 0 && i + 1 < argc) {
-      num_items = static_cast<size_t>(std::strtoull(argv[++i], nullptr, 10));
-      if (num_items == 0) {
-        std::fprintf(stderr, "--items must be positive\n");
-        return 1;
-      }
-    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
-      out_path = argv[++i];
-    } else if (std::strcmp(argv[i], "--baseline") == 0 && i + 1 < argc) {
-      baseline_path = argv[++i];
-    } else {
-      std::fprintf(stderr, "unknown flag or missing value: %s\n", argv[i]);
-      return 1;
-    }
-  }
+  const req::bench::BenchArgs args =
+      req::bench::ParseBenchArgs(argc, argv, "BENCH_e13_hotpath.json");
+  if (!args.ok) return 1;
+  const bool smoke = args.smoke;
+  size_t num_items = args.items > 0 ? args.items : size_t{1} << 20;
+  const std::string& out_path = args.out;
+  const std::string& baseline_path = args.baseline;
   if (smoke) num_items = std::min(num_items, size_t{1} << 16);
 
   constexpr bool kBatch = HasBatchUpdate<req::ReqSketch<double>>::value;
@@ -244,7 +212,7 @@ int main(int argc, char** argv) {
   }
   json.EndArray();
   if (!baseline_path.empty()) {
-    const std::string baseline = ReadWholeFile(baseline_path);
+    const std::string baseline = req::bench::ReadWholeFile(baseline_path);
     if (baseline.empty()) {
       std::fprintf(stderr, "could not read baseline %s\n",
                    baseline_path.c_str());

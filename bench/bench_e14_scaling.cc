@@ -48,11 +48,9 @@
 
 namespace {
 
-using Clock = std::chrono::steady_clock;
-
-double SecondsSince(Clock::time_point start) {
-  return std::chrono::duration<double>(Clock::now() - start).count();
-}
+using req::bench::Clock;
+using req::bench::SecondsSince;
+using req::bench::g_sink;
 
 // CPU time consumed by the calling thread only.
 double ThreadCpuSeconds() {
@@ -61,9 +59,6 @@ double ThreadCpuSeconds() {
   return static_cast<double>(ts.tv_sec) +
          static_cast<double>(ts.tv_nsec) * 1e-9;
 }
-
-// A sink the optimizer cannot remove.
-volatile uint64_t g_sink = 0;
 
 constexpr size_t kBufferCapacity = 4096;
 
@@ -169,33 +164,13 @@ double MeasurePlainBatch(uint32_t k, const std::vector<double>& values,
 }  // namespace
 
 int main(int argc, char** argv) {
-  size_t per_thread = size_t{1} << 20;
-  int reps = 3;
-  bool smoke = false;
-  std::string out_path = "BENCH_e14_scaling.json";
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--smoke") == 0) {
-      smoke = true;
-    } else if (std::strcmp(argv[i], "--items") == 0 && i + 1 < argc) {
-      per_thread = static_cast<size_t>(
-          std::strtoull(argv[++i], nullptr, 10));
-      if (per_thread == 0) {
-        std::fprintf(stderr, "--items must be positive\n");
-        return 1;
-      }
-    } else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
-      reps = std::atoi(argv[++i]);
-      if (reps <= 0) {
-        std::fprintf(stderr, "--reps must be positive\n");
-        return 1;
-      }
-    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
-      out_path = argv[++i];
-    } else {
-      std::fprintf(stderr, "unknown flag or missing value: %s\n", argv[i]);
-      return 1;
-    }
-  }
+  const req::bench::BenchArgs args =
+      req::bench::ParseBenchArgs(argc, argv, "BENCH_e14_scaling.json");
+  if (!args.ok) return 1;
+  const bool smoke = args.smoke;
+  size_t per_thread = args.items > 0 ? args.items : size_t{1} << 20;
+  int reps = args.reps > 0 ? args.reps : 3;
+  const std::string& out_path = args.out;
   if (smoke) {
     per_thread = std::min(per_thread, size_t{1} << 14);
     reps = 1;

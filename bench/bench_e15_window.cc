@@ -40,14 +40,9 @@
 
 namespace {
 
-using Clock = std::chrono::steady_clock;
-
-double SecondsSince(Clock::time_point start) {
-  return std::chrono::duration<double>(Clock::now() - start).count();
-}
-
-// A sink the optimizer cannot remove.
-volatile uint64_t g_sink = 0;
+using req::bench::Clock;
+using req::bench::SecondsSince;
+using req::bench::g_sink;
 
 struct WindowResult {
   uint32_t k = 0;
@@ -177,32 +172,14 @@ SingleBaseline MeasureSingle(uint32_t k, uint64_t window_items,
 }  // namespace
 
 int main(int argc, char** argv) {
-  uint64_t items = uint64_t{1} << 20;  // stream length (4x the largest W)
-  int reps = 3;
-  bool smoke = false;
-  std::string out_path = "BENCH_e15_window.json";
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--smoke") == 0) {
-      smoke = true;
-    } else if (std::strcmp(argv[i], "--items") == 0 && i + 1 < argc) {
-      items = std::strtoull(argv[++i], nullptr, 10);
-      if (items == 0) {
-        std::fprintf(stderr, "--items must be positive\n");
-        return 1;
-      }
-    } else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
-      reps = std::atoi(argv[++i]);
-      if (reps <= 0) {
-        std::fprintf(stderr, "--reps must be positive\n");
-        return 1;
-      }
-    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
-      out_path = argv[++i];
-    } else {
-      std::fprintf(stderr, "unknown flag or missing value: %s\n", argv[i]);
-      return 1;
-    }
-  }
+  const req::bench::BenchArgs args =
+      req::bench::ParseBenchArgs(argc, argv, "BENCH_e15_window.json");
+  if (!args.ok) return 1;
+  const bool smoke = args.smoke;
+  // Stream length (4x the largest W) unless overridden.
+  uint64_t items = args.items > 0 ? args.items : uint64_t{1} << 20;
+  int reps = args.reps > 0 ? args.reps : 3;
+  const std::string& out_path = args.out;
   std::vector<uint64_t> window_sizes{uint64_t{1} << 16, uint64_t{1} << 18};
   if (smoke) {
     items = std::min(items, uint64_t{1} << 15);

@@ -4,6 +4,9 @@
 // Reproduces the Section 1 motivation: additive-error methods have
 // relative tail error growing like 1/(distance from the tail), while the
 // REQ sketch holds relative error flat across the whole rank range.
+//
+// Usage: bench_e1_error_vs_rank [--items N] [--out report.json] [--smoke]
+#include <algorithm>
 #include <cstdio>
 
 #include "baselines/kll_sketch.h"
@@ -13,8 +16,12 @@
 #include "sim/metrics.h"
 #include "workload/latency_model.h"
 
-int main() {
-  const size_t kN = 1 << 20;
+int main(int argc, char** argv) {
+  const req::bench::BenchArgs args =
+      req::bench::ParseBenchArgs(argc, argv, "BENCH_e1_error_vs_rank.json");
+  if (!args.ok) return 1;
+  size_t kN = args.items > 0 ? args.items : size_t{1} << 20;
+  if (args.smoke) kN = std::min(kN, size_t{1} << 16);
   req::bench::PrintBanner(
       "E1: relative rank error vs rank (equal space), heavy-tail latencies",
       "REQ's relative error is flat in rank; KLL and sampling blow up at "
@@ -48,16 +55,38 @@ int main() {
   std::printf("n=%zu, space budget=%zu items; error denominator: "
               "n - R(y) + 1 (tail distance)\n\n",
               kN, budget);
-  req::bench::PrintErrorVsRankTable(
-      oracle,
-      {
-          {"REQ k=32", [&](double y) { return req_sketch.GetRank(y); },
-           req_sketch.RetainedItems()},
-          {"KLL", [&](double y) { return kll.GetRank(y); },
-           kll.RetainedItems()},
-          {"sampling", [&](double y) { return sampler.GetRank(y); },
-           sampler.RetainedItems()},
-      },
-      grid, /*from_high_end=*/true);
+  const std::vector<req::bench::Contender> contenders = {
+      {"REQ k=32", [&](double y) { return req_sketch.GetRank(y); },
+       req_sketch.RetainedItems()},
+      {"KLL", [&](double y) { return kll.GetRank(y); },
+       kll.RetainedItems()},
+      {"sampling", [&](double y) { return sampler.GetRank(y); },
+       sampler.RetainedItems()},
+  };
+  req::bench::PrintErrorVsRankTable(oracle, contenders, grid,
+                                    /*from_high_end=*/true);
+
+  req::bench::JsonWriter json;
+  json.BeginObject()
+      .Field("experiment", "e1_error_vs_rank")
+      .Field("n", static_cast<uint64_t>(kN))
+      .Field("smoke", args.smoke);
+  json.BeginArray("results");
+  for (const auto& c : contenders) {
+    const auto summary =
+        req::bench::MeasureErrors(oracle, c.rank_of, grid, true);
+    json.BeginObject()
+        .Field("name", c.name)
+        .Field("retained", static_cast<uint64_t>(c.retained))
+        .Field("max_relerr", summary.max_relative_error)
+        .Field("mean_relerr", summary.mean_relative_error)
+        .EndObject();
+  }
+  json.EndArray().EndObject();
+  if (!json.WriteFile(args.out)) {
+    std::fprintf(stderr, "could not write %s\n", args.out.c_str());
+    return 1;
+  }
+  std::printf("\nwrote %s\n", args.out.c_str());
   return 0;
 }

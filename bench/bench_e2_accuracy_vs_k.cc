@@ -4,6 +4,10 @@
 // req_common.h): the relative error standard deviation scales as
 // c / k_base. The product err * k_base should therefore be roughly
 // constant down the table, and doubling k halves the error.
+//
+// Usage: bench_e2_accuracy_vs_k [--items N] [--reps R]
+//                               [--out report.json] [--smoke]
+#include <algorithm>
 #include <cstdio>
 
 #include "bench/bench_util.h"
@@ -11,9 +15,16 @@
 #include "sim/metrics.h"
 #include "workload/distributions.h"
 
-int main() {
-  const size_t kN = 1 << 19;
-  const int kTrials = 5;
+int main(int argc, char** argv) {
+  const req::bench::BenchArgs args =
+      req::bench::ParseBenchArgs(argc, argv, "BENCH_e2_accuracy_vs_k.json");
+  if (!args.ok) return 1;
+  size_t kN = args.items > 0 ? args.items : size_t{1} << 19;
+  int kTrials = args.reps > 0 ? args.reps : 5;
+  if (args.smoke) {
+    kN = std::min(kN, size_t{1} << 16);
+    kTrials = std::min(kTrials, 2);
+  }
   req::bench::PrintBanner(
       "E2: measured relative error vs k_base (uniform stream)",
       "error ~ c / k_base: the err*k columns stay ~constant as k doubles");
@@ -22,6 +33,13 @@ int main() {
   req::sim::RankOracle oracle(values);
   const auto grid = req::sim::GeometricRankGrid(kN, true);
 
+  req::bench::JsonWriter json;
+  json.BeginObject()
+      .Field("experiment", "e2_accuracy_vs_k")
+      .Field("n", static_cast<uint64_t>(kN))
+      .Field("reps", kTrials)
+      .Field("smoke", args.smoke);
+  json.BeginArray("results");
   std::printf("%8s %10s %12s %12s %10s %10s\n", "k_base", "retained",
               "mean relerr", "max relerr", "mean*k", "max*k");
   for (uint32_t k_base : {8u, 16u, 32u, 64u, 128u}) {
@@ -44,6 +62,18 @@ int main() {
     maxe /= kTrials;
     std::printf("%8u %10zu %12.5f %12.5f %10.3f %10.3f\n", k_base, retained,
                 mean, maxe, mean * k_base, maxe * k_base);
+    json.BeginObject()
+        .Field("k", static_cast<uint64_t>(k_base))
+        .Field("retained", static_cast<uint64_t>(retained))
+        .Field("mean_relerr", mean)
+        .Field("max_relerr", maxe)
+        .EndObject();
   }
+  json.EndArray().EndObject();
+  if (!json.WriteFile(args.out)) {
+    std::fprintf(stderr, "could not write %s\n", args.out.c_str());
+    return 1;
+  }
+  std::printf("\nwrote %s\n", args.out.c_str());
   return 0;
 }

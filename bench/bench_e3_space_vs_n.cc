@@ -6,6 +6,8 @@
 // deterministic merge-and-prune ([21], O(eps^-1 log^3)) is run at an eps
 // giving comparable mid-table footprint: its normalized-by-log^1.5 column
 // *grows*, showing the extra log^1.5 factor the REQ sketch removes.
+//
+// Usage: bench_e3_space_vs_n [--out report.json] [--smoke]
 #include <cmath>
 #include <cstdio>
 
@@ -15,7 +17,10 @@
 #include "core/theory.h"
 #include "workload/distributions.h"
 
-int main() {
+int main(int argc, char** argv) {
+  const req::bench::BenchArgs args =
+      req::bench::ParseBenchArgs(argc, argv, "BENCH_e3_space_vs_n.json");
+  if (!args.ok) return 1;
   req::bench::PrintBanner(
       "E3: retained items vs stream length n",
       "REQ space / log^1.5 is ~flat; Zhang-Wang / log^1.5 grows (it is "
@@ -25,7 +30,14 @@ int main() {
               "REQ/log^1.5", "ZW ret", "ZW/log^1.5", "REQ levels");
   const uint32_t k_base = 32;
   const double zw_eps = 0.04;
-  for (int log_n = 13; log_n <= 21; ++log_n) {
+  const int max_log_n = args.smoke ? 16 : 21;
+
+  req::bench::JsonWriter json;
+  json.BeginObject()
+      .Field("experiment", "e3_space_vs_n")
+      .Field("smoke", args.smoke);
+  json.BeginArray("results");
+  for (int log_n = 13; log_n <= max_log_n; ++log_n) {
     const size_t n = size_t{1} << log_n;
     const auto values = req::workload::GenerateUniform(n, 100 + log_n);
 
@@ -40,15 +52,23 @@ int main() {
 
     const double log_term = std::pow(
         std::max(1.0, std::log2(static_cast<double>(n) / k_base)), 1.5);
+    const double req_norm =
+        static_cast<double>(sketch.RetainedItems()) / (k_base * log_term);
+    const double zw_norm = static_cast<double>(zw.RetainedItems()) /
+                           ((1.0 / zw_eps) * log_term);
     std::printf("%10zu %10zu %14.3f %10zu %14.3f %12zu\n", n,
-                sketch.RetainedItems(),
-                static_cast<double>(sketch.RetainedItems()) /
-                    (k_base * log_term),
-                zw.RetainedItems(),
-                static_cast<double>(zw.RetainedItems()) /
-                    ((1.0 / zw_eps) * log_term),
-                sketch.num_levels());
+                sketch.RetainedItems(), req_norm, zw.RetainedItems(),
+                zw_norm, sketch.num_levels());
+    json.BeginObject()
+        .Field("n", static_cast<uint64_t>(n))
+        .Field("req_retained", static_cast<uint64_t>(sketch.RetainedItems()))
+        .Field("req_norm", req_norm)
+        .Field("zw_retained", static_cast<uint64_t>(zw.RetainedItems()))
+        .Field("zw_norm", zw_norm)
+        .Field("levels", static_cast<uint64_t>(sketch.num_levels()))
+        .EndObject();
   }
+  json.EndArray().EndObject();
 
   std::printf("\ntheory bounds at eps=0.03, delta=0.1 (items, up to "
               "constants):\n");
@@ -63,5 +83,10 @@ int main() {
                 req::theory::SpaceBoundThm2(0.03, 0.1, n),
                 req::theory::SpaceBoundDeterministic(0.03, n));
   }
+  if (!json.WriteFile(args.out)) {
+    std::fprintf(stderr, "could not write %s\n", args.out.c_str());
+    return 1;
+  }
+  std::printf("\nwrote %s\n", args.out.c_str());
   return 0;
 }

@@ -11,6 +11,8 @@
 // Orientation note: CKMS, Zhang-Wang and the dyadic sketch are accurate at
 // LOW ranks, so they ingest the negated/reflected stream; their rank
 // estimates are mapped back (the Section 1 reversed-comparator trick).
+//
+// Usage: bench_e4_comparison [--items N] [--out report.json] [--smoke]
 #include <algorithm>
 #include <cstdio>
 
@@ -28,8 +30,12 @@
 #include "sim/metrics.h"
 #include "workload/latency_model.h"
 
-int main() {
-  const size_t kN = 1 << 19;
+int main(int argc, char** argv) {
+  const req::bench::BenchArgs args =
+      req::bench::ParseBenchArgs(argc, argv, "BENCH_e4_comparison.json");
+  if (!args.ok) return 1;
+  size_t kN = args.items > 0 ? args.items : size_t{1} << 19;
+  if (args.smoke) kN = std::min(kN, size_t{1} << 16);
   req::bench::PrintBanner(
       "E4: tail accuracy comparison across all baselines (latency trace)",
       "only the relative-error sketches (REQ, ZW, dyadic) resolve p99.9+; "
@@ -123,5 +129,28 @@ int main() {
   std::printf("\nNote: DDSketch's guarantee is on quantile *values* (alpha "
               "= 0.01), not ranks;\nits rank row reflects bucket "
               "granularity on this data, as Section 1.1 predicts.\n");
+
+  req::bench::JsonWriter json;
+  json.BeginObject()
+      .Field("experiment", "e4_comparison")
+      .Field("n", static_cast<uint64_t>(kN))
+      .Field("smoke", args.smoke);
+  json.BeginArray("results");
+  for (const auto& c : contenders) {
+    const auto summary =
+        req::bench::MeasureErrors(oracle, c.rank_of, ranks, true);
+    json.BeginObject()
+        .Field("name", c.name)
+        .Field("retained", static_cast<uint64_t>(c.retained))
+        .Field("max_relerr", summary.max_relative_error)
+        .Field("mean_relerr", summary.mean_relative_error)
+        .EndObject();
+  }
+  json.EndArray().EndObject();
+  if (!json.WriteFile(args.out)) {
+    std::fprintf(stderr, "could not write %s\n", args.out.c_str());
+    return 1;
+  }
+  std::printf("\nwrote %s\n", args.out.c_str());
   return 0;
 }

@@ -5,6 +5,9 @@
 // Expected shape: every topology's max relative error stays within a small
 // factor of the streaming sketch's, and space stays at the streaming level
 // -- the "arbitrary sequence of merge operations" promise.
+//
+// Usage: bench_e5_mergeability [--items N] [--out report.json] [--smoke]
+#include <algorithm>
 #include <cstdio>
 
 #include "bench/bench_util.h"
@@ -13,8 +16,16 @@
 #include "sim/metrics.h"
 #include "workload/distributions.h"
 
-int main() {
-  const size_t kN = 1 << 19;
+int main(int argc, char** argv) {
+  const req::bench::BenchArgs args =
+      req::bench::ParseBenchArgs(argc, argv, "BENCH_e5_mergeability.json");
+  if (!args.ok) return 1;
+  size_t kN = args.items > 0 ? args.items : size_t{1} << 19;
+  std::vector<size_t> part_counts{4, 16, 64, 256};
+  if (args.smoke) {
+    kN = std::min(kN, size_t{1} << 16);
+    part_counts = {4, 16};
+  }
   const uint32_t kBase = 32;
   req::bench::PrintBanner(
       "E5: merge-tree accuracy vs streaming (Theorem 3)",
@@ -42,9 +53,16 @@ int main() {
               base_summary.max_relative_error,
               base_summary.mean_relative_error, streaming.RetainedItems());
 
+  req::bench::JsonWriter json;
+  json.BeginObject()
+      .Field("experiment", "e5_mergeability")
+      .Field("n", static_cast<uint64_t>(kN))
+      .Field("smoke", args.smoke)
+      .Field("streaming_max_relerr", base_summary.max_relative_error);
+  json.BeginArray("results");
   std::printf("%8s %14s %12s %12s %10s %8s\n", "parts", "topology",
               "max relerr", "mean relerr", "retained", "vs base");
-  for (size_t parts : {4ul, 16ul, 64ul, 256ul}) {
+  for (size_t parts : part_counts) {
     const auto split = req::sim::SplitStream(values, parts);
     for (req::sim::MergeTopology topology : req::sim::kAllMergeTopologies) {
       auto sketch = req::sim::BuildAndMerge<req::ReqSketch<double>>(
@@ -52,13 +70,27 @@ int main() {
           /*seed=*/parts);
       const auto summary = req::bench::MeasureErrors(
           oracle, [&](double y) { return sketch.GetRank(y); }, grid, true);
+      const double vs_base = summary.max_relative_error /
+                             std::max(1e-9, base_summary.max_relative_error);
       std::printf("%8zu %14s %12.5f %12.5f %10zu %8.2f\n", parts,
                   req::sim::TopologyName(topology).c_str(),
                   summary.max_relative_error, summary.mean_relative_error,
-                  sketch.RetainedItems(),
-                  summary.max_relative_error /
-                      std::max(1e-9, base_summary.max_relative_error));
+                  sketch.RetainedItems(), vs_base);
+      json.BeginObject()
+          .Field("parts", static_cast<uint64_t>(parts))
+          .Field("topology", req::sim::TopologyName(topology))
+          .Field("max_relerr", summary.max_relative_error)
+          .Field("mean_relerr", summary.mean_relative_error)
+          .Field("retained", static_cast<uint64_t>(sketch.RetainedItems()))
+          .Field("vs_base", vs_base)
+          .EndObject();
     }
   }
+  json.EndArray().EndObject();
+  if (!json.WriteFile(args.out)) {
+    std::fprintf(stderr, "could not write %s\n", args.out.c_str());
+    return 1;
+  }
+  std::printf("\nwrote %s\n", args.out.c_str());
   return 0;
 }

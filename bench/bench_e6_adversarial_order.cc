@@ -6,6 +6,10 @@
 // the merge condition). Expected shape: CKMS tuple count ~ n/2 under
 // zoom-in but modest elsewhere; REQ's space and accuracy are essentially
 // order-independent (its guarantee is worst-case over orders).
+//
+// Usage: bench_e6_adversarial_order [--items N] [--out report.json]
+//                                   [--smoke]
+#include <algorithm>
 #include <cstdio>
 
 #include "baselines/ckms_sketch.h"
@@ -15,8 +19,12 @@
 #include "workload/distributions.h"
 #include "workload/stream_orders.h"
 
-int main() {
-  const size_t kN = 40000;
+int main(int argc, char** argv) {
+  const req::bench::BenchArgs args = req::bench::ParseBenchArgs(
+      argc, argv, "BENCH_e6_adversarial_order.json");
+  if (!args.ok) return 1;
+  size_t kN = args.items > 0 ? args.items : 40000;
+  if (args.smoke) kN = std::min(kN, size_t{8000});
   req::bench::PrintBanner(
       "E6: arrival-order sensitivity (space and accuracy)",
       "CKMS degenerates to ~n/2 tuples under zoom-in order; REQ space and "
@@ -28,6 +36,12 @@ int main() {
   std::printf("%16s %10s %12s %12s %12s\n", "order", "REQ ret",
               "REQ maxrel", "CKMS ret", "CKMS maxrel");
 
+  req::bench::JsonWriter json;
+  json.BeginObject()
+      .Field("experiment", "e6_adversarial_order")
+      .Field("n", static_cast<uint64_t>(kN))
+      .Field("smoke", args.smoke);
+  json.BeginArray("results");
   for (req::workload::OrderKind order : req::workload::kAllOrderKinds) {
     if (order == req::workload::OrderKind::kAsIs) continue;  // == sorted here
     auto values = req::workload::GenerateSequential(kN);
@@ -58,6 +72,20 @@ int main() {
                 req_sketch.RetainedItems(),
                 req_summary.max_relative_error, ckms.RetainedItems(),
                 ckms_summary.max_relative_error);
+    json.BeginObject()
+        .Field("order", req::workload::OrderName(order))
+        .Field("req_retained",
+               static_cast<uint64_t>(req_sketch.RetainedItems()))
+        .Field("req_max_relerr", req_summary.max_relative_error)
+        .Field("ckms_retained", static_cast<uint64_t>(ckms.RetainedItems()))
+        .Field("ckms_max_relerr", ckms_summary.max_relative_error)
+        .EndObject();
   }
+  json.EndArray().EndObject();
+  if (!json.WriteFile(args.out)) {
+    std::fprintf(stderr, "could not write %s\n", args.out.c_str());
+    return 1;
+  }
+  std::printf("\nwrote %s\n", args.out.c_str());
   return 0;
 }

@@ -7,6 +7,9 @@
 // standard deviation and the fraction of trials exceeding 1/2/3 estimated
 // standard errors. Expected shape: sigma ~ c/k (halves when k doubles);
 // exceedance fractions near the Gaussian 32% / 5% / 0.3%.
+//
+// Usage: bench_e7_failure_prob [--items N] [--reps R]
+//                              [--out report.json] [--smoke]
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
@@ -17,9 +20,16 @@
 #include "sim/metrics.h"
 #include "workload/distributions.h"
 
-int main() {
-  const size_t kN = 1 << 16;
-  const int kTrials = 250;
+int main(int argc, char** argv) {
+  const req::bench::BenchArgs args =
+      req::bench::ParseBenchArgs(argc, argv, "BENCH_e7_failure_prob.json");
+  if (!args.ok) return 1;
+  size_t kN = args.items > 0 ? args.items : size_t{1} << 16;
+  int kTrials = args.reps > 0 ? args.reps : 250;
+  if (args.smoke) {
+    kN = std::min(kN, size_t{1} << 14);
+    kTrials = std::min(kTrials, 40);
+  }
   req::bench::PrintBanner(
       "E7: empirical failure probability / sub-Gaussian error tail",
       "relative-error sigma halves as k doubles; exceedance rates track "
@@ -40,6 +50,13 @@ int main() {
               static_cast<unsigned long long>(exact), tail, kTrials);
   std::printf("%8s %12s %12s %8s %8s %8s %10s\n", "k_base", "emp sigma",
               "sigma*k", ">1s", ">2s", ">3s", "mean err");
+  req::bench::JsonWriter json;
+  json.BeginObject()
+      .Field("experiment", "e7_failure_prob")
+      .Field("n", static_cast<uint64_t>(kN))
+      .Field("reps", kTrials)
+      .Field("smoke", args.smoke);
+  json.BeginArray("results");
   for (uint32_t k_base : {8u, 16u, 32u, 64u}) {
     std::vector<double> errors;
     errors.reserve(kTrials);
@@ -73,6 +90,21 @@ int main() {
                 k_base, sigma, sigma * k_base,
                 100.0 * over1 / kTrials, 100.0 * over2 / kTrials,
                 100.0 * over3 / kTrials, mean);
+    json.BeginObject()
+        .Field("k", static_cast<uint64_t>(k_base))
+        .Field("sigma", sigma)
+        .Field("sigma_k", sigma * k_base)
+        .Field("frac_over_1s", 1.0 * over1 / kTrials)
+        .Field("frac_over_2s", 1.0 * over2 / kTrials)
+        .Field("frac_over_3s", 1.0 * over3 / kTrials)
+        .Field("mean_err", mean)
+        .EndObject();
   }
+  json.EndArray().EndObject();
+  if (!json.WriteFile(args.out)) {
+    std::fprintf(stderr, "could not write %s\n", args.out.c_str());
+    return 1;
+  }
+  std::printf("\nwrote %s\n", args.out.c_str());
   return 0;
 }

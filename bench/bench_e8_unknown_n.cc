@@ -13,7 +13,13 @@
 #include "sim/metrics.h"
 #include "workload/distributions.h"
 
-int main() {
+int main(int argc, char** argv) {
+  const req::bench::BenchArgs args =
+      req::bench::ParseBenchArgs(argc, argv, "BENCH_e8_unknown_n.json");
+  if (!args.ok) return 1;
+  std::vector<size_t> sizes{size_t{1} << 16, size_t{1} << 18,
+                            size_t{1} << 20};
+  if (args.smoke) sizes = {size_t{1} << 15};
   const uint32_t kBase = 32;
   req::bench::PrintBanner(
       "E8: unknown stream length -- in-place regrowth vs close-out chain "
@@ -21,9 +27,14 @@ int main() {
       "both Section 5 schemes match known-n accuracy; space within a "
       "constant factor");
 
+  req::bench::JsonWriter json;
+  json.BeginObject()
+      .Field("experiment", "e8_unknown_n")
+      .Field("smoke", args.smoke);
+  json.BeginArray("results");
   std::printf("%10s %14s %10s %12s %12s\n", "n", "variant", "retained",
               "max relerr", "mean relerr");
-  for (size_t n : {size_t{1} << 16, size_t{1} << 18, size_t{1} << 20}) {
+  for (size_t n : sizes) {
     const auto values = req::workload::GenerateUniform(n, 80 + n % 97);
     req::sim::RankOracle oracle(values);
     const auto grid = req::sim::GeometricRankGrid(n, true);
@@ -74,7 +85,20 @@ int main() {
       std::printf("%10zu %14s %10zu %12.5f %12.5f%s\n", n, row.name,
                   row.retained, summary.max_relative_error,
                   summary.mean_relative_error, row.extra.c_str());
+      json.BeginObject()
+          .Field("n", static_cast<uint64_t>(n))
+          .Field("variant", row.name)
+          .Field("retained", static_cast<uint64_t>(row.retained))
+          .Field("max_relerr", summary.max_relative_error)
+          .Field("mean_relerr", summary.mean_relative_error)
+          .EndObject();
     }
   }
+  json.EndArray().EndObject();
+  if (!json.WriteFile(args.out)) {
+    std::fprintf(stderr, "could not write %s\n", args.out.c_str());
+    return 1;
+  }
+  std::printf("\nwrote %s\n", args.out.c_str());
   return 0;
 }

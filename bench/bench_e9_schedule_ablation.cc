@@ -12,6 +12,10 @@
 // zoom patterns) the uniform schedule's error at the accurate end is a
 // multiple of the exponential schedule's; matching it requires a much
 // larger k (the 1/eps vs 1/eps^2 separation).
+//
+// Usage: bench_e9_schedule_ablation [--items N] [--reps R]
+//                                   [--out report.json] [--smoke]
+#include <algorithm>
 #include <cstdio>
 
 #include "bench/bench_util.h"
@@ -36,9 +40,16 @@ const char* ScheduleName(req::SchedulePolicy policy) {
 
 }  // namespace
 
-int main() {
-  const size_t kN = 1 << 19;
-  const int kTrials = 3;
+int main(int argc, char** argv) {
+  const req::bench::BenchArgs args = req::bench::ParseBenchArgs(
+      argc, argv, "BENCH_e9_schedule_ablation.json");
+  if (!args.ok) return 1;
+  size_t kN = args.items > 0 ? args.items : size_t{1} << 19;
+  int kTrials = args.reps > 0 ? args.reps : 3;
+  if (args.smoke) {
+    kN = std::min(kN, size_t{1} << 15);
+    kTrials = 1;
+  }
   req::bench::PrintBanner(
       "E9: compaction schedule ablation (exponential vs uniform vs single)",
       "at equal k, the exponential schedule dominates at the accurate end, "
@@ -52,6 +63,13 @@ int main() {
       req::SchedulePolicy::kExponential, req::SchedulePolicy::kUniform,
       req::SchedulePolicy::kSingleSection};
 
+  req::bench::JsonWriter json;
+  json.BeginObject()
+      .Field("experiment", "e9_schedule_ablation")
+      .Field("n", static_cast<uint64_t>(kN))
+      .Field("reps", kTrials)
+      .Field("smoke", args.smoke);
+  json.BeginArray("results");
   std::printf("%12s %14s %8s %10s %12s %12s\n", "order", "schedule", "k",
               "retained", "max relerr", "mean relerr");
   for (const auto order : orders) {
@@ -82,8 +100,22 @@ int main() {
                     req::workload::OrderName(order).c_str(),
                     ScheduleName(policy), k_base, retained,
                     max_rel / kTrials, mean_rel / kTrials);
+        json.BeginObject()
+            .Field("order", req::workload::OrderName(order))
+            .Field("schedule", ScheduleName(policy))
+            .Field("k", static_cast<uint64_t>(k_base))
+            .Field("retained", static_cast<uint64_t>(retained))
+            .Field("max_relerr", max_rel / kTrials)
+            .Field("mean_relerr", mean_rel / kTrials)
+            .EndObject();
       }
     }
   }
+  json.EndArray().EndObject();
+  if (!json.WriteFile(args.out)) {
+    std::fprintf(stderr, "could not write %s\n", args.out.c_str());
+    return 1;
+  }
+  std::printf("\nwrote %s\n", args.out.c_str());
   return 0;
 }

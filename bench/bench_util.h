@@ -1,12 +1,20 @@
-// Shared helpers for the experiment binaries (E1..E12). Each bench prints
-// a self-describing table; EXPERIMENTS.md records the expected shapes and
-// a captured run.
+// Shared helpers for the experiment binaries (E1..E16): the streaming JSON
+// report writer, the wall-clock timer, the optimizer sink, uniform
+// command-line parsing (--smoke / --items / --reps / --out / --baseline),
+// and the table-printing utilities. Each bench prints a self-describing
+// table and writes a machine-readable BENCH_*.json validated by
+// tools/check_bench_schema.py; EXPERIMENTS.md records the expected shapes
+// and a captured run.
 #ifndef REQSKETCH_BENCH_BENCH_UTIL_H_
 #define REQSKETCH_BENCH_BENCH_UTIL_H_
 
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <functional>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -14,6 +22,78 @@
 
 namespace req {
 namespace bench {
+
+// --- timing / sinks --------------------------------------------------------
+
+using Clock = std::chrono::steady_clock;
+
+inline double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+// A sink the optimizer cannot remove.
+inline volatile uint64_t g_sink = 0;
+
+// --- command line ----------------------------------------------------------
+
+// The uniform flag set of the bench suite. Benches read back only the
+// fields they care about; `items`/`reps` are 0 when not given so callers
+// keep their own defaults. `ok == false` means an unknown flag or bad
+// value was seen (and reported to stderr): exit non-zero.
+struct BenchArgs {
+  size_t items = 0;
+  int reps = 0;
+  bool smoke = false;
+  std::string out;
+  std::string baseline;
+  bool ok = true;
+};
+
+inline BenchArgs ParseBenchArgs(int argc, char** argv,
+                                const std::string& default_out) {
+  BenchArgs args;
+  args.out = default_out;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      args.smoke = true;
+    } else if (std::strcmp(argv[i], "--items") == 0 && i + 1 < argc) {
+      args.items = static_cast<size_t>(
+          std::strtoull(argv[++i], nullptr, 10));
+      if (args.items == 0) {
+        std::fprintf(stderr, "--items must be positive\n");
+        args.ok = false;
+      }
+    } else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
+      args.reps = std::atoi(argv[++i]);
+      if (args.reps <= 0) {
+        std::fprintf(stderr, "--reps must be positive\n");
+        args.ok = false;
+      }
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      args.out = argv[++i];
+    } else if (std::strcmp(argv[i], "--baseline") == 0 && i + 1 < argc) {
+      args.baseline = argv[++i];
+    } else {
+      std::fprintf(stderr, "unknown flag or missing value: %s\n", argv[i]);
+      args.ok = false;
+    }
+  }
+  return args;
+}
+
+// Reads a whole text file (for splicing a previously captured JSON report
+// into a fresh one via JsonWriter::RawField); empty on failure.
+inline std::string ReadWholeFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::string();
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  std::string text = ss.str();
+  while (!text.empty() && (text.back() == '\n' || text.back() == '\r')) {
+    text.pop_back();
+  }
+  return text;
+}
 
 // A minimal streaming JSON writer, just enough for the machine-readable
 // bench outputs (BENCH_*.json): nested objects/arrays with string, number

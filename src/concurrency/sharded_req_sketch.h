@@ -258,6 +258,14 @@ class ShardedReqSketch {
     return View()->sketch.GetRanks(ys, criterion);
   }
 
+  // Bulk rank kernel (one co-scan of the merged view's weight-indexed
+  // sorted view); safe to call from any number of threads concurrently.
+  void GetRanks(const T* ys, size_t count, uint64_t* out,
+                Criterion criterion = Criterion::kInclusive) const {
+    util::CheckState(!is_empty(), "GetRanks() on an empty sketch");
+    View()->sketch.GetRanks(ys, count, out, criterion);
+  }
+
   T GetQuantile(double q,
                 Criterion criterion = Criterion::kInclusive) const {
     util::CheckState(!is_empty(), "GetQuantile() on an empty sketch");

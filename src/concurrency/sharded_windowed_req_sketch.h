@@ -211,6 +211,14 @@ class ShardedWindowedReqSketch {
     return View()->sketch.GetRanks(ys, criterion);
   }
 
+  // Bulk rank kernel over the cached merged snapshot (one co-scan); safe
+  // to call from any number of threads concurrently.
+  void GetRanks(const T* ys, size_t count, uint64_t* out,
+                Criterion criterion = Criterion::kInclusive) const {
+    util::CheckState(!is_empty(), "GetRanks() on an empty window");
+    View()->sketch.GetRanks(ys, count, out, criterion);
+  }
+
   T GetQuantile(double q,
                 Criterion criterion = Criterion::kInclusive) const {
     util::CheckState(!is_empty(), "GetQuantile() on an empty window");

@@ -24,12 +24,26 @@
 // (parameter regrowth) compact everything above the protected half.
 //
 // Hot-path structure: the buffer maintains a *sorted-prefix invariant* --
-// items_[0, sorted_prefix_) is sorted ascending, everything after it is the
+// items [0, sorted_prefix_) are sorted ascending, everything after is the
 // unsorted insert tail. Every compaction leaves the surviving buffer fully
 // sorted, so between compactions the tail is only the items inserted since.
 // Sort() therefore sorts just the tail and runs std::inplace_merge
 // (O(u log u + B) for tail length u instead of O(B log B)), and CountRank
 // binary-searches the prefix and linearly scans only the tail.
+//
+// Storage: items live in a LevelArena slot, NOT in a per-compactor
+// std::vector. A standalone compactor (unit tests, ablation harnesses)
+// owns a private single-slot arena; inside a ReqSketch every level is a
+// slot of the sketch's shared arena, so the whole retained set is one
+// contiguous allocation (see core/level_arena.h). The compactor's logic is
+// storage-agnostic: all operations address the arena through (arena, slot).
+//
+// Change tracking: version() is a monotone counter bumped by every
+// content mutation (inserts, compactions, clear, restore). The sketch's
+// incremental sorted-view maintenance uses it to re-sort only the levels
+// that actually changed since the last view build. Sort() does NOT bump it:
+// sorting permutes equal-keyed storage order but never the summarized
+// multiset.
 #ifndef REQSKETCH_CORE_RELATIVE_COMPACTOR_H_
 #define REQSKETCH_CORE_RELATIVE_COMPACTOR_H_
 
@@ -37,9 +51,11 @@
 #include <cstdint>
 #include <functional>
 #include <iterator>
+#include <memory>
 #include <utility>
 #include <vector>
 
+#include "core/level_arena.h"
 #include "core/req_common.h"
 #include "util/bits.h"
 #include "util/random.h"
@@ -50,9 +66,20 @@ namespace req {
 template <typename T, typename Compare = std::less<T>>
 class RelativeCompactor {
  public:
+  // Standalone form: the compactor owns a private single-slot arena.
   RelativeCompactor(uint32_t section_size, uint32_t num_sections,
                     RankAccuracy accuracy, SchedulePolicy schedule,
                     CoinMode coin, Compare comp = Compare())
+      : RelativeCompactor(nullptr, section_size, num_sections, accuracy,
+                          schedule, coin, std::move(comp)) {}
+
+  // Arena-backed form: appends a slot to `arena` (which must outlive the
+  // compactor; the owner re-points it on copies/moves via RebindArena).
+  // Passing nullptr selects the standalone form.
+  RelativeCompactor(LevelArena<T>* arena, uint32_t section_size,
+                    uint32_t num_sections, RankAccuracy accuracy,
+                    SchedulePolicy schedule, CoinMode coin,
+                    Compare comp = Compare())
       : comp_(std::move(comp)),
         section_size_(section_size),
         num_sections_(num_sections),
@@ -62,7 +89,93 @@ class RelativeCompactor {
     util::CheckArg(section_size >= 2 && section_size % 2 == 0,
                    "section size must be even and >= 2");
     util::CheckArg(num_sections >= 2, "num_sections must be >= 2");
-    items_.reserve(capacity());
+    if (arena == nullptr) {
+      own_arena_ = std::make_unique<LevelArena<T>>();
+      arena = own_arena_.get();
+    }
+    arena_ = arena;
+    slot_ = arena_->AddSlot(capacity());
+  }
+
+  // A standalone compactor deep-copies its private arena. An arena-backed
+  // one copies the binding only -- its owner copies the shared arena
+  // wholesale and rebinds every level (see ReqSketch's copy constructor).
+  RelativeCompactor(const RelativeCompactor& other)
+      : comp_(other.comp_),
+        own_arena_(other.own_arena_
+                       ? std::make_unique<LevelArena<T>>(*other.own_arena_)
+                       : nullptr),
+        arena_(own_arena_ ? own_arena_.get() : other.arena_),
+        slot_(other.slot_),
+        section_size_(other.section_size_),
+        num_sections_(other.num_sections_),
+        accuracy_(other.accuracy_),
+        schedule_(other.schedule_),
+        coin_(other.coin_),
+        state_(other.state_),
+        num_compactions_(other.num_compactions_),
+        version_(other.version_),
+        sorted_prefix_(other.sorted_prefix_) {}
+
+  RelativeCompactor(RelativeCompactor&& other) noexcept
+      : comp_(std::move(other.comp_)),
+        own_arena_(std::move(other.own_arena_)),
+        arena_(own_arena_ ? own_arena_.get() : other.arena_),
+        slot_(other.slot_),
+        section_size_(other.section_size_),
+        num_sections_(other.num_sections_),
+        accuracy_(other.accuracy_),
+        schedule_(other.schedule_),
+        coin_(other.coin_),
+        state_(other.state_),
+        num_compactions_(other.num_compactions_),
+        version_(other.version_),
+        sorted_prefix_(other.sorted_prefix_) {}
+
+  RelativeCompactor& operator=(const RelativeCompactor& other) {
+    if (this == &other) return *this;
+    RelativeCompactor copy(other);
+    *this = std::move(copy);
+    return *this;
+  }
+
+  RelativeCompactor& operator=(RelativeCompactor&& other) noexcept {
+    comp_ = std::move(other.comp_);
+    own_arena_ = std::move(other.own_arena_);
+    arena_ = own_arena_ ? own_arena_.get() : other.arena_;
+    slot_ = other.slot_;
+    section_size_ = other.section_size_;
+    num_sections_ = other.num_sections_;
+    accuracy_ = other.accuracy_;
+    schedule_ = other.schedule_;
+    coin_ = other.coin_;
+    state_ = other.state_;
+    num_compactions_ = other.num_compactions_;
+    version_ = other.version_;
+    sorted_prefix_ = other.sorted_prefix_;
+    return *this;
+  }
+
+  // Re-points an arena-backed compactor at (a copy of) its storage; called
+  // by the owning sketch after copying/moving the shared arena. No-op for
+  // standalone compactors (they carry their arena with them).
+  void RebindArena(LevelArena<T>* arena) {
+    if (!own_arena_) arena_ = arena;
+  }
+
+  // Deep-copies this compactor into a slot of `arena` (used by the merge
+  // path to special-compact a scratch copy of a source sketch's levels
+  // without touching the source's storage).
+  RelativeCompactor CloneInto(LevelArena<T>* arena) const {
+    RelativeCompactor clone(arena, section_size_, num_sections_, accuracy_,
+                            schedule_, coin_, comp_);
+    arena->Reserve(clone.slot_, size());
+    arena->Append(clone.slot_, begin(), end());
+    clone.state_ = state_;
+    clone.num_compactions_ = num_compactions_;
+    clone.version_ = version_;
+    clone.sorted_prefix_ = sorted_prefix_;
+    return clone;
   }
 
   // --- accessors -----------------------------------------------------------
@@ -72,9 +185,9 @@ class RelativeCompactor {
   uint32_t capacity() const {
     return params::Capacity(section_size_, num_sections_);
   }
-  size_t size() const { return items_.size(); }
-  bool empty() const { return items_.empty(); }
-  bool IsFull() const { return items_.size() >= capacity(); }
+  size_t size() const { return arena_->Size(slot_); }
+  bool empty() const { return size() == 0; }
+  bool IsFull() const { return size() >= capacity(); }
 
   // Compaction-schedule state C (number of compactions in streaming use;
   // after merges it is the bitwise OR of the constituents' states).
@@ -85,40 +198,43 @@ class RelativeCompactor {
 
   uint64_t num_compactions() const { return num_compactions_; }
 
-  const std::vector<T>& items() const { return items_; }
+  // Monotone content-change counter (see header comment).
+  uint64_t version() const { return version_; }
+
+  ItemSpan<T> items() const { return ItemSpan<T>(begin(), size()); }
 
   // --- updates -------------------------------------------------------------
 
   void Insert(const T& item) {
-    items_.push_back(item);
+    arena_->PushBack(slot_, item);
     ExtendSortedPrefix();
+    ++version_;
   }
   void Insert(T&& item) {
-    items_.push_back(std::move(item));
+    arena_->PushBack(slot_, std::move(item));
     ExtendSortedPrefix();
+    ++version_;
   }
 
   // Bulk insert used by the sketch's batch update: appends `count` items
   // in order. Equivalent to `count` scalar Insert calls (including the
   // sorted-prefix bookkeeping) minus the per-call overhead.
   void Insert(const T* data, size_t count) {
-    items_.reserve(items_.size() + count);
-    items_.insert(items_.end(), data, data + count);
+    arena_->Append(slot_, data, data + count);
     ExtendSortedPrefix();
+    ++version_;
   }
 
-  // Grows the underlying buffer's capacity (never shrinks, never changes
-  // contents); used by the N-way merge to size each level once up front.
-  void Reserve(size_t total) {
-    if (total > items_.capacity()) items_.reserve(total);
-  }
+  // Grows the slot's capacity (never shrinks, never changes contents);
+  // used by merges to size a level once up front.
+  void Reserve(size_t total) { arena_->Reserve(slot_, total); }
 
   // Bulk insert used by merge: appends all items from a sibling buffer.
-  void InsertAll(const std::vector<T>& other_items) {
+  void InsertAll(ItemSpan<T> other_items) {
     if (other_items.empty()) return;
-    items_.reserve(items_.size() + other_items.size());
-    items_.insert(items_.end(), other_items.begin(), other_items.end());
+    arena_->Append(slot_, other_items.begin(), other_items.end());
     ExtendSortedPrefix();
+    ++version_;
   }
 
   // Move-appending overload used for promotion during compaction cascades:
@@ -126,22 +242,23 @@ class RelativeCompactor {
   // buffer) but its items are moved, not copied.
   void InsertAll(std::vector<T>&& other_items) {
     if (other_items.empty()) return;
-    items_.reserve(items_.size() + other_items.size());
-    items_.insert(items_.end(),
-                  std::make_move_iterator(other_items.begin()),
-                  std::make_move_iterator(other_items.end()));
+    arena_->Append(slot_,
+                   std::make_move_iterator(other_items.begin()),
+                   std::make_move_iterator(other_items.end()));
     other_items.clear();
     ExtendSortedPrefix();
+    ++version_;
   }
 
-  // Drops all contents and schedule state but keeps the buffer allocation:
+  // Drops all contents and schedule state but keeps the slot's region:
   // the cheap-retirement primitive behind ReqSketch::Reset(), which the
   // sliding-window wrapper calls every bucket rotation.
   void Clear() {
-    items_.clear();
+    arena_->ClearSlot(slot_);
     sorted_prefix_ = 0;
     state_ = 0;
     num_compactions_ = 0;
+    ++version_;
   }
 
   // Reconfigures the section geometry after the sketch's global parameters
@@ -194,10 +311,9 @@ class RelativeCompactor {
     const uint32_t width = NextCompactionWidth();
     // Everything beyond the nominal capacity B is "extra" (can only appear
     // during merges) and is always included in the compaction.
-    const size_t extras =
-        items_.size() > capacity() ? items_.size() - capacity() : 0;
+    const size_t extras = size() > capacity() ? size() - capacity() : 0;
     size_t compact_count =
-        std::min(items_.size(), static_cast<size_t>(width) + extras);
+        std::min(size(), static_cast<size_t>(width) + extras);
     // Keep the compacted range even so exactly half of it is promoted and
     // total weight is conserved (the estimator then satisfies
     // RankEstimate(max) == n exactly).
@@ -222,8 +338,8 @@ class RelativeCompactor {
   void SpecialCompact(util::Xoshiro256& rng, std::vector<T>* promoted) {
     promoted->clear();
     const size_t protect = capacity() / 2;
-    if (items_.size() <= protect) return;
-    const size_t compact_count = (items_.size() - protect) & ~size_t{1};
+    if (size() <= protect) return;
+    const size_t compact_count = (size() - protect) & ~size_t{1};
     if (compact_count < 2) return;
     CompactRange(compact_count, rng, promoted);
     state_ += 1;
@@ -242,21 +358,20 @@ class RelativeCompactor {
   // Binary search over the sorted prefix plus a linear pass over the insert
   // tail: O(log B + u) instead of O(B).
   uint64_t CountRank(const T& y, Criterion criterion) const {
-    const auto prefix_end =
-        items_.begin() + static_cast<ptrdiff_t>(sorted_prefix_);
+    const T* first = begin();
+    const T* prefix_end = first + sorted_prefix_;
+    const T* last = end();
     uint64_t count;
     if (criterion == Criterion::kInclusive) {
       count = static_cast<uint64_t>(
-          std::upper_bound(items_.begin(), prefix_end, y, comp_) -
-          items_.begin());
-      for (auto it = prefix_end; it != items_.end(); ++it) {
+          std::upper_bound(first, prefix_end, y, comp_) - first);
+      for (const T* it = prefix_end; it != last; ++it) {
         if (!comp_(y, *it)) ++count;  // x <= y
       }
     } else {
       count = static_cast<uint64_t>(
-          std::lower_bound(items_.begin(), prefix_end, y, comp_) -
-          items_.begin());
-      for (auto it = prefix_end; it != items_.end(); ++it) {
+          std::lower_bound(first, prefix_end, y, comp_) - first);
+      for (const T* it = prefix_end; it != last; ++it) {
         if (comp_(*it, y)) ++count;  // x < y
       }
     }
@@ -267,42 +382,52 @@ class RelativeCompactor {
   // (core/req_serde.h) only. The sorted prefix is recomputed from the data.
   void Restore(std::vector<T> items, uint64_t state,
                uint64_t num_compactions) {
-    items_ = std::move(items);
+    arena_->ClearSlot(slot_);
+    arena_->Reserve(slot_, items.size());
+    arena_->Append(slot_, std::make_move_iterator(items.begin()),
+                   std::make_move_iterator(items.end()));
     sorted_prefix_ = static_cast<size_t>(
-        std::is_sorted_until(items_.begin(), items_.end(), comp_) -
-        items_.begin());
+        std::is_sorted_until(begin(), end(), comp_) - begin());
     state_ = state;
     num_compactions_ = num_compactions;
+    ++version_;
   }
 
-  // Ensures items_ is sorted ascending (queries that need order call this).
-  // Merge-based: only the insert tail is sorted from scratch, then merged
-  // with the already-sorted prefix -- O(u log u + B) for tail length u
-  // instead of the O(B log B) full sort.
+  // Ensures the buffer is sorted ascending (queries that need order call
+  // this). Merge-based: only the insert tail is sorted from scratch, then
+  // merged with the already-sorted prefix -- O(u log u + B) for tail
+  // length u instead of the O(B log B) full sort.
   void Sort() {
-    if (sorted_prefix_ == items_.size()) return;
-    const auto mid =
-        items_.begin() + static_cast<ptrdiff_t>(sorted_prefix_);
-    std::sort(mid, items_.end(), comp_);
+    if (sorted_prefix_ == size()) return;
+    T* first = begin_mutable();
+    T* mid = first + sorted_prefix_;
+    T* last = first + size();
+    std::sort(mid, last, comp_);
     if (sorted_prefix_ > 0) {
-      std::inplace_merge(items_.begin(), mid, items_.end(), comp_);
+      std::inplace_merge(first, mid, last, comp_);
     }
-    sorted_prefix_ = items_.size();
+    sorted_prefix_ = size();
   }
-  bool sorted() const { return sorted_prefix_ == items_.size(); }
-  // Length of the sorted prefix (exposed for tests and diagnostics).
+  bool sorted() const { return sorted_prefix_ == size(); }
+  // Length of the sorted prefix (exposed for tests, diagnostics, and the
+  // sorted-view builder's copy-and-merge fast path).
   size_t sorted_prefix() const { return sorted_prefix_; }
 
  private:
+  const T* begin() const { return arena_->Data(slot_); }
+  const T* end() const { return arena_->Data(slot_) + size(); }
+  T* begin_mutable() { return arena_->Data(slot_); }
+
   // Advances sorted_prefix_ past any newly appended items that continue the
   // ascending order. When the prefix is stalled short of the end this
   // compares one adjacent pair and stops, so it is O(1) amortized; its
   // purpose is to keep already-ordered input (sorted streams, promoted
   // runs landing in an empty or fully sorted buffer) free to sort later.
   void ExtendSortedPrefix() {
-    while (sorted_prefix_ < items_.size() &&
+    const T* data = begin();
+    while (sorted_prefix_ < size() &&
            (sorted_prefix_ == 0 ||
-            !comp_(items_[sorted_prefix_], items_[sorted_prefix_ - 1]))) {
+            !comp_(data[sorted_prefix_], data[sorted_prefix_ - 1]))) {
       ++sorted_prefix_;
     }
   }
@@ -315,33 +440,39 @@ class RelativeCompactor {
   void CompactRange(size_t compact_count, util::Xoshiro256& rng,
                     std::vector<T>* promoted) {
     Sort();
-    compact_count = std::min(compact_count, items_.size());
+    compact_count = std::min(compact_count, size());
     const bool keep_odds = (coin_ == CoinMode::kDeterministic)
                                ? true
                                : rng.NextBit();
     promoted->reserve(compact_count / 2 + 1);
+    T* data = begin_mutable();
+    const size_t n = size();
     if (accuracy_ == RankAccuracy::kLowRanks) {
-      // Compact the suffix [size - compact_count, size).
-      const size_t start = items_.size() - compact_count;
-      for (size_t i = start + (keep_odds ? 1 : 0); i < items_.size();
-           i += 2) {
-        promoted->push_back(std::move(items_[i]));
+      // Compact the suffix [n - compact_count, n).
+      const size_t start = n - compact_count;
+      for (size_t i = start + (keep_odds ? 1 : 0); i < n; i += 2) {
+        promoted->push_back(std::move(data[i]));
       }
-      items_.resize(start);
+      arena_->Truncate(slot_, start);
     } else {
       // Compact the prefix [0, compact_count); mirror-image of LRA so the
       // *largest* B/2 items are never touched.
       for (size_t i = (keep_odds ? 1 : 0); i < compact_count; i += 2) {
-        promoted->push_back(std::move(items_[i]));
+        promoted->push_back(std::move(data[i]));
       }
-      items_.erase(items_.begin(),
-                   items_.begin() + static_cast<ptrdiff_t>(compact_count));
+      arena_->EraseFront(slot_, compact_count);
     }
-    sorted_prefix_ = items_.size();
+    sorted_prefix_ = size();
+    ++version_;
   }
 
   Compare comp_;
-  std::vector<T> items_;
+  // Storage: (arena_, slot_). own_arena_ is non-null only for standalone
+  // compactors; inside a sketch, arena_ points at the sketch's shared
+  // arena and the sketch rebinds it on copies/moves.
+  std::unique_ptr<LevelArena<T>> own_arena_;
+  LevelArena<T>* arena_ = nullptr;
+  uint32_t slot_ = 0;
   uint32_t section_size_;
   uint32_t num_sections_;
   RankAccuracy accuracy_;
@@ -349,7 +480,8 @@ class RelativeCompactor {
   CoinMode coin_;
   uint64_t state_ = 0;
   uint64_t num_compactions_ = 0;
-  // items_[0, sorted_prefix_) is sorted ascending; [sorted_prefix_, end)
+  uint64_t version_ = 0;
+  // Items [0, sorted_prefix_) are sorted ascending; [sorted_prefix_, end)
   // is the unsorted insert tail. Compactions reset it to the full size.
   size_t sorted_prefix_ = 0;
 };

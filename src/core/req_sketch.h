@@ -20,8 +20,26 @@
 //     compacted at most once per merge.
 //   * Rank, quantile, CDF and PMF queries with inclusive or exclusive
 //     semantics; HRA (accurate near the max; default) or LRA orientation.
-//     Order-based queries go through a memoized sorted view that is rebuilt
-//     lazily after the sketch changes.
+//     Bulk queries: GetRanks(const T*, size_t, uint64_t*) answers a whole
+//     batch in one co-scan of the sorted view, and GetCDF shares the same
+//     kernel.
+//
+// Storage: every level lives in ONE shared LevelArena (core/level_arena.h),
+// so the whole retained set is a single contiguous allocation -- queries,
+// merges and serde walk flat memory instead of a vector-of-vectors.
+// Update/compaction semantics are independent of the storage layout and
+// bit-identical to the per-level-vector layout this replaced. The item
+// type T must be default-constructible and copy/move-assignable (see the
+// requirements note in core/level_arena.h).
+//
+// Query engine: order-based queries go through a memoized sorted view that
+// is maintained *incrementally*: the cache keeps a sorted run per level
+// (stamped with the level's content version) plus a merged run of all
+// levels >= 1, and a rebuild after an update re-sorts only the levels that
+// actually changed -- usually just level 0, an O(dirty) repair instead of
+// an O(R log R) rebuild. set_incremental_view_repair(false) switches every
+// rebuild to the seed-era full path (collect + sort all weighted pairs);
+// benches and equivalence tests use it as the reference baseline.
 //
 // Thread safety: any number of threads may run const query methods
 // concurrently on a shared sketch (the lazily memoized sorted view is
@@ -52,6 +70,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/level_arena.h"
 #include "core/relative_compactor.h"
 #include "core/req_common.h"
 #include "core/sorted_view.h"
@@ -110,6 +129,77 @@ class ReqSketch {
     }
     RecomputeGeometry();
     levels_.emplace_back(MakeLevel());
+    view_cache_.view = SortedView<T, Compare>(comp_);
+  }
+
+  // Copies re-point every level at the copied arena; the view cache is
+  // value data and travels as-is. Only made while the source is quiescent
+  // (same contract as the atomics in the cache machinery).
+  ReqSketch(const ReqSketch& other)
+      : config_(other.config_),
+        comp_(other.comp_),
+        rng_(other.rng_),
+        arena_(other.arena_),
+        levels_(other.levels_),
+        n_(other.n_),
+        n_bound_(other.n_bound_),
+        section_size_(other.section_size_),
+        num_sections_(other.num_sections_),
+        fixed_n_(other.fixed_n_),
+        min_item_(other.min_item_),
+        max_item_(other.max_item_),
+        incremental_view_repair_(other.incremental_view_repair_),
+        view_cache_(other.view_cache_),
+        view_ready_(other.view_ready_) {
+    RebindLevels();
+  }
+
+  ReqSketch(ReqSketch&& other) noexcept
+      : config_(std::move(other.config_)),
+        comp_(std::move(other.comp_)),
+        rng_(other.rng_),
+        arena_(std::move(other.arena_)),
+        levels_(std::move(other.levels_)),
+        n_(other.n_),
+        n_bound_(other.n_bound_),
+        section_size_(other.section_size_),
+        num_sections_(other.num_sections_),
+        fixed_n_(other.fixed_n_),
+        min_item_(std::move(other.min_item_)),
+        max_item_(std::move(other.max_item_)),
+        incremental_view_repair_(other.incremental_view_repair_),
+        view_cache_(std::move(other.view_cache_)),
+        view_ready_(other.view_ready_) {
+    RebindLevels();
+  }
+
+  ReqSketch& operator=(const ReqSketch& other) {
+    if (this == &other) return *this;
+    ReqSketch copy(other);
+    *this = std::move(copy);
+    return *this;
+  }
+
+  ReqSketch& operator=(ReqSketch&& other) noexcept {
+    if (this == &other) return *this;
+    config_ = std::move(other.config_);
+    comp_ = std::move(other.comp_);
+    rng_ = other.rng_;
+    arena_ = std::move(other.arena_);
+    levels_ = std::move(other.levels_);
+    n_ = other.n_;
+    n_bound_ = other.n_bound_;
+    section_size_ = other.section_size_;
+    num_sections_ = other.num_sections_;
+    fixed_n_ = other.fixed_n_;
+    min_item_ = std::move(other.min_item_);
+    max_item_ = std::move(other.max_item_);
+    incremental_view_repair_ = other.incremental_view_repair_;
+    promote_scratch_.clear();
+    view_cache_ = std::move(other.view_cache_);
+    view_ready_ = other.view_ready_;
+    RebindLevels();
+    return *this;
   }
 
   // --- basic accessors -----------------------------------------------------
@@ -129,12 +219,8 @@ class ReqSketch {
   const std::vector<Level>& levels() const { return levels_; }
 
   // Number of items currently stored across all levels (the paper's space
-  // measure, "number of universe items stored").
-  size_t RetainedItems() const {
-    size_t total = 0;
-    for (const Level& level : levels_) total += level.size();
-    return total;
-  }
+  // measure, "number of universe items stored"). One arena pass.
+  size_t RetainedItems() const { return arena_.TotalSize(); }
 
   // Total weight represented by stored items; equals n() at all times
   // (compactions always promote exactly half of an even-sized range).
@@ -263,15 +349,20 @@ class ReqSketch {
       fixed_n_ = false;
     }
     RecomputeGeometry();
-    // Keep level 0 (and its allocation); upper levels are torn down so the
-    // level stack matches a fresh sketch exactly. (erase, not resize:
-    // Level has no default constructor.)
+    // Keep level 0 (and its arena region); upper levels are torn down --
+    // slots included, so recycled buckets never leak retired regions --
+    // and the level stack matches a fresh sketch exactly. (erase, not
+    // resize: Level has no default constructor.)
     levels_.erase(levels_.begin() + 1, levels_.end());
+    arena_.TruncateSlots(1);
     levels_[0].Clear();
     levels_[0].SetGeometry(section_size_, num_sections_);
     min_item_.reset();
     max_item_.reset();
-    InvalidateView();
+    // Full view-cache teardown (not just invalidation): freshly created
+    // upper levels restart their version counters, so stale cached runs
+    // could otherwise alias a new level's early versions.
+    ResetViewCache();
   }
 
   // Merges `other` into this sketch (Algorithm 3). Both sketches must have
@@ -324,45 +415,58 @@ class ReqSketch {
     GrowIfNeeded(n_new);
     EnsureLevel(max_levels - 1);
 
-    // Pre-size each level buffer once for everything about to arrive, so
-    // the InsertAll loop below never reallocates mid-merge.
-    {
-      std::vector<size_t> incoming(levels_.size(), 0);
-      for (size_t i = 0; i < count; ++i) {
-        const ReqSketch& src = *sources[i];
-        if (src.is_empty()) continue;
-        // Sources below our bound shrink under special compaction, so
-        // their raw sizes are a valid (slightly loose) reservation.
-        for (size_t h = 0; h < src.levels_.size(); ++h) {
-          incoming[h] += src.levels_[h].size();
-        }
-      }
-      for (size_t h = 0; h < levels_.size(); ++h) {
-        levels_[h].Reserve(levels_[h].size() + incoming[h]);
-      }
-    }
-
+    // Lines 10-11: a source sketch built under a smaller bound is
+    // special-compacted first, on a scratch copy of its levels under
+    // *its* parameters (CloneInto a local arena, so the source's storage
+    // is never touched). When the bounds already agree the deep copy is
+    // skipped and the source buffers are read in place. All regrowth
+    // happens BEFORE the reservation below, in source order (the coin
+    // flips it draws are therefore the same as regrowing lazily), so the
+    // reservation can use the post-compaction sizes.
+    LevelArena<T> scratch_arena;
+    std::vector<std::vector<Level>> regrown(count);
+    std::vector<const std::vector<Level>*> level_stacks(count, nullptr);
     for (size_t i = 0; i < count; ++i) {
       const ReqSketch& src = *sources[i];
       if (src.is_empty()) continue;
-
-      // Lines 10-11: if a source sketch was built under a smaller bound,
-      // special-compact a copy of its levels under *its* parameters. When
-      // the bounds already agree the deep copy is skipped and the source
-      // buffers are read in place.
-      const std::vector<Level>* source = &src.levels_;
-      std::vector<Level> regrown;
       if (src.n_bound_ < n_bound_) {
-        regrown = src.levels_;
-        SpecialCompactLevels(&regrown);
-        source = &regrown;
+        regrown[i].reserve(src.levels_.size());
+        for (const Level& level : src.levels_) {
+          regrown[i].push_back(level.CloneInto(&scratch_arena));
+        }
+        SpecialCompactLevels(&regrown[i]);
+        level_stacks[i] = &regrown[i];
+      } else {
+        level_stacks[i] = &src.levels_;
       }
+    }
+
+    // Pre-size each level's arena slot once for everything about to
+    // arrive -- one shift pass over the arena instead of a reallocation
+    // (or slot shift) per level per source.
+    {
+      std::vector<size_t> caps(levels_.size(), 0);
+      for (size_t h = 0; h < levels_.size(); ++h) caps[h] = levels_[h].size();
+      for (size_t i = 0; i < count; ++i) {
+        if (level_stacks[i] == nullptr) continue;
+        const std::vector<Level>& stack = *level_stacks[i];
+        for (size_t h = 0; h < stack.size() && h < caps.size(); ++h) {
+          caps[h] += stack[h].size();
+        }
+      }
+      arena_.ReserveSlots(caps);
+    }
+
+    for (size_t i = 0; i < count; ++i) {
+      if (level_stacks[i] == nullptr) continue;
+      const ReqSketch& src = *sources[i];
+      const std::vector<Level>& stack = *level_stacks[i];
 
       // Combine schedule states (bitwise OR; Facts 18/19) and concatenate
       // buffers level by level.
-      for (size_t h = 0; h < source->size(); ++h) {
-        levels_[h].OrState((*source)[h].state());
-        levels_[h].InsertAll((*source)[h].items());
+      for (size_t h = 0; h < stack.size(); ++h) {
+        levels_[h].OrState(stack[h].state());
+        levels_[h].InsertAll(stack[h].items());
       }
 
       if (src.min_item_ &&
@@ -413,17 +517,32 @@ class ReqSketch {
            static_cast<double>(n_);
   }
 
-  // Batched rank queries through the memoized sorted view: amortized
-  // O(log S) per query after the first order-based query since the last
-  // update.
+  // Bulk rank kernel: fills out[i] with the estimated absolute rank of
+  // ys[i]. Sorts the query points once and answers all of them in a
+  // single co-scan of the weight-indexed sorted view --
+  // O((Q + R) + Q log Q) instead of Q * O(log R). Answers are exactly
+  // equal to Q separate view-routed rank queries. NaN query points are
+  // rejected up front (the kernel sorts the points, and NaN breaks the
+  // strict weak ordering std::sort requires).
+  void GetRanks(const T* ys, size_t count, uint64_t* out,
+                Criterion criterion = Criterion::kInclusive) const {
+    util::CheckState(n_ > 0, "GetRanks() on an empty sketch");
+    if (count == 0) return;
+    detail::CheckBulkQueryPoints(ys, count);
+    CachedSortedView().GetRanks(ys, count, out, criterion);
+  }
+
+  // Batched rank queries (vector convenience form of the bulk kernel).
   std::vector<uint64_t> GetRanks(
       const std::vector<T>& ys,
       Criterion criterion = Criterion::kInclusive) const {
     util::CheckState(n_ > 0, "GetRanks() on an empty sketch");
-    const SortedView<T, Compare>& view = CachedSortedView();
-    std::vector<uint64_t> out;
-    out.reserve(ys.size());
-    for (const T& y : ys) out.push_back(view.GetRank(y, criterion));
+    std::vector<uint64_t> out(ys.size());
+    if (!ys.empty()) {
+      detail::CheckBulkQueryPoints(ys.data(), ys.size());
+      CachedSortedView().GetRanks(ys.data(), ys.size(), out.data(),
+                                  criterion);
+    }
     return out;
   }
 
@@ -467,7 +586,9 @@ class ReqSketch {
   }
 
   // CDF at the given (ascending) split points: result[i] is the estimated
-  // normalized rank of split[i]; a final entry of 1.0 is appended.
+  // normalized rank of split[i]; a final entry of 1.0 is appended. The
+  // ascending precondition makes this the sort-free case of the bulk
+  // kernel: one forward co-scan of the view.
   std::vector<double> GetCDF(
       const std::vector<T>& splits,
       Criterion criterion = Criterion::kInclusive) const {
@@ -487,8 +608,8 @@ class ReqSketch {
   }
 
   // Appends all stored items with their weights (2^level) to `out`; used by
-  // GetSortedView and by aggregators that combine several summaries (e.g.,
-  // the Section 5 chain in req_chain.h).
+  // the seed-era view build and by aggregators that combine several
+  // summaries (e.g., the Section 5 chain in req_chain.h).
   void AppendWeightedItems(std::vector<std::pair<T, uint64_t>>* out) const {
     for (size_t h = 0; h < levels_.size(); ++h) {
       const uint64_t weight = uint64_t{1} << h;
@@ -498,9 +619,20 @@ class ReqSketch {
     }
   }
 
+  // Diagnostic / benchmarking knob: when disabled, every sorted-view
+  // (re)build runs the seed-era full path -- collect all (item, weight)
+  // pairs and std::sort them -- instead of the incremental repair that
+  // re-sorts only dirtied levels. Query answers are identical either way
+  // (the equivalence suite proves it); only the rebuild cost differs.
+  void set_incremental_view_repair(bool enabled) {
+    incremental_view_repair_ = enabled;
+    ResetViewCache();
+  }
+  bool incremental_view_repair() const { return incremental_view_repair_; }
+
   // The memoized sorted view of the sketch contents. Built lazily on first
-  // use and reused until the next Update/Merge invalidates it; the
-  // reference stays valid until then.
+  // use and repaired incrementally after mutations; the reference stays
+  // valid until the next mutation.
   //
   // Filling the cache is guarded by a double-checked atomic flag plus a
   // lock, so any number of threads may call this (and the order-based
@@ -511,11 +643,11 @@ class ReqSketch {
     if (!view_ready_.value.load(std::memory_order_acquire)) {
       std::lock_guard<std::mutex> lock(view_mutex_.mutex);
       if (!view_ready_.value.load(std::memory_order_relaxed)) {
-        view_cache_.emplace(BuildSortedView());
+        RebuildViewLocked();
         view_ready_.value.store(true, std::memory_order_release);
       }
     }
-    return *view_cache_;
+    return view_cache_.view;
   }
 
   // Eagerly builds the memoized sorted view (no-op on an empty sketch or a
@@ -527,9 +659,9 @@ class ReqSketch {
   }
 
   // Value-semantics accessor kept for compatibility: populates (and then
-  // shares) the memoized cache, so a one-shot call pays the O(S log S)
-  // build exactly once and query-heavy callers converge on the same cached
-  // view as CachedSortedView().
+  // shares) the memoized cache, so a one-shot call pays the build exactly
+  // once and query-heavy callers converge on the same cached view as
+  // CachedSortedView().
   SortedView<T, Compare> GetSortedView() const {
     util::CheckState(n_ > 0, "GetSortedView() on an empty sketch");
     return CachedSortedView();
@@ -563,22 +695,164 @@ class ReqSketch {
  private:
   friend struct ReqSerde<T, Compare>;
 
-  // Drops the memoized view. Mutators run with exclusive access (no
-  // concurrent readers by contract), so plain stores suffice.
+  // State behind the memoized sorted view. Everything here is value data
+  // (copies travel with the sketch); access is serialized by view_mutex_
+  // plus the view_ready_ publication flag.
+  struct ViewCacheState {
+    // Sorted copy of each level's buffer, stamped with the level's content
+    // version at copy time. A rebuild re-sorts only stale runs.
+    std::vector<std::vector<T>> runs;
+    std::vector<uint64_t> run_versions;
+    std::vector<char> run_valid;
+    // Merged run of all levels >= 1 (items + per-entry weights). Level 0
+    // churns on every update; the upper run survives until a compaction
+    // cascade actually touches a higher level.
+    std::vector<T> upper_items;
+    std::vector<uint64_t> upper_weights;
+    size_t upper_levels = 0;  // level count the upper run was built for
+    bool upper_valid = false;
+    // Merge scratch, reused across rebuilds.
+    std::vector<T> scratch_items;
+    std::vector<uint64_t> scratch_weights;
+    // The published view; rebuilt in place (AssignMerged) so its arrays'
+    // capacity is reused across repairs.
+    SortedView<T, Compare> view;
+  };
+
+  void RebindLevels() {
+    for (Level& level : levels_) level.RebindArena(&arena_);
+  }
+
+  // Drops the memoized view but keeps the cached runs for incremental
+  // repair. Mutators run with exclusive access (no concurrent readers by
+  // contract), so plain stores suffice.
   void InvalidateView() {
     view_ready_.value.store(false, std::memory_order_release);
-    view_cache_.reset();
   }
 
-  SortedView<T, Compare> BuildSortedView() const {
-    std::vector<std::pair<T, uint64_t>> weighted;
-    weighted.reserve(RetainedItems());
-    AppendWeightedItems(&weighted);
-    return SortedView<T, Compare>(std::move(weighted), TotalWeight(), comp_);
+  // Full cache teardown: used when level *objects* are replaced (Reset,
+  // deserialization), where a fresh level's restarted version counter
+  // could alias a stale cached run.
+  void ResetViewCache() {
+    view_ready_.value.store(false, std::memory_order_release);
+    view_cache_ = ViewCacheState();
+    view_cache_.view = SortedView<T, Compare>(comp_);
   }
 
-  Level MakeLevel() const {
-    return Level(section_size_, num_sections_, config_.accuracy,
+  // (Re)builds the published view; called under view_mutex_.
+  void RebuildViewLocked() const {
+    ViewCacheState& c = view_cache_;
+    if (!incremental_view_repair_) {
+      // Seed-era baseline: collect every (item, weight) pair, sort, scan.
+      std::vector<std::pair<T, uint64_t>> weighted;
+      weighted.reserve(RetainedItems());
+      AppendWeightedItems(&weighted);
+      c.view = SortedView<T, Compare>(std::move(weighted), TotalWeight(),
+                                      comp_);
+      return;
+    }
+    const size_t num_levels = levels_.size();
+    if (c.runs.size() != num_levels) {
+      c.runs.resize(num_levels);
+      c.run_versions.resize(num_levels, 0);
+      c.run_valid.resize(num_levels, 0);
+      c.upper_valid = false;
+    }
+    bool upper_dirty = !c.upper_valid || c.upper_levels != num_levels;
+    for (size_t h = 0; h < num_levels; ++h) {
+      if (c.run_valid[h] && c.run_versions[h] == levels_[h].version()) {
+        continue;
+      }
+      RefreshRun(h);
+      c.run_versions[h] = levels_[h].version();
+      c.run_valid[h] = 1;
+      if (h >= 1) upper_dirty = true;
+    }
+    if (upper_dirty) RebuildUpperRun();
+    const std::vector<T>& run0 = c.runs[0];
+    c.view.AssignMerged(c.upper_items.data(), c.upper_weights.data(),
+                        c.upper_items.size(), run0.data(), run0.size(),
+                        /*b_weight=*/1, TotalWeight());
+  }
+
+  // Copies level h's buffer into its cached run and sorts the copy.
+  // Adaptive: the copy inherits the buffer's sorted prefix, and the tail
+  // is segmented into natural ascending runs -- long runs (sorted source
+  // buffers concatenated by a merge) are kept and merged, only short
+  // random stretches are actually sorted. So a level made of already
+  // sorted pieces is never re-sorted from scratch.
+  void RefreshRun(size_t h) const {
+    const Level& level = levels_[h];
+    std::vector<T>& run = view_cache_.runs[h];
+    const ItemSpan<T> span = level.items();
+    run.assign(span.begin(), span.end());
+    SortCopiedRun(&run, std::min(level.sorted_prefix(), run.size()));
+  }
+
+  void SortCopiedRun(std::vector<T>* run_ptr, size_t prefix) const {
+    std::vector<T>& run = *run_ptr;
+    const size_t n = run.size();
+    if (prefix >= n) return;
+    constexpr size_t kMinRun = 32;
+    // Contiguous sorted segments [start, end), built left to right.
+    std::vector<std::pair<size_t, size_t>> segs;
+    if (prefix > 0) segs.emplace_back(0, prefix);
+    size_t start = prefix;
+    while (start < n) {
+      size_t end = start + 1;
+      while (end < n && !comp_(run[end], run[end - 1])) ++end;
+      if (end - start < kMinRun) {
+        // Coalesce short natural runs into one block and sort it.
+        end = std::min(n, std::max(end, start + kMinRun));
+        std::sort(run.begin() + static_cast<ptrdiff_t>(start),
+                  run.begin() + static_cast<ptrdiff_t>(end), comp_);
+      }
+      segs.emplace_back(start, end);
+      start = end;
+    }
+    // Bottom-up pairwise merging of adjacent segments.
+    while (segs.size() > 1) {
+      size_t out = 0;
+      for (size_t i = 0; i + 1 < segs.size(); i += 2) {
+        std::inplace_merge(
+            run.begin() + static_cast<ptrdiff_t>(segs[i].first),
+            run.begin() + static_cast<ptrdiff_t>(segs[i].second),
+            run.begin() + static_cast<ptrdiff_t>(segs[i + 1].second),
+            comp_);
+        segs[out++] = {segs[i].first, segs[i + 1].second};
+      }
+      if (segs.size() % 2 != 0) segs[out++] = segs.back();
+      segs.resize(out);
+    }
+  }
+
+  // Merges the cached runs of all levels >= 1 into one weighted run.
+  void RebuildUpperRun() const {
+    ViewCacheState& c = view_cache_;
+    c.upper_items.clear();
+    c.upper_weights.clear();
+    for (size_t h = 1; h < levels_.size(); ++h) {
+      const std::vector<T>& run = c.runs[h];
+      if (run.empty()) continue;
+      const uint64_t weight = uint64_t{1} << h;
+      if (c.upper_items.empty()) {
+        c.upper_items.assign(run.begin(), run.end());
+        c.upper_weights.assign(run.size(), weight);
+        continue;
+      }
+      MergeWeightedRuns(c.upper_items.data(), c.upper_weights.data(),
+                        c.upper_items.size(), run.data(), nullptr, weight,
+                        run.size(), &c.scratch_items, &c.scratch_weights,
+                        comp_);
+      std::swap(c.upper_items, c.scratch_items);
+      std::swap(c.upper_weights, c.scratch_weights);
+    }
+    c.upper_levels = levels_.size();
+    c.upper_valid = true;
+  }
+
+  Level MakeLevel() {
+    return Level(&arena_, section_size_, num_sections_, config_.accuracy,
                  config_.schedule, config_.coin, comp_);
   }
 
@@ -670,6 +944,9 @@ class ReqSketch {
   ReqConfig config_;
   Compare comp_;
   util::Xoshiro256 rng_;
+  // Contiguous storage for every level; declared before levels_ so it is
+  // constructed first and outlives them on destruction.
+  LevelArena<T> arena_;
   std::vector<Level> levels_;
   uint64_t n_ = 0;
   uint64_t n_bound_ = 0;
@@ -681,11 +958,13 @@ class ReqSketch {
   // Scratch buffer for promoted items; reused across compactions so the
   // steady-state update path performs no allocations.
   std::vector<T> promote_scratch_;
-  // Memoized sorted view for order-based queries; reset by Update/Merge.
+  bool incremental_view_repair_ = true;
+  // Memoized sorted view for order-based queries; invalidated by
+  // Update/Merge, repaired incrementally on the next order-based query.
   // view_ready_ is the double-checked publication flag: readers acquire-load
   // it and only touch view_cache_ once it is true; the fill runs under
   // view_mutex_ so concurrent cold readers build the view exactly once.
-  mutable std::optional<SortedView<T, Compare>> view_cache_;
+  mutable ViewCacheState view_cache_;
   mutable detail::CopyableAtomicBool view_ready_;
   mutable detail::CopyableMutex view_mutex_;
 };

@@ -1,11 +1,31 @@
-// A materialized, weight-annotated sorted view of a quantiles sketch.
+// A materialized, weight-indexed sorted view of a quantiles sketch.
 //
 // The REQ sketch answers rank queries directly from its buffers, but
 // quantile / CDF / PMF queries need the items in sorted order with
-// cumulative weights. Building this view costs O(S log S) in the sketch
-// size S and then answers any number of queries in O(log S) each, so
-// callers issuing many queries should build it once (Estimate-Rank in
-// Algorithm 2 is the rank direction; this is its inverse).
+// cumulative weights. The view stores structure-of-arrays: one contiguous
+// item array plus a parallel *weight-prefix index* (inclusive cumulative
+// weights), so a rank binary search touches one cache-dense array and a
+// quantile binary search touches only the uint64 prefix array
+// (Estimate-Rank in Algorithm 2 is the rank direction; this is its
+// inverse).
+//
+// Construction paths:
+//   * from unsorted (item, weight) pairs -- O(S log S) sort; the original
+//     path, kept for aggregators and as the seed-era reference.
+//   * AssignMerged: in-place rebuild from two already-sorted runs (the
+//     merged upper-level run and the level-0 run), reusing the arrays'
+//     capacity -- the O(dirty) incremental-repair path driven by
+//     ReqSketch's view cache.
+//
+// Query kernels:
+//   * GetRank / GetQuantile: one binary search each.
+//   * GetRanks(const T*, size_t, uint64_t*): bulk kernel -- sorts the
+//     query points once and answers all of them in a single forward
+//     co-scan of the view with galloping advances,
+//     O((Q + R') + Q log Q) for Q queries against R entries (R' = span of
+//     entries actually crossed) instead of Q * O(log R).
+//   * GetCDF: the split points are required ascending, so the same
+//     co-scan runs without the sort.
 #ifndef REQSKETCH_CORE_SORTED_VIEW_H_
 #define REQSKETCH_CORE_SORTED_VIEW_H_
 
@@ -13,6 +33,7 @@
 #include <cmath>
 #include <cstdint>
 #include <functional>
+#include <numeric>
 #include <utility>
 #include <vector>
 
@@ -21,15 +42,53 @@
 
 namespace req {
 
+// Merges two sorted weighted runs into out_items/out_weights (cleared
+// first; ties go to run A). Run B's entry weights come from b_weights
+// when non-null, else uniformly b_uniform_weight. Shared by the sketch's
+// upper-level run maintenance and the chain's closed-run folding so the
+// tie-breaking and weight handling cannot drift apart;
+// SortedView::AssignMerged* fuses the same loop with the cumulative-
+// weight pass for the published view.
+template <typename T, typename Compare>
+void MergeWeightedRuns(const T* a_items, const uint64_t* a_weights,
+                       size_t a_n, const T* b_items,
+                       const uint64_t* b_weights,
+                       uint64_t b_uniform_weight, size_t b_n,
+                       std::vector<T>* out_items,
+                       std::vector<uint64_t>* out_weights,
+                       const Compare& comp) {
+  out_items->clear();
+  out_weights->clear();
+  out_items->reserve(a_n + b_n);
+  out_weights->reserve(a_n + b_n);
+  const auto b_weight = [&](size_t j) {
+    return b_weights != nullptr ? b_weights[j] : b_uniform_weight;
+  };
+  size_t i = 0, j = 0;
+  while (i < a_n && j < b_n) {
+    if (comp(b_items[j], a_items[i])) {
+      out_items->push_back(b_items[j]);
+      out_weights->push_back(b_weight(j));
+      ++j;
+    } else {
+      out_items->push_back(a_items[i]);
+      out_weights->push_back(a_weights[i]);
+      ++i;
+    }
+  }
+  for (; i < a_n; ++i) {
+    out_items->push_back(a_items[i]);
+    out_weights->push_back(a_weights[i]);
+  }
+  for (; j < b_n; ++j) {
+    out_items->push_back(b_items[j]);
+    out_weights->push_back(b_weight(j));
+  }
+}
+
 template <typename T, typename Compare = std::less<T>>
 class SortedView {
  public:
-  struct Entry {
-    T item;
-    uint64_t weight;      // 2^level at insertion time
-    uint64_t cum_weight;  // inclusive cumulative weight up to this entry
-  };
-
   // Builds from (item, weight) pairs; total_weight must equal the stream
   // length n represented by the sketch.
   SortedView(std::vector<std::pair<T, uint64_t>> weighted_items,
@@ -41,36 +100,66 @@ class SortedView {
               [this](const auto& a, const auto& b) {
                 return comp_(a.first, b.first);
               });
-    entries_.reserve(weighted_items.size());
+    items_.reserve(weighted_items.size());
+    cum_weights_.reserve(weighted_items.size());
     uint64_t cum = 0;
     for (auto& [item, weight] : weighted_items) {
       cum += weight;
-      entries_.push_back(Entry{std::move(item), weight, cum});
+      items_.push_back(std::move(item));
+      cum_weights_.push_back(cum);
     }
     util::CheckState(cum == total_weight_,
                      "sorted view weight mismatch: sketch corrupted");
   }
 
-  size_t size() const { return entries_.size(); }
+  // Empty shell for in-place (re)builds via AssignMerged; queries are only
+  // legal after a successful assignment. Used by the memoized view cache
+  // so repeated repairs reuse the arrays' heap capacity.
+  explicit SortedView(Compare comp = Compare())
+      : comp_(std::move(comp)), total_weight_(0) {}
+
+  // In-place rebuild by merging two sorted runs:
+  //   run A: upper levels, per-entry weights in a_weights (already > 0),
+  //   run B: level 0, every entry with weight b_weight.
+  // Either run may be empty (but not both). Reuses items_/cum_weights_
+  // capacity; O(|A| + |B|).
+  void AssignMerged(const T* a_items, const uint64_t* a_weights, size_t a_n,
+                    const T* b_items, size_t b_n, uint64_t b_weight,
+                    uint64_t total_weight) {
+    AssignMergedImpl(a_items, a_weights, a_n, b_items, nullptr, b_weight,
+                     b_n, total_weight);
+  }
+
+  // As AssignMerged, but run B also carries per-entry weights (used by
+  // the Section 5 chain to merge the closed-summaries run with the
+  // active summary's view).
+  void AssignMergedWeighted(const T* a_items, const uint64_t* a_weights,
+                            size_t a_n, const T* b_items,
+                            const uint64_t* b_weights, size_t b_n,
+                            uint64_t total_weight) {
+    AssignMergedImpl(a_items, a_weights, a_n, b_items, b_weights,
+                     /*b_uniform_weight=*/0, b_n, total_weight);
+  }
+
+  size_t size() const { return items_.size(); }
   uint64_t total_weight() const { return total_weight_; }
-  const std::vector<Entry>& entries() const { return entries_; }
+
+  // Structure-of-arrays accessors (the weight-prefix index is
+  // cum_weights(): inclusive cumulative weight up to each entry).
+  const std::vector<T>& items() const { return items_; }
+  const std::vector<uint64_t>& cum_weights() const { return cum_weights_; }
+  const T& ItemAt(size_t i) const { return items_[i]; }
+  uint64_t CumWeightAt(size_t i) const { return cum_weights_[i]; }
+  // Per-entry weight, recovered from the prefix index.
+  uint64_t WeightAt(size_t i) const {
+    return i == 0 ? cum_weights_[0] : cum_weights_[i] - cum_weights_[i - 1];
+  }
 
   // Estimated absolute rank of y: total weight of stored items <= y
   // (inclusive) or < y (exclusive).
   uint64_t GetRank(const T& y, Criterion criterion) const {
-    // Find the first entry with entry.item > y (inclusive) or >= y
-    // (exclusive); the previous entry's cum_weight is the rank.
-    auto it = (criterion == Criterion::kInclusive)
-                  ? std::upper_bound(entries_.begin(), entries_.end(), y,
-                                     [this](const T& value, const Entry& e) {
-                                       return comp_(value, e.item);
-                                     })
-                  : std::lower_bound(entries_.begin(), entries_.end(), y,
-                                     [this](const Entry& e, const T& value) {
-                                       return comp_(e.item, value);
-                                     });
-    if (it == entries_.begin()) return 0;
-    return std::prev(it)->cum_weight;
+    const size_t idx = UpperIndex(0, y, criterion);
+    return idx == 0 ? 0 : cum_weights_[idx - 1];
   }
 
   // Normalized rank in [0, 1].
@@ -79,15 +168,42 @@ class SortedView {
            static_cast<double>(total_weight_);
   }
 
-  // CDF at the given (ascending) split points: result[i] is the normalized
-  // rank of split[i]; a final entry of 1.0 is appended. One binary search
-  // per split point. Shared by the sketch and the Section 5 chain.
+  // Bulk rank kernel: fills out[i] with GetRank(ys[i], criterion) for all
+  // `count` query points. Sorts the query points once (by index, so the
+  // output order is the caller's), then answers everything in one forward
+  // co-scan with galloping advances. Exactly equal to calling GetRank in
+  // a loop.
+  void GetRanks(const T* ys, size_t count, uint64_t* out,
+                Criterion criterion) const {
+    if (count == 0) return;
+    // Local order buffer: any number of threads may run bulk queries
+    // concurrently on one shared (memoized) view.
+    std::vector<size_t> order(count);
+    std::iota(order.begin(), order.end(), size_t{0});
+    std::sort(order.begin(), order.end(),
+              [&](size_t a, size_t b) { return comp_(ys[a], ys[b]); });
+    size_t pos = 0;
+    for (size_t q : order) {
+      pos = UpperIndex(pos, ys[q], criterion);
+      out[q] = pos == 0 ? 0 : cum_weights_[pos - 1];
+    }
+  }
+
+  // CDF at the given (pre-validated, ascending) split points: result[i] is
+  // the normalized rank of split[i]; a final entry of 1.0 is appended.
+  // Ascending inputs make this the sort-free case of the bulk kernel: one
+  // co-scan, no per-split binary search over the full view. Shared by the
+  // sketch and the Section 5 chain.
   std::vector<double> GetCDF(const std::vector<T>& splits,
                              Criterion criterion) const {
     std::vector<double> cdf;
     cdf.reserve(splits.size() + 1);
+    const double denom = static_cast<double>(total_weight_);
+    size_t pos = 0;
     for (const T& split : splits) {
-      cdf.push_back(GetNormalizedRank(split, criterion));
+      pos = UpperIndex(pos, split, criterion);
+      const uint64_t rank = pos == 0 ? 0 : cum_weights_[pos - 1];
+      cdf.push_back(static_cast<double>(rank) / denom);
     }
     cdf.push_back(1.0);
     return cdf;
@@ -96,7 +212,8 @@ class SortedView {
   // Quantile for normalized rank q in [0, 1]: the smallest stored item whose
   // cumulative weight reaches q * n (inclusive), or the smallest item whose
   // cumulative weight exceeds q * n (exclusive). q = 0 returns the smallest
-  // stored item, q = 1 the largest.
+  // stored item, q = 1 the largest. One binary search over the weight-prefix
+  // index only (no item comparisons).
   const T& GetQuantile(double q, Criterion criterion) const {
     util::CheckArg(q >= 0.0 && q <= 1.0,
                    "normalized rank must be in [0, 1]");
@@ -108,17 +225,94 @@ class SortedView {
     } else {
       target = static_cast<uint64_t>(std::floor(pos)) + 1;
     }
-    if (target > total_weight_) return entries_.back().item;
+    if (target > total_weight_) return items_.back();
     // First entry with cum_weight >= target.
-    auto it = std::lower_bound(
-        entries_.begin(), entries_.end(), target,
-        [](const Entry& e, uint64_t t) { return e.cum_weight < t; });
-    return it->item;
+    const size_t idx = static_cast<size_t>(
+        std::lower_bound(cum_weights_.begin(), cum_weights_.end(), target) -
+        cum_weights_.begin());
+    return items_[idx];
   }
 
  private:
+  // Shared two-run merge core: run B's entry weights come from
+  // b_weights when non-null, else uniformly b_uniform_weight.
+  void AssignMergedImpl(const T* a_items, const uint64_t* a_weights,
+                        size_t a_n, const T* b_items,
+                        const uint64_t* b_weights,
+                        uint64_t b_uniform_weight, size_t b_n,
+                        uint64_t total_weight) {
+    util::CheckArg(a_n + b_n > 0, "SortedView requires a non-empty sketch");
+    items_.clear();
+    cum_weights_.clear();
+    items_.reserve(a_n + b_n);
+    cum_weights_.reserve(a_n + b_n);
+    const auto b_weight = [&](size_t j) {
+      return b_weights != nullptr ? b_weights[j] : b_uniform_weight;
+    };
+    uint64_t cum = 0;
+    size_t i = 0, j = 0;
+    while (i < a_n && j < b_n) {
+      if (comp_(b_items[j], a_items[i])) {
+        cum += b_weight(j);
+        items_.push_back(b_items[j++]);
+      } else {
+        cum += a_weights[i];
+        items_.push_back(a_items[i++]);
+      }
+      cum_weights_.push_back(cum);
+    }
+    for (; i < a_n; ++i) {
+      cum += a_weights[i];
+      items_.push_back(a_items[i]);
+      cum_weights_.push_back(cum);
+    }
+    for (; j < b_n; ++j) {
+      cum += b_weight(j);
+      items_.push_back(b_items[j]);
+      cum_weights_.push_back(cum);
+    }
+    total_weight_ = total_weight;
+    util::CheckState(cum == total_weight_,
+                     "sorted view weight mismatch: sketch corrupted");
+  }
+
+  // First index in [lo, size) whose item is past y: > y under inclusive
+  // semantics, >= y under exclusive. Galloping (exponential) probe from
+  // `lo` followed by a binary search inside the located range, so a
+  // forward co-scan pays O(log gap) per query rather than O(log R).
+  size_t UpperIndex(size_t lo, const T& y, Criterion criterion) const {
+    const size_t n = items_.size();
+    const auto past = [&](const T& item) {
+      return criterion == Criterion::kInclusive ? comp_(y, item)
+                                                : !comp_(item, y);
+    };
+    if (lo >= n || past(items_[lo])) return lo;
+    // items_[lo] is not past y; gallop until one is (or the end).
+    size_t step = 1;
+    size_t prev = lo;  // highest index known not past y
+    while (prev + step < n && !past(items_[prev + step])) {
+      prev += step;
+      step <<= 1;
+    }
+    const size_t hi = std::min(n, prev + step);
+    // Invariant: items_[prev] not past, items_[hi] past (or hi == n).
+    size_t first = prev + 1;
+    size_t len = hi - first;
+    while (len > 0) {
+      const size_t half = len / 2;
+      if (!past(items_[first + half])) {
+        first += half + 1;
+        len -= half + 1;
+      } else {
+        len = half;
+      }
+    }
+    return first;
+  }
+
   Compare comp_;
-  std::vector<Entry> entries_;
+  std::vector<T> items_;
+  std::vector<uint64_t> cum_weights_;
   uint64_t total_weight_;
 };
 

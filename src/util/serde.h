@@ -34,17 +34,24 @@ class BinaryWriter {
     std::memcpy(bytes_.data() + offset, s.data(), s.size());
   }
 
+  // Length-prefixed write of a contiguous run; the span form lets callers
+  // stream directly out of arena-backed storage without materializing a
+  // vector first.
+  template <typename T>
+  void WriteArray(const T* data, size_t count) {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "WriteArray requires trivially copyable types");
+    Write<uint64_t>(count);
+    const size_t offset = bytes_.size();
+    bytes_.resize(offset + count * sizeof(T));
+    if (count > 0) {
+      std::memcpy(bytes_.data() + offset, data, count * sizeof(T));
+    }
+  }
+
   template <typename T>
   void WriteVector(const std::vector<T>& values) {
-    static_assert(std::is_trivially_copyable_v<T>,
-                  "WriteVector requires trivially copyable types");
-    Write<uint64_t>(values.size());
-    const size_t offset = bytes_.size();
-    bytes_.resize(offset + values.size() * sizeof(T));
-    if (!values.empty()) {
-      std::memcpy(bytes_.data() + offset, values.data(),
-                  values.size() * sizeof(T));
-    }
+    WriteArray<T>(values.data(), values.size());
   }
 
   const std::vector<uint8_t>& bytes() const { return bytes_; }

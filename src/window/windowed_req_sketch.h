@@ -235,6 +235,13 @@ class WindowedReqSketch {
     return Merged().GetRanks(ys, criterion);
   }
 
+  // Bulk rank kernel over the cached merged view (one co-scan).
+  void GetRanks(const T* ys, size_t count, uint64_t* out,
+                Criterion criterion = Criterion::kInclusive) const {
+    util::CheckState(!is_empty(), "GetRanks() on an empty window");
+    Merged().GetRanks(ys, count, out, criterion);
+  }
+
   T GetQuantile(double q,
                 Criterion criterion = Criterion::kInclusive) const {
     util::CheckState(!is_empty(), "GetQuantile() on an empty window");

@@ -19,7 +19,7 @@ namespace {
 
 // Reference implementation: the pre-optimization linear scan.
 template <typename T, typename Compare>
-uint64_t BruteForceCountRank(const std::vector<T>& items, const T& y,
+uint64_t BruteForceCountRank(ItemSpan<T> items, const T& y,
                              Criterion criterion, const Compare& comp) {
   uint64_t count = 0;
   if (criterion == Criterion::kInclusive) {

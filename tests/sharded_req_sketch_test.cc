@@ -289,6 +289,68 @@ TEST(ShardedReqSketchStressTest, ConcurrentProducersFlusherAndQueries) {
   EXPECT_EQ(sketch.Merged().TotalWeight(), kShards * kPerShard);
 }
 
+// Concurrent BULK queries (the co-scan kernel) against live producers and
+// flushes: several threads hammer GetRanks/GetCDF on the shared merged
+// view while shards are mutated. Run under TSan in CI; each bulk answer
+// batch must be internally consistent (monotone in the query points).
+TEST(ShardedReqSketchStressTest, ConcurrentBulkQueries) {
+  constexpr size_t kShards = 4;
+  constexpr size_t kQueriers = 3;
+  constexpr uint64_t kPerShard = 50000;
+  ShardedReqSketch<double> sketch(MakeConfig(kShards, /*buffer=*/512));
+
+  std::atomic<bool> done{false};
+  std::vector<std::thread> producers;
+  for (size_t shard = 0; shard < kShards; ++shard) {
+    producers.emplace_back([&, shard] {
+      for (uint64_t i = 0; i < kPerShard; ++i) {
+        sketch.Update(shard,
+                      static_cast<double>((i * 2654435761ULL) % 1000003));
+      }
+      sketch.Flush(shard);
+    });
+  }
+  std::vector<std::thread> queriers;
+  for (size_t t = 0; t < kQueriers; ++t) {
+    queriers.emplace_back([&, t] {
+      std::vector<double> probes;
+      for (size_t i = 0; i < 64; ++i) {
+        probes.push_back(static_cast<double>((i * 40013 + t) % 1000003));
+      }
+      std::vector<double> sorted_probes = probes;
+      std::sort(sorted_probes.begin(), sorted_probes.end());
+      std::vector<uint64_t> out(probes.size());
+      uint64_t checks = 0;
+      while (!done.load(std::memory_order_acquire)) {
+        if (sketch.n() == 0) {
+          std::this_thread::yield();
+          continue;
+        }
+        sketch.GetRanks(probes.data(), probes.size(), out.data(),
+                        Criterion::kInclusive);
+        sketch.GetRanks(sorted_probes.data(), sorted_probes.size(),
+                        out.data(), Criterion::kInclusive);
+        // Ranks of ascending probes are non-decreasing within one batch
+        // (each batch is answered from one immutable snapshot view).
+        for (size_t i = 1; i < out.size(); ++i) {
+          ASSERT_LE(out[i - 1], out[i]);
+        }
+        const auto cdf = sketch.GetCDF(sorted_probes);
+        ASSERT_EQ(cdf.back(), 1.0);
+        ++checks;
+        std::this_thread::yield();
+      }
+      EXPECT_GT(checks, 0u);
+    });
+  }
+
+  for (auto& p : producers) p.join();
+  done.store(true, std::memory_order_release);
+  for (auto& q : queriers) q.join();
+  sketch.FlushAll();
+  EXPECT_EQ(sketch.n(), kShards * kPerShard);
+}
+
 }  // namespace
 }  // namespace concurrency
 }  // namespace req

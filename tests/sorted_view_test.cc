@@ -27,11 +27,11 @@ TEST(SortedViewTest, SortsAndAccumulates) {
   auto view = MakeView({{3.0, 1}, {1.0, 2}, {2.0, 4}});
   ASSERT_EQ(view.size(), 3u);
   EXPECT_EQ(view.total_weight(), 7u);
-  EXPECT_EQ(view.entries()[0].item, 1.0);
-  EXPECT_EQ(view.entries()[0].cum_weight, 2u);
-  EXPECT_EQ(view.entries()[1].item, 2.0);
-  EXPECT_EQ(view.entries()[1].cum_weight, 6u);
-  EXPECT_EQ(view.entries()[2].cum_weight, 7u);
+  EXPECT_EQ(view.ItemAt(0), 1.0);
+  EXPECT_EQ(view.CumWeightAt(0), 2u);
+  EXPECT_EQ(view.ItemAt(1), 2.0);
+  EXPECT_EQ(view.CumWeightAt(1), 6u);
+  EXPECT_EQ(view.CumWeightAt(2), 7u);
 }
 
 TEST(SortedViewTest, RankInclusiveExclusive) {
@@ -98,7 +98,7 @@ TEST(SortedViewTest, CustomComparator) {
   std::vector<std::pair<std::string, uint64_t>> items = {
       {"banana", 1}, {"apple", 1}, {"cherry", 1}};
   SortedView<std::string> view(std::move(items), 3);
-  EXPECT_EQ(view.entries()[0].item, "apple");
+  EXPECT_EQ(view.ItemAt(0), "apple");
   EXPECT_EQ(view.GetRank("b", Criterion::kInclusive), 1u);
   EXPECT_EQ(view.GetQuantile(1.0, Criterion::kInclusive), "cherry");
 }

@@ -202,6 +202,78 @@ TEST(ShardedWindowedTest, ConcurrentProducersRotatorAndQueriers) {
   }
 }
 
+// Concurrent BULK queries (GetRanks co-scan + GetCDF) against producers
+// and a rotator; run under TSan in CI. Each batch comes from one
+// immutable snapshot, so ascending probes get non-decreasing ranks.
+TEST(ShardedWindowedTest, ConcurrentBulkQueries) {
+  const size_t kProducers = 2;
+  const size_t kQueriers = 2;
+  const size_t kPerProducer = 20000;
+  ShardedWindowedReqSketch<double> s(MakeConfig(kProducers, 4, 1024));
+  const auto values =
+      workload::GenerateLognormal(kPerProducer * kProducers, 19);
+
+  std::atomic<bool> done{false};
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kProducers; ++t) {
+    threads.emplace_back([&, t] {
+      const double* data = values.data() + t * kPerProducer;
+      for (size_t i = 0; i < kPerProducer; ++i) s.Update(t, data[i]);
+      s.Flush(t);
+    });
+  }
+  threads.emplace_back([&] {  // rotator "timer"
+    while (!done.load(std::memory_order_acquire)) {
+      s.Rotate();
+      std::this_thread::yield();
+    }
+  });
+  for (size_t t = 0; t < kQueriers; ++t) {
+    threads.emplace_back([&, t] {
+      std::vector<double> probes;
+      for (size_t i = 0; i < 48; ++i) {
+        probes.push_back(0.05 * static_cast<double>(i + t));
+      }
+      std::vector<uint64_t> out(probes.size());
+      while (!done.load(std::memory_order_acquire)) {
+        try {
+          s.GetRanks(probes.data(), probes.size(), out.data(),
+                     Criterion::kInclusive);
+          for (size_t i = 1; i < out.size(); ++i) {
+            ASSERT_LE(out[i - 1], out[i]);
+          }
+          const auto cdf = s.GetCDF(probes);
+          ASSERT_EQ(cdf.back(), 1.0);
+        } catch (const std::logic_error&) {
+          // Window may be legitimately empty between rotations.
+        }
+        std::this_thread::yield();
+      }
+    });
+  }
+  for (size_t t = 0; t < kProducers; ++t) threads[t].join();
+  done.store(true, std::memory_order_release);
+  for (size_t t = kProducers; t < threads.size(); ++t) threads[t].join();
+  s.FlushAll();
+  EXPECT_EQ(s.BufferedItems(), 0u);
+
+  // Deterministic post-quiescence pass: the rotator may have kept the
+  // window empty during the race (making the in-loop checks best
+  // effort), so the bulk surface is exercised once more here, where an
+  // answer is guaranteed if anything survived the final rotations.
+  if (!s.is_empty()) {
+    std::vector<double> probes{0.1, 0.5, 1.0, 2.0, 4.0};
+    std::vector<uint64_t> out(probes.size());
+    s.GetRanks(probes.data(), probes.size(), out.data(),
+               Criterion::kInclusive);
+    for (size_t i = 1; i < out.size(); ++i) {
+      EXPECT_LE(out[i - 1], out[i]);
+    }
+    EXPECT_EQ(out.back(), s.GetRank(4.0));
+    EXPECT_EQ(s.GetCDF(probes).back(), 1.0);
+  }
+}
+
 }  // namespace
 }  // namespace concurrency
 }  // namespace req

@@ -1,9 +1,9 @@
 #!/usr/bin/env python3
 """Guards the machine-readable bench reports against schema drift.
 
-CI runs the E13/E14 binaries in --smoke mode and then validates the
-resulting JSON here (stdlib only). The committed full-run reports at the
-repo root satisfy the same schemas, so this can also be pointed at them.
+CI smoke-runs the whole bench suite (E1..E16) and validates the resulting
+JSON here (stdlib only). The committed full-run reports at the repo root
+satisfy the same schemas, so this can also be pointed at them.
 
 Usage: check_bench_schema.py REPORT.json [REPORT.json ...]
 """
@@ -14,6 +14,122 @@ import sys
 # every element of the named arrays. Extra keys are allowed (additive
 # evolution does not break consumers); missing keys fail CI.
 SCHEMAS = {
+    "e1_error_vs_rank": {
+        "top": {"experiment", "n", "smoke", "results"},
+        "arrays": {
+            "results": {"name", "retained", "max_relerr", "mean_relerr"},
+        },
+    },
+    "e2_accuracy_vs_k": {
+        "top": {"experiment", "n", "reps", "smoke", "results"},
+        "arrays": {
+            "results": {"k", "retained", "mean_relerr", "max_relerr"},
+        },
+    },
+    "e3_space_vs_n": {
+        "top": {"experiment", "smoke", "results"},
+        "arrays": {
+            "results": {
+                "n",
+                "req_retained",
+                "req_norm",
+                "zw_retained",
+                "zw_norm",
+                "levels",
+            },
+        },
+    },
+    "e4_comparison": {
+        "top": {"experiment", "n", "smoke", "results"},
+        "arrays": {
+            "results": {"name", "retained", "max_relerr", "mean_relerr"},
+        },
+    },
+    "e5_mergeability": {
+        "top": {
+            "experiment",
+            "n",
+            "smoke",
+            "streaming_max_relerr",
+            "results",
+        },
+        "arrays": {
+            "results": {
+                "parts",
+                "topology",
+                "max_relerr",
+                "mean_relerr",
+                "retained",
+                "vs_base",
+            },
+        },
+    },
+    "e6_adversarial_order": {
+        "top": {"experiment", "n", "smoke", "results"},
+        "arrays": {
+            "results": {
+                "order",
+                "req_retained",
+                "req_max_relerr",
+                "ckms_retained",
+                "ckms_max_relerr",
+            },
+        },
+    },
+    "e7_failure_prob": {
+        "top": {"experiment", "n", "reps", "smoke", "results"},
+        "arrays": {
+            "results": {
+                "k",
+                "sigma",
+                "sigma_k",
+                "frac_over_1s",
+                "frac_over_2s",
+                "frac_over_3s",
+                "mean_err",
+            },
+        },
+    },
+    "e8_unknown_n": {
+        "top": {"experiment", "smoke", "results"},
+        "arrays": {
+            "results": {"n", "variant", "retained", "max_relerr",
+                        "mean_relerr"},
+        },
+    },
+    "e9_schedule_ablation": {
+        "top": {"experiment", "n", "reps", "smoke", "results"},
+        "arrays": {
+            "results": {
+                "order",
+                "schedule",
+                "k",
+                "retained",
+                "max_relerr",
+                "mean_relerr",
+            },
+        },
+    },
+    "e10_throughput": {
+        "top": {"experiment", "smoke", "results"},
+        "arrays": {
+            "results": {"name", "real_time_ns", "items_per_second"},
+        },
+    },
+    "e11_smalldelta": {
+        "top": {"experiment", "smoke", "formulas", "results"},
+        "arrays": {
+            "formulas": {"delta", "k_eq6", "k_eq15", "space_thm1",
+                         "space_thm2"},
+            "results": {"order", "k", "worst_max", "worst_mean"},
+        },
+    },
+    "e12_all_quantiles": {
+        "top": {"experiment", "n", "reps", "smoke", "results"},
+        "arrays": {
+            "results": {"k", "retained", "mean_of_maxes", "frac_over_eps"},
+        },
+    },
     "e13_hotpath": {
         "top": {"experiment", "items", "reps", "batch_api", "results"},
         "arrays": {
@@ -72,6 +188,29 @@ SCHEMAS = {
                                 "warm_rank_ns"},
             "summary": {"k", "buckets", "window_items",
                         "cold_ratio_vs_single", "warm_ratio_vs_single"},
+        },
+    },
+    "e16_query": {
+        "top": {"experiment", "items", "reps", "smoke", "results",
+                "window", "summary"},
+        "arrays": {
+            "results": {
+                "k",
+                "retained",
+                "cold_view_build_us",
+                "seed_view_build_us",
+                "warm_incremental_rank_ns",
+                "warm_full_rank_ns",
+                "bulk_rank_ns",
+                "view_scalar_rank_ns",
+                "scalar_loop_rank_ns",
+                "cdf_1k_us",
+                "serialize_us",
+            },
+            "window": {"k", "buckets", "post_rotate_query_us",
+                       "warm_rank_ns"},
+            "summary": {"k", "warm_repair_speedup",
+                        "bulk_vs_scalar_speedup"},
         },
     },
 }

@@ -1,0 +1,177 @@
+#!/usr/bin/env python3
+"""Diffs two BENCH_*.json reports and flags performance regressions.
+
+Rows in each array are matched by their identity fields (name, k,
+threads, order, topology, ...); metric fields are compared with
+direction awareness:
+
+  * higher-is-better: throughput-style keys (``*mups*``,
+    ``items_per_second``, ``*speedup*``) regress when the current value
+    drops more than the threshold below the baseline;
+  * lower-is-better: latency/cost-style keys (``*_ns``, ``*_us``)
+    regress when the current value rises more than the threshold above
+    the baseline.
+
+Accuracy/space fields (relerr, retained, ...) are reported but never
+fail the comparison -- they are claims for the test suite, not perf.
+
+By default a >15% throughput regression exits 1. ``--warn-only`` always
+exits 0 (the CI soft gate). Reports with different ``smoke`` flags are
+incomparable and are skipped unless ``--allow-smoke-mismatch`` is given
+(CI passes it to track the smoke-vs-committed trajectory as warnings).
+
+Usage: compare_bench.py BASELINE.json CURRENT.json
+           [--threshold 0.15] [--warn-only] [--allow-smoke-mismatch]
+"""
+import argparse
+import json
+import sys
+
+HIGHER_BETTER = ("mups", "items_per_second", "speedup")
+LOWER_BETTER_SUFFIX = ("_ns", "_us")
+
+# Fields that identify a row rather than measure it. Measurements that
+# vary run-to-run (e.g. "retained") must NOT be listed here, or rows
+# from two runs would never match and their metrics would silently go
+# uncompared.
+IDENTITY_KEYS = {
+    "name", "k", "threads", "shards", "order", "topology", "variant",
+    "parts", "schedule", "buckets", "n", "metric", "unit", "window_items",
+    "bucket_items", "delta",
+}
+
+
+def metric_direction(key, row=None):
+    """'up', 'down', or None (not a perf metric).
+
+    E13-style rows carry a generic ``value`` field whose direction comes
+    from the row's ``unit`` (``Mups`` is throughput, ``ns/query`` and
+    ``us/build`` are latencies).
+    """
+    lowered = key.lower()
+    if lowered == "value" and isinstance(row, dict):
+        unit = str(row.get("unit", "")).lower()
+        if "mups" in unit or "/s" in unit:
+            return "up"
+        if unit.startswith(("ns", "us", "ms")):
+            return "down"
+        return None
+    if any(tag in lowered for tag in HIGHER_BETTER):
+        return "up"
+    if lowered.endswith(LOWER_BETTER_SUFFIX):
+        return "down"
+    return None
+
+
+def row_identity(row):
+    return tuple(sorted(
+        (k, row[k]) for k in row if k in IDENTITY_KEYS
+    ))
+
+
+def compare_rows(array_name, base_row, cur_row, threshold):
+    """Yields (is_regression, message) for each shared perf metric."""
+    for key, base_val in base_row.items():
+        direction = metric_direction(key, base_row)
+        if direction is None or key not in cur_row:
+            continue
+        cur_val = cur_row[key]
+        if not isinstance(base_val, (int, float)) or not isinstance(
+                cur_val, (int, float)):
+            continue
+        if base_val == 0:
+            continue
+        ratio = cur_val / base_val
+        ident = ", ".join(f"{k}={v}" for k, v in row_identity(base_row))
+        label = f"{array_name}[{ident}].{key}"
+        if direction == "up" and ratio < 1.0 - threshold:
+            yield True, (f"{label}: {base_val:.4g} -> {cur_val:.4g} "
+                         f"({100 * (1 - ratio):.1f}% slower)")
+        elif direction == "down" and ratio > 1.0 / (1.0 - threshold):
+            yield True, (f"{label}: {base_val:.4g} -> {cur_val:.4g} "
+                         f"({100 * (ratio - 1):.1f}% slower)")
+        elif direction == "up" and ratio > 1.0 + threshold:
+            yield False, (f"{label}: {base_val:.4g} -> {cur_val:.4g} "
+                          f"({100 * (ratio - 1):.1f}% faster)")
+        elif direction == "down" and ratio < 1.0 - threshold:
+            yield False, (f"{label}: {base_val:.4g} -> {cur_val:.4g} "
+                          f"({100 * (1 - ratio):.1f}% faster)")
+
+
+def compare(baseline, current, threshold):
+    regressions, improvements, notes = [], [], []
+    for array_name, base_rows in baseline.items():
+        if not isinstance(base_rows, list):
+            continue
+        cur_rows = current.get(array_name)
+        if not isinstance(cur_rows, list):
+            notes.append(f"array {array_name!r} missing from current")
+            continue
+        cur_by_id = {}
+        for row in cur_rows:
+            if isinstance(row, dict):
+                cur_by_id[row_identity(row)] = row
+        for base_row in base_rows:
+            if not isinstance(base_row, dict):
+                continue
+            cur_row = cur_by_id.get(row_identity(base_row))
+            if cur_row is None:
+                notes.append(
+                    f"{array_name} row {row_identity(base_row)} has no "
+                    f"match in current (different sweep?)")
+                continue
+            for is_reg, msg in compare_rows(array_name, base_row, cur_row,
+                                            threshold):
+                (regressions if is_reg else improvements).append(msg)
+    return regressions, improvements, notes
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--threshold", type=float, default=0.15)
+    parser.add_argument("--warn-only", action="store_true")
+    parser.add_argument("--allow-smoke-mismatch", action="store_true")
+    args = parser.parse_args(argv[1:])
+
+    with open(args.baseline, "r", encoding="utf-8") as f:
+        baseline = json.load(f)
+    with open(args.current, "r", encoding="utf-8") as f:
+        current = json.load(f)
+
+    if baseline.get("experiment") != current.get("experiment"):
+        print(f"incomparable: experiments differ "
+              f"({baseline.get('experiment')!r} vs "
+              f"{current.get('experiment')!r})", file=sys.stderr)
+        return 0 if args.warn_only else 2
+
+    if bool(baseline.get("smoke")) != bool(current.get("smoke")):
+        note = (f"smoke flags differ (baseline={baseline.get('smoke')}, "
+                f"current={current.get('smoke')})")
+        if not args.allow_smoke_mismatch:
+            print(f"skipped: {note}; pass --allow-smoke-mismatch to "
+                  f"compare anyway")
+            return 0
+        print(f"note: {note}; deltas below are expected to be noisy")
+
+    regressions, improvements, notes = compare(baseline, current,
+                                               args.threshold)
+    for note in notes:
+        print(f"NOTE: {note}")
+    for msg in improvements:
+        print(f"IMPROVED: {msg}")
+    for msg in regressions:
+        print(f"REGRESSION: {msg}")
+    print(f"{baseline.get('experiment')}: {len(regressions)} "
+          f"regression(s), {len(improvements)} improvement(s) at "
+          f"threshold {args.threshold:.0%}")
+    if regressions and not args.warn_only:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
