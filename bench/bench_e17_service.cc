@@ -1,0 +1,272 @@
+// E17: end-to-end service-layer throughput and latency.
+//
+// Claim under test: the reqd service layer serves multi-tenant quantile
+// traffic at wire speed -- aggregate append throughput scales with client
+// count until the transport saturates (appends stage into per-metric SPSC
+// buffers and drain on the batch path), and quantile-query latency stays
+// flat because queries run against epoch-cached snapshots instead of
+// taking sketch locks.
+//
+// Setup: an in-process ReqdServer on an ephemeral loopback port. For each
+// engine kind (plain, sharded) and client count C: C threads, each with
+// its own connection and its own metric, append items in batches, then
+// issue quantile queries one at a time, recording per-request latency.
+// Reported: aggregate append Mitems/s (wall), and query p50/p99 across
+// all clients' requests.
+//
+// Usage: bench_e17_service [--smoke] [--items N] [--out FILE]
+//   --items: items per client (default 200000; smoke 20000)
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "service/req_client.h"
+#include "service/reqd_server.h"
+#include "service/sketch_registry.h"
+#include "util/random.h"
+
+namespace {
+
+using req::bench::Clock;
+using req::bench::JsonWriter;
+using req::bench::SecondsSince;
+using req::service::EngineKind;
+using req::service::MetricSpec;
+using req::service::ReqClient;
+
+struct RunResult {
+  double append_wall_s = 0.0;
+  std::vector<double> query_latency_us;  // all clients' requests pooled
+};
+
+double Percentile(std::vector<double>* values, double p) {
+  if (values->empty()) return 0.0;
+  std::sort(values->begin(), values->end());
+  const size_t at = static_cast<size_t>(
+      p * static_cast<double>(values->size() - 1) + 0.5);
+  return (*values)[at];
+}
+
+RunResult RunLoad(uint16_t port, const std::string& engine_name,
+                  EngineKind kind, size_t clients, size_t items,
+                  size_t batch, size_t queries) {
+  std::vector<std::thread> threads;
+  std::vector<double> append_seconds(clients, 0.0);
+  std::vector<std::vector<double>> latencies(clients);
+  std::vector<std::string> failures(clients);
+  std::atomic<size_t> ready{0};
+  std::atomic<bool> go{false};
+
+  for (size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      // Every exit path must pass the start barrier, or a failed client
+      // would leave the launcher spinning on `ready` forever; an
+      // uncaught exception here would std::terminate the whole bench.
+      try {
+        ReqClient client;
+        client.Connect("127.0.0.1", port);
+        const std::string metric =
+            "e17." + engine_name + ".c" + std::to_string(c);
+        MetricSpec spec;
+        spec.kind = kind;
+        spec.base.k_base = 64;
+        spec.num_shards = 4;
+        client.Create(metric, spec);
+        req::util::Xoshiro256 rng(1234 + c);
+        std::vector<double> chunk(batch);
+
+        ready.fetch_add(1);
+        while (!go.load(std::memory_order_acquire)) {
+          std::this_thread::yield();
+        }
+
+        const auto append_start = Clock::now();
+        for (size_t sent = 0; sent < items; sent += chunk.size()) {
+          const size_t len = std::min(chunk.size(), items - sent);
+          for (size_t i = 0; i < len; ++i) {
+            chunk[i] = rng.NextDouble() * 1e6;
+          }
+          client.Append(metric, chunk.data(), len);
+        }
+        append_seconds[c] = SecondsSince(append_start);
+
+        const std::vector<double> qs = {0.5, 0.9, 0.99, 0.999};
+        // Untimed warmup: the first query after the append phase pays
+        // the one-off snapshot/merge build. That cost is E16's metric;
+        // here it would just masquerade as a tail-latency outlier (and
+        // with the smoke run's small query count, as the p99 itself).
+        for (int w = 0; w < 3; ++w) {
+          req::bench::g_sink +=
+              static_cast<uint64_t>(client.GetQuantiles(metric, qs)[0]);
+        }
+        latencies[c].reserve(queries);
+        for (size_t q = 0; q < queries; ++q) {
+          const auto start = Clock::now();
+          req::bench::g_sink +=
+              static_cast<uint64_t>(client.GetQuantiles(metric, qs)[0]);
+          latencies[c].push_back(SecondsSince(start) * 1e6);
+        }
+        client.Drop(metric);
+      } catch (const std::exception& e) {
+        failures[c] = e.what();
+        // Unblock the launcher even on pre-barrier failure (a second
+        // add after a post-barrier failure is harmless: the spin tests
+        // `ready < clients`).
+        ready.fetch_add(1);
+      }
+    });
+  }
+  while (ready.load(std::memory_order_acquire) < clients) {
+    std::this_thread::yield();
+  }
+  go.store(true, std::memory_order_release);
+  for (std::thread& t : threads) t.join();
+
+  for (size_t c = 0; c < clients; ++c) {
+    if (!failures[c].empty()) {
+      throw std::runtime_error("client " + std::to_string(c) +
+                               " failed: " + failures[c]);
+    }
+  }
+
+  RunResult result;
+  for (size_t c = 0; c < clients; ++c) {
+    result.append_wall_s =
+        std::max(result.append_wall_s, append_seconds[c]);
+    result.query_latency_us.insert(result.query_latency_us.end(),
+                                   latencies[c].begin(),
+                                   latencies[c].end());
+  }
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  req::bench::BenchArgs args =
+      req::bench::ParseBenchArgs(argc, argv, "BENCH_e17_service.json");
+  if (!args.ok) return 2;
+  // Smoke keeps the sweep small (client counts {1,2}) but NOT the
+  // per-client volume: the append window must stay in the tens of
+  // milliseconds, or the gated Mups figure is computed over a
+  // sub-millisecond slice and turns into a coin flip cross-machine.
+  const size_t items = args.items > 0 ? args.items
+                       : args.smoke   ? 100000
+                                      : 200000;
+  const size_t batch = 2000;
+  const size_t queries = args.smoke ? 50 : 200;
+  const std::vector<size_t> client_counts =
+      args.smoke ? std::vector<size_t>{1, 2}
+                 : std::vector<size_t>{1, 2, 4, 8};
+
+  req::bench::PrintBanner(
+      "E17: multi-tenant service layer (reqd over loopback TCP)",
+      "append throughput scales with clients; query p99 stays flat "
+      "(epoch-cached snapshots)");
+
+  req::service::SketchRegistry registry;
+  req::service::ReqdServer server(&registry);
+  server.Start();
+  std::printf("reqd on 127.0.0.1:%u, %zu items/client, batch %zu\n\n",
+              server.port(), items, batch);
+
+  struct Row {
+    std::string engine;
+    size_t clients;
+    double append_mups;
+    double wall_s;
+    double p50_us;
+    double p99_us;
+    size_t queries;
+  };
+  std::vector<Row> rows;
+  const std::vector<std::pair<std::string, EngineKind>> engines = {
+      {"plain", EngineKind::kPlain},
+      {"sharded", EngineKind::kSharded},
+  };
+
+  std::printf("%9s %8s %14s %12s %12s\n", "engine", "clients",
+              "append Mups", "query p50", "query p99");
+  for (const auto& [name, kind] : engines) {
+    for (size_t clients : client_counts) {
+      RunResult r;
+      try {
+        r = RunLoad(server.port(), name, kind, clients, items, batch,
+                    queries);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "e17 %s/%zu-client run failed: %s\n",
+                     name.c_str(), clients, e.what());
+        server.Stop();
+        return 1;
+      }
+      Row row;
+      row.engine = name;
+      row.clients = clients;
+      row.wall_s = r.append_wall_s;
+      row.append_mups = static_cast<double>(items) *
+                        static_cast<double>(clients) /
+                        r.append_wall_s / 1e6;
+      row.queries = r.query_latency_us.size();
+      row.p50_us = Percentile(&r.query_latency_us, 0.50);
+      row.p99_us = Percentile(&r.query_latency_us, 0.99);
+      rows.push_back(row);
+      std::printf("%9s %8zu %14.2f %9.1f us %9.1f us\n", name.c_str(),
+                  clients, row.append_mups, row.p50_us, row.p99_us);
+    }
+  }
+  server.Stop();
+
+  // Per-engine summary: peak aggregate throughput and the p99 at the
+  // largest client count (the "does latency survive load" number; the
+  // _us suffix keeps it direction-aware for compare_bench.py).
+  JsonWriter json;
+  json.BeginObject()
+      .Field("experiment", "e17_service")
+      .Field("items_per_client", static_cast<uint64_t>(items))
+      .Field("batch", static_cast<uint64_t>(batch))
+      .Field("smoke", args.smoke)
+      .BeginArray("results");
+  for (const Row& row : rows) {
+    json.BeginObject()
+        .Field("engine", row.engine)
+        .Field("clients", static_cast<uint64_t>(row.clients))
+        .Field("append_mups", row.append_mups)
+        .Field("append_wall_s", row.wall_s)
+        .Field("queries", static_cast<uint64_t>(row.queries))
+        .Field("query_p50_us", row.p50_us)
+        .Field("query_p99_us", row.p99_us)
+        .EndObject();
+  }
+  json.EndArray().BeginArray("summary");
+  for (const auto& [name, kind] : engines) {
+    (void)kind;
+    double peak = 0.0;
+    double p99_at_max = 0.0;
+    size_t max_clients = 0;
+    for (const Row& row : rows) {
+      if (row.engine != name) continue;
+      peak = std::max(peak, row.append_mups);
+      if (row.clients >= max_clients) {
+        max_clients = row.clients;
+        p99_at_max = row.p99_us;
+      }
+    }
+    json.BeginObject()
+        .Field("engine", name)
+        .Field("peak_append_mups", peak)
+        .Field("max_clients_p99_us", p99_at_max)
+        .EndObject();
+  }
+  json.EndArray().EndObject();
+  if (!json.WriteFile(args.out)) {
+    std::fprintf(stderr, "cannot write %s\n", args.out.c_str());
+    return 1;
+  }
+  std::printf("\nwrote %s\n", args.out.c_str());
+  return 0;
+}

@@ -165,17 +165,19 @@ class ShardedReqSketch {
   // before a query barrier) -- the shard lock serializes the two.
   void Flush(size_t shard) {
     Shard& s = GetShard(shard);
-    bool flushed = false;
-    {
-      std::lock_guard<std::mutex> lock(s.mutex);
-      s.flush_scratch.clear();
-      if (s.buffer.PopAll(&s.flush_scratch) > 0) {
-        s.sketch.Update(s.flush_scratch.data(), s.flush_scratch.size());
-        s.flushed_n.store(s.sketch.n(), std::memory_order_release);
-        flushed = true;
-      }
+    std::lock_guard<std::mutex> lock(s.mutex);
+    s.flush_scratch.clear();
+    if (s.buffer.PopAll(&s.flush_scratch) > 0) {
+      s.sketch.Update(s.flush_scratch.data(), s.flush_scratch.size());
+      s.flushed_n.store(s.sketch.n(), std::memory_order_release);
+      // Bump INSIDE the shard lock: a FlushAll that serializes behind
+      // this flush (and pops nothing) must observe the bumped epoch, or
+      // a query after its FlushAll could serve a cached merged view
+      // missing items this flush already applied. Safe with View(): it
+      // reads the epoch before taking the shard locks, so a concurrent
+      // bump can only make its tag stale, never its data.
+      BumpEpoch();
     }
-    if (flushed) BumpEpoch();
   }
 
   // Flushes every shard. Queries issued afterwards (with producers

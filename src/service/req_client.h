@@ -1,0 +1,192 @@
+// ReqClient: blocking request/response client for the reqd wire protocol.
+// One instance owns one TCP connection and is NOT thread-safe (a
+// connection is a serial request pipe); concurrent callers each open
+// their own client, which is also how the load generator and the E17
+// bench model independent tenants.
+//
+// Server-side failures surface as ServiceError carrying the wire status;
+// transport failures (connect/send/recv) and malformed responses throw
+// std::runtime_error.
+#ifndef REQSKETCH_SERVICE_REQ_CLIENT_H_
+#define REQSKETCH_SERVICE_REQ_CLIENT_H_
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "service/socket_util.h"
+#include "service/wire_protocol.h"
+#include "util/validation.h"
+
+namespace req {
+namespace service {
+
+class ReqClient {
+ public:
+  ReqClient() = default;
+  ReqClient(ReqClient&&) = default;
+  ReqClient& operator=(ReqClient&&) = default;
+
+  // Connects to host:port; throws runtime_error on failure.
+  void Connect(const std::string& host, uint16_t port) {
+    util::CheckState(!fd_.valid(), "client already connected");
+    ScopedFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+    if (!fd.valid()) throw std::runtime_error(ErrnoMessage("socket"));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr = ParseIPv4(host);
+    addr.sin_port = htons(port);
+    if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+      throw std::runtime_error(ErrnoMessage("connect"));
+    }
+    SetNoDelay(fd.get());
+    // Fresh decoder per connection: leftover bytes from a previous
+    // connection's partial response would desync the new stream.
+    decoder_ = FrameDecoder();
+    fd_ = std::move(fd);
+  }
+
+  bool connected() const { return fd_.valid(); }
+  void Close() {
+    fd_.Reset();
+    decoder_ = FrameDecoder();
+  }
+
+  // --- protocol operations (each is one round trip) ------------------------
+
+  // Returns the server's protocol version.
+  uint8_t Ping() {
+    Request request;
+    request.op = Opcode::kPing;
+    return RoundTrip(request).protocol_version;
+  }
+
+  void Create(const std::string& metric, const MetricSpec& spec) {
+    Request request;
+    request.op = Opcode::kCreate;
+    request.metric = metric;
+    request.spec = spec;
+    RoundTrip(request);
+  }
+
+  // Appends a batch; returns the metric's accepted-item total.
+  uint64_t Append(const std::string& metric, const double* data,
+                  size_t count) {
+    Request request;
+    request.op = Opcode::kAppend;
+    request.metric = metric;
+    request.values.assign(data, data + count);
+    return RoundTrip(request).n;
+  }
+  uint64_t Append(const std::string& metric,
+                  const std::vector<double>& values) {
+    return Append(metric, values.data(), values.size());
+  }
+
+  uint64_t Flush(const std::string& metric) {
+    Request request;
+    request.op = Opcode::kFlush;
+    request.metric = metric;
+    return RoundTrip(request).n;
+  }
+
+  std::vector<uint64_t> GetRanks(
+      const std::string& metric, const std::vector<double>& ys,
+      Criterion criterion = Criterion::kInclusive) {
+    Request request;
+    request.op = Opcode::kRank;
+    request.metric = metric;
+    request.criterion = criterion;
+    request.values = ys;
+    return RoundTrip(request).ranks;
+  }
+
+  std::vector<double> GetQuantiles(
+      const std::string& metric, const std::vector<double>& qs,
+      Criterion criterion = Criterion::kInclusive) {
+    Request request;
+    request.op = Opcode::kQuantiles;
+    request.metric = metric;
+    request.criterion = criterion;
+    request.values = qs;
+    return RoundTrip(request).values;
+  }
+
+  std::vector<double> GetCDF(
+      const std::string& metric, const std::vector<double>& splits,
+      Criterion criterion = Criterion::kInclusive) {
+    Request request;
+    request.op = Opcode::kCdf;
+    request.metric = metric;
+    request.criterion = criterion;
+    request.values = splits;
+    return RoundTrip(request).values;
+  }
+
+  // The engine's kind-tagged snapshot blob (see MetricEngine::Snapshot).
+  std::vector<uint8_t> Snapshot(const std::string& metric) {
+    Request request;
+    request.op = Opcode::kSnapshot;
+    request.metric = metric;
+    return RoundTrip(request).blob;
+  }
+
+  std::vector<std::string> List() {
+    Request request;
+    request.op = Opcode::kList;
+    return RoundTrip(request).names;
+  }
+
+  void Drop(const std::string& metric) {
+    Request request;
+    request.op = Opcode::kDrop;
+    request.metric = metric;
+    RoundTrip(request);
+  }
+
+ private:
+  Response RoundTrip(const Request& request) {
+    util::CheckState(fd_.valid(), "client not connected");
+    std::vector<uint8_t> frame;
+    AppendFrame(&frame, EncodeRequest(request));
+    if (!SendAll(fd_.get(), frame.data(), frame.size())) {
+      Close();
+      throw std::runtime_error("connection lost while sending request");
+    }
+    std::vector<uint8_t> payload;
+    uint8_t chunk[1 << 16];
+    try {
+      while (!decoder_.Next(&payload)) {
+        const ssize_t got = RecvSome(fd_.get(), chunk, sizeof(chunk));
+        if (got <= 0) {
+          throw std::runtime_error(
+              "connection closed while awaiting response");
+        }
+        decoder_.Feed(chunk, static_cast<size_t>(got));
+      }
+    } catch (...) {
+      // Transport failure OR a corrupt length prefix: either way the
+      // stream is unusable -- drop the connection and the buffered
+      // garbage so a caller that catches and retries fails fast on
+      // "not connected" instead of parsing a desynced stream.
+      Close();
+      throw;
+    }
+    Response response = ParseResponse(request.op, payload);
+    if (response.status != Status::kOk) {
+      throw ServiceError(response.status, response.error);
+    }
+    return response;
+  }
+
+  ScopedFd fd_;
+  FrameDecoder decoder_;
+};
+
+}  // namespace service
+}  // namespace req
+
+#endif  // REQSKETCH_SERVICE_REQ_CLIENT_H_

@@ -1,0 +1,347 @@
+// ReqdServer: the TCP front end of the multi-tenant quantile service.
+// Accepts connections on a loopback/IPv4 address and speaks the
+// length-prefixed protocol of service/wire_protocol.h against a shared
+// SketchRegistry.
+//
+// Concurrency model: thread-per-connection. The registry's engines already
+// make the hot paths non-blocking where it matters -- appends stage into
+// per-metric SPSC buffers and queries run against epoch-cached snapshots
+// -- so connection threads spend their time parsing frames and copying
+// payloads, not contending on sketch locks. With the fleet sizes a single
+// registry host serves (tens to a few hundred connections), blocking
+// threads beat an epoll reactor on simplicity and per-request latency; an
+// epoll front end could replace ServeConnection without touching the
+// registry or the protocol if connection counts ever demand it.
+//
+// Error handling per frame:
+//   * A malformed payload inside a well-delimited frame (bad opcode, bad
+//     enum, truncated body) answers kBadRequest and the connection lives
+//     on -- framing is still in sync.
+//   * A corrupt length prefix (0 or > max payload) means the byte stream
+//     itself has lost sync: the server answers one kBadRequest frame
+//     best-effort and closes the connection.
+//   * Registry/engine exceptions map to statuses: MetricNotFound ->
+//     kNotFound, MetricExists -> kExists, invalid_argument / logic_error /
+//     runtime_error -> kBadRequest, anything else -> kError. The server
+//     never dies on a request.
+//
+// Lifecycle: Start() binds/listens (port 0 picks an ephemeral port,
+// re-read via port() -- how the tests and benches run parallel-safe
+// loopback instances) and spawns the accept loop; Stop() shuts the
+// listener and every live connection down and joins all threads. The
+// destructor calls Stop().
+#ifndef REQSKETCH_SERVICE_REQD_SERVER_H_
+#define REQSKETCH_SERVICE_REQD_SERVER_H_
+
+#include <poll.h>
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "service/sketch_registry.h"
+#include "service/socket_util.h"
+#include "service/wire_protocol.h"
+#include "util/validation.h"
+
+namespace req {
+namespace service {
+
+struct ReqdServerConfig {
+  std::string bind_address = "127.0.0.1";
+  // 0: pick an ephemeral port (read it back via port()).
+  uint16_t port = 0;
+  int backlog = 64;
+  uint32_t max_frame_payload = kMaxFramePayload;
+};
+
+class ReqdServer {
+ public:
+  explicit ReqdServer(SketchRegistry* registry,
+                      const ReqdServerConfig& config = {})
+      : registry_(registry), config_(config) {
+    util::CheckArg(registry != nullptr, "registry must not be null");
+  }
+
+  ReqdServer(const ReqdServer&) = delete;
+  ReqdServer& operator=(const ReqdServer&) = delete;
+
+  ~ReqdServer() { Stop(); }
+
+  void Start() {
+    util::CheckState(!running_.load(), "server already started");
+    ScopedFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+    if (!fd.valid()) throw std::runtime_error(ErrnoMessage("socket"));
+    int one = 1;
+    ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr = ParseIPv4(config_.bind_address);
+    addr.sin_port = htons(config_.port);
+    if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+      throw std::runtime_error(ErrnoMessage("bind"));
+    }
+    if (::listen(fd.get(), config_.backlog) != 0) {
+      throw std::runtime_error(ErrnoMessage("listen"));
+    }
+    // Re-read the bound port (meaningful when config_.port == 0).
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&bound),
+                      &len) != 0) {
+      throw std::runtime_error(ErrnoMessage("getsockname"));
+    }
+    port_ = ntohs(bound.sin_port);
+    listen_fd_ = std::move(fd);
+    running_.store(true);
+    accept_thread_ = std::thread([this] { AcceptLoop(); });
+  }
+
+  void Stop() {
+    if (!running_.exchange(false)) return;
+    // Wake a blocked accept() early (Linux returns EINVAL); the accept
+    // loop's poll timeout bounds the wait even where shutdown() on a
+    // listener is a no-op. The fd is closed only AFTER the join: closing
+    // it while the accept thread still reads it would be a race (and a
+    // potential fd-reuse hazard).
+    ::shutdown(listen_fd_.get(), SHUT_RDWR);
+    if (accept_thread_.joinable()) accept_thread_.join();
+    listen_fd_.Reset();
+    // Unblock every connection thread stuck in recv(), then join them.
+    // The map is moved out before joining: a joining thread's exit path
+    // takes conn_mutex_, so holding the lock across join() would
+    // deadlock.
+    std::map<uint64_t, std::thread> remaining;
+    {
+      std::lock_guard<std::mutex> lock(conn_mutex_);
+      for (const auto& [id, fd] : conn_fds_) {
+        (void)id;
+        ::shutdown(fd, SHUT_RDWR);
+      }
+      remaining = std::move(conn_threads_);
+      conn_threads_.clear();
+      finished_ids_.clear();
+    }
+    for (auto& [id, t] : remaining) {
+      (void)id;
+      if (t.joinable()) t.join();
+    }
+  }
+
+  uint16_t port() const { return port_; }
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  // Monitoring counters.
+  uint64_t ConnectionsAccepted() const { return connections_.load(); }
+  uint64_t FramesServed() const { return frames_.load(); }
+
+ private:
+  void AcceptLoop() {
+    while (running_.load(std::memory_order_acquire)) {
+      // Poll with a timeout instead of blocking in accept(): Stop() can
+      // then flip running_ and join without ever closing the fd under
+      // this thread's feet.
+      pollfd pfd{};
+      pfd.fd = listen_fd_.get();
+      pfd.events = POLLIN;
+      const int polled = ::poll(&pfd, 1, /*timeout_ms=*/250);
+      if (!running_.load(std::memory_order_acquire)) break;
+      if (polled <= 0) continue;  // timeout or EINTR: re-check and wait
+      const int conn = ::accept(listen_fd_.get(), nullptr, nullptr);
+      if (conn < 0) {
+        // Only a dead listener ends the loop. Transient failures --
+        // EMFILE/ENFILE under fd pressure, ENOBUFS/ENOMEM, an aborted
+        // handshake -- must not leave a long-running daemon silently
+        // unable to accept forever; the poll timeout above doubles as
+        // their retry backoff.
+        if (errno == EBADF || errno == EINVAL) break;
+        continue;
+      }
+      SetNoDelay(conn);
+      const uint64_t id = connections_.fetch_add(1) + 1;
+      {
+        std::lock_guard<std::mutex> lock(conn_mutex_);
+        conn_fds_.emplace(id, conn);
+        conn_threads_.emplace(
+            id, std::thread([this, conn, id] { ServeConnection(conn, id); }));
+      }
+      ReapFinishedConnections();
+    }
+  }
+
+  // Joins connection threads that have already exited, so a long-running
+  // daemon's thread table tracks LIVE connections, not accepted-ever
+  // (each connection thread parks its id in finished_ids_ on the way
+  // out). Joining happens outside the lock; these threads are past their
+  // serve loop, so the joins return immediately.
+  void ReapFinishedConnections() {
+    std::vector<std::thread> done;
+    {
+      std::lock_guard<std::mutex> lock(conn_mutex_);
+      for (uint64_t id : finished_ids_) {
+        auto it = conn_threads_.find(id);
+        if (it == conn_threads_.end()) continue;
+        done.push_back(std::move(it->second));
+        conn_threads_.erase(it);
+      }
+      finished_ids_.clear();
+    }
+    for (std::thread& t : done) {
+      if (t.joinable()) t.join();
+    }
+  }
+
+  void ServeConnection(int fd, uint64_t id) {
+    ScopedFd conn(fd);
+    FrameDecoder decoder(config_.max_frame_payload);
+    std::vector<uint8_t> payload;
+    std::vector<uint8_t> outbound;
+    uint8_t chunk[1 << 16];
+    bool desynced = false;
+    while (!desynced && running_.load(std::memory_order_acquire)) {
+      const ssize_t got = RecvSome(conn.get(), chunk, sizeof(chunk));
+      if (got <= 0) break;  // peer closed or socket shut down
+      decoder.Feed(chunk, static_cast<size_t>(got));
+      outbound.clear();
+      while (true) {
+        try {
+          if (!decoder.Next(&payload)) break;
+        } catch (const std::exception& e) {
+          // Corrupt length prefix: answer once, then drop the stream.
+          Response bad;
+          bad.status = Status::kBadRequest;
+          bad.error = e.what();
+          AppendFrame(&outbound, EncodeResponse(Opcode::kPing, bad));
+          desynced = true;
+          break;
+        }
+        AppendFrame(&outbound, HandleFrame(payload));
+        frames_.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (!outbound.empty() &&
+          !SendAll(conn.get(), outbound.data(), outbound.size())) {
+        break;
+      }
+    }
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    conn_fds_.erase(id);
+    finished_ids_.push_back(id);
+  }
+
+  // Parses one request payload and produces the response payload. All
+  // throwing paths are caught here; see the class comment for the status
+  // mapping.
+  std::vector<uint8_t> HandleFrame(const std::vector<uint8_t>& payload) {
+    Opcode op = Opcode::kPing;
+    Response response;
+    try {
+      const Request request = ParseRequest(payload);
+      op = request.op;
+      response = Dispatch(request);
+    } catch (const MetricNotFound& e) {
+      response.status = Status::kNotFound;
+      response.error = e.what();
+    } catch (const MetricExists& e) {
+      response.status = Status::kExists;
+      response.error = e.what();
+    } catch (const std::invalid_argument& e) {
+      response.status = Status::kBadRequest;
+      response.error = e.what();
+    } catch (const std::logic_error& e) {
+      response.status = Status::kBadRequest;
+      response.error = e.what();
+    } catch (const std::runtime_error& e) {
+      response.status = Status::kBadRequest;
+      response.error = e.what();
+    } catch (const std::exception& e) {
+      response.status = Status::kError;
+      response.error = e.what();
+    }
+    return EncodeResponse(op, response);
+  }
+
+  Response Dispatch(const Request& request) {
+    Response response;
+    switch (request.op) {
+      case Opcode::kPing:
+        response.protocol_version = kProtocolVersion;
+        break;
+      case Opcode::kCreate:
+        registry_->Create(request.metric, request.spec);
+        break;
+      case Opcode::kAppend: {
+        SketchRegistry::EnginePtr engine =
+            registry_->Require(request.metric);
+        engine->Append(request.values.data(), request.values.size());
+        response.n = engine->AcceptedN();
+        break;
+      }
+      case Opcode::kFlush: {
+        SketchRegistry::EnginePtr engine =
+            registry_->Require(request.metric);
+        engine->Flush();
+        response.n = engine->AcceptedN();
+        break;
+      }
+      case Opcode::kRank:
+        response.ranks = registry_->Require(request.metric)
+                             ->GetRanks(request.values, request.criterion);
+        break;
+      case Opcode::kQuantiles:
+        response.values =
+            registry_->Require(request.metric)
+                ->GetQuantiles(request.values, request.criterion);
+        break;
+      case Opcode::kCdf:
+        response.values = registry_->Require(request.metric)
+                              ->GetCDF(request.values, request.criterion);
+        break;
+      case Opcode::kSnapshot:
+        response.blob = registry_->Require(request.metric)->Snapshot();
+        break;
+      case Opcode::kList: {
+        std::shared_ptr<const std::vector<std::string>> names =
+            registry_->List();
+        response.names = *names;
+        break;
+      }
+      case Opcode::kDrop:
+        if (!registry_->Drop(request.metric)) {
+          throw MetricNotFound(request.metric);
+        }
+        break;
+    }
+    return response;
+  }
+
+  SketchRegistry* registry_;
+  ReqdServerConfig config_;
+  ScopedFd listen_fd_;
+  uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::thread accept_thread_;
+  // Guards the three connection tables below.
+  std::mutex conn_mutex_;
+  // Live connection fds by id, so Stop() can shut them down; threads are
+  // joined (not detached) for clean destruction under sanitizers, and
+  // reaped as connections finish so neither table grows with
+  // ConnectionsAccepted().
+  std::map<uint64_t, int> conn_fds_;
+  std::map<uint64_t, std::thread> conn_threads_;
+  std::vector<uint64_t> finished_ids_;
+  std::atomic<uint64_t> connections_{0};
+  std::atomic<uint64_t> frames_{0};
+};
+
+}  // namespace service
+}  // namespace req
+
+#endif  // REQSKETCH_SERVICE_REQD_SERVER_H_

@@ -1,0 +1,504 @@
+// SketchRegistry: the multi-tenant heart of the quantile service. Maps
+// metric names to per-metric engines, each wrapping one of the repo's
+// quantile primitives -- chosen once, at CREATE time:
+//
+//   kPlain    -> ReqSketch<double>: one deterministic sketch. Snapshots
+//                serialize byte-identically to an in-process ReqSketch fed
+//                the same stream with the same config (the loopback e2e
+//                test holds this bit-exactly).
+//   kSharded  -> ShardedReqSketch<double>: multi-shard ingest with
+//                merge-on-query, for metrics hot enough that one
+//                compaction cascade would bottleneck.
+//   kWindowed -> WindowedReqSketch<double>: count-driven sliding window
+//                (bucket_items per bucket, num_buckets buckets).
+//
+// Ingest path (all kinds): APPEND batches are staged through an SPSC
+// buffer (concurrency/spsc_buffer.h) and drained into the underlying
+// sketch in batches, so the per-item cost stays on the batch fast path and
+// appends never hold the sketch lock for more than one drain. The staging
+// producer role is serialized by a per-engine append mutex (many
+// connections may append to one metric; they take turns as the SPSC
+// producer), the consumer role by the engine state mutex.
+//
+// Query path (plain/windowed): queries first drain staged items (so every
+// APPEND acknowledged before the query is visible), then run against an
+// epoch-tagged snapshot -- a standalone ReqSketch copy with its sorted
+// view prewarmed, cached in a concurrency::EpochSnapshotCache and rebuilt
+// only after a drain actually changed the state. While a metric is not
+// being appended to, any number of connections query it lock-free. The
+// sharded engine delegates to ShardedReqSketch's own epoch-cached merged
+// view, which implements the same pattern internally.
+//
+// The registry itself uses the same primitive one level up: the metric
+// directory (LIST) is an epoch-tagged name snapshot, rebuilt only after a
+// CREATE or DROP bumped the registry epoch.
+//
+// Error model: engines and registry throw the repo's standard exception
+// taxonomy (invalid_argument for bad arguments, logic_error for queries on
+// empty state, runtime_error for corrupt data) plus the typed
+// MetricNotFound / MetricExists below, which the server maps to wire
+// statuses.
+#ifndef REQSKETCH_SERVICE_SKETCH_REGISTRY_H_
+#define REQSKETCH_SERVICE_SKETCH_REGISTRY_H_
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "concurrency/epoch_snapshot.h"
+#include "concurrency/sharded_req_sketch.h"
+#include "concurrency/spsc_buffer.h"
+#include "core/req_serde.h"
+#include "core/req_sketch.h"
+#include "service/wire_protocol.h"
+#include "util/validation.h"
+#include "window/windowed_req_sketch.h"
+
+namespace req {
+namespace service {
+
+struct MetricNotFound : std::invalid_argument {
+  explicit MetricNotFound(const std::string& name)
+      : std::invalid_argument("metric not found: " + name) {}
+};
+
+struct MetricExists : std::invalid_argument {
+  explicit MetricExists(const std::string& name)
+      : std::invalid_argument("metric already exists: " + name) {}
+};
+
+// Validates a CREATE spec before any engine is built, so a bad request
+// fails with a precise message instead of surfacing from a constructor
+// deep in the stack.
+inline void ValidateMetricSpec(const MetricSpec& spec) {
+  params::ValidateConfig(spec.base);
+  util::CheckArg(spec.base.n_hint <= params::kMaxN,
+                 "n_hint must not exceed 2^62");
+  util::CheckArg(spec.buffer_capacity >= 1 &&
+                     spec.buffer_capacity <= (uint64_t{1} << 32),
+                 "buffer_capacity must be in [1, 2^32]");
+  if (spec.kind == EngineKind::kSharded) {
+    util::CheckArg(spec.num_shards >= 1 && spec.num_shards <= 4096,
+                   "num_shards must be in [1, 4096]");
+  }
+  if (spec.kind == EngineKind::kWindowed) {
+    util::CheckArg(spec.num_buckets >= 2 &&
+                       spec.num_buckets <= (uint32_t{1} << 16),
+                   "num_buckets must be in [2, 2^16]");
+    // The wire protocol has no Rotate() injection, so service-managed
+    // windows must be count-driven.
+    util::CheckArg(spec.bucket_items >= 1,
+                   "bucket_items must be >= 1 for service windows");
+    util::CheckArg(
+        spec.bucket_items <= params::kMaxN / spec.num_buckets,
+        "num_buckets * bucket_items must not exceed 2^62");
+  }
+}
+
+// One metric's engine. Thread safety: Append may be called from any number
+// of connections concurrently (serialized internally); queries and
+// Snapshot may run concurrently with appends and each other.
+class MetricEngine {
+ public:
+  virtual ~MetricEngine() = default;
+
+  virtual EngineKind kind() const = 0;
+  virtual const MetricSpec& spec() const = 0;
+
+  // Total items accepted since CREATE (acknowledged appends; for windowed
+  // metrics this is lifetime-accepted, not in-window).
+  virtual uint64_t AcceptedN() const = 0;
+
+  // Stages `count` items; rejects NaN up front (strong guarantee: nothing
+  // is applied on throw).
+  virtual void Append(const double* data, size_t count) = 0;
+
+  // Makes every staged item query-visible.
+  virtual void Flush() = 0;
+
+  // Order-based queries. Observe every append acknowledged before the
+  // call (each query drains staging first).
+  virtual std::vector<uint64_t> GetRanks(const std::vector<double>& ys,
+                                         Criterion criterion) = 0;
+  virtual std::vector<double> GetQuantiles(const std::vector<double>& qs,
+                                           Criterion criterion) = 0;
+  virtual std::vector<double> GetCDF(const std::vector<double>& splits,
+                                     Criterion criterion) = 0;
+
+  // Serialized engine state: u8 engine kind | engine-specific serde bytes
+  // (ReqSerde / sharded serde / windowed serde).
+  virtual std::vector<uint8_t> Snapshot() = 0;
+};
+
+// Splits a snapshot blob into its kind tag and serde payload; throws
+// runtime_error on an empty or unknown-kind blob.
+inline EngineKind SnapshotBlobKind(const std::vector<uint8_t>& blob) {
+  util::CheckData(!blob.empty(), "empty snapshot blob");
+  util::CheckData(blob[0] <= static_cast<uint8_t>(EngineKind::kWindowed),
+                  "unknown snapshot engine kind");
+  return static_cast<EngineKind>(blob[0]);
+}
+
+inline std::vector<uint8_t> SnapshotBlobPayload(
+    const std::vector<uint8_t>& blob) {
+  SnapshotBlobKind(blob);  // validates
+  return std::vector<uint8_t>(blob.begin() + 1, blob.end());
+}
+
+namespace detail {
+
+inline void CheckAppendable(const double* data, size_t count) {
+  for (size_t i = 0; i < count; ++i) {
+    util::CheckArg(!std::isnan(data[i]), "cannot append NaN");
+  }
+}
+
+}  // namespace detail
+
+// --- staged engines (plain / windowed) -------------------------------------
+
+// Shared machinery for the engines that stage appends through one SPSC
+// buffer into a single underlying structure and serve queries from an
+// epoch-cached ReqSketch snapshot. Derived classes choose the underlying
+// type and how to snapshot it; the staging/epoch protocol lives here
+// exactly once.
+template <typename Underlying>
+class StagedEngineBase : public MetricEngine {
+ public:
+  using Sketch = ReqSketch<double>;
+
+  const MetricSpec& spec() const override { return spec_; }
+  uint64_t AcceptedN() const override {
+    return accepted_n_.load(std::memory_order_acquire);
+  }
+
+  void Append(const double* data, size_t count) override {
+    detail::CheckAppendable(data, count);
+    std::lock_guard<std::mutex> produce(append_mutex_);
+    size_t left = count;
+    while (left > 0) {
+      const size_t pushed = staging_.TryPushBulk(data, left);
+      data += pushed;
+      left -= pushed;
+      if (left > 0) Drain();
+    }
+    accepted_n_.fetch_add(count, std::memory_order_release);
+  }
+
+  void Flush() override { Drain(); }
+
+  std::vector<uint64_t> GetRanks(const std::vector<double>& ys,
+                                 Criterion criterion) override {
+    return View()->GetRanks(ys, criterion);
+  }
+  std::vector<double> GetQuantiles(const std::vector<double>& qs,
+                                   Criterion criterion) override {
+    return View()->GetQuantiles(qs, criterion);
+  }
+  std::vector<double> GetCDF(const std::vector<double>& splits,
+                             Criterion criterion) override {
+    return View()->GetCDF(splits, criterion);
+  }
+
+ protected:
+  StagedEngineBase(const MetricSpec& spec, Underlying underlying)
+      : spec_(spec),
+        staging_(spec.buffer_capacity),
+        underlying_(std::move(underlying)) {}
+
+  // Builds the query snapshot from underlying_; called under
+  // state_mutex_ (the sorted-view warm-up happens outside it).
+  virtual Sketch MakeSnapshotLocked() = 0;
+
+  void Drain() {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    drain_scratch_.clear();
+    if (staging_.PopAll(&drain_scratch_) > 0) {
+      underlying_.Update(drain_scratch_.data(), drain_scratch_.size());
+      // Bump INSIDE the lock: a second query thread that serializes
+      // behind this drain (pops nothing) must then read the bumped
+      // epoch, or it could serve a cached snapshot missing items whose
+      // append was acknowledged before that query began.
+      epoch_.fetch_add(1, std::memory_order_release);
+    }
+  }
+
+  std::shared_ptr<const Sketch> View() {
+    Drain();
+    return cache_.Get(
+        [this] { return epoch_.load(std::memory_order_acquire); },
+        [this] {
+          std::unique_lock<std::mutex> lock(state_mutex_);
+          Sketch snap = MakeSnapshotLocked();
+          lock.unlock();
+          // Warm the sorted view outside the state lock: queries on the
+          // published snapshot then take only lock-free reads.
+          snap.PrepareSortedView();
+          return snap;
+        });
+  }
+
+  const MetricSpec spec_;
+  // Serializes the SPSC producer role across appending connections.
+  std::mutex append_mutex_;
+  concurrency::SpscBuffer<double> staging_;
+  // Guards underlying_, drain_scratch_, and the staging consumer role.
+  std::mutex state_mutex_;
+  Underlying underlying_;
+  std::vector<double> drain_scratch_;
+  std::atomic<uint64_t> accepted_n_{0};
+  std::atomic<uint64_t> epoch_{0};
+  concurrency::EpochSnapshotCache<Sketch> cache_;
+};
+
+// --- plain -----------------------------------------------------------------
+
+class PlainReqEngine final : public StagedEngineBase<ReqSketch<double>> {
+ public:
+  explicit PlainReqEngine(const MetricSpec& spec)
+      : StagedEngineBase(spec, Sketch(spec.base)) {}
+
+  EngineKind kind() const override { return EngineKind::kPlain; }
+
+  std::vector<uint8_t> Snapshot() override {
+    // The cached snapshot is a faithful copy (config, seed, levels,
+    // schedule state), so it serializes byte-identically to the live
+    // sketch -- and to an in-process sketch fed the same stream.
+    std::shared_ptr<const Sketch> view = View();
+    std::vector<uint8_t> blob{static_cast<uint8_t>(EngineKind::kPlain)};
+    const std::vector<uint8_t> bytes = SerializeSketch(*view);
+    blob.insert(blob.end(), bytes.begin(), bytes.end());
+    return blob;
+  }
+
+ private:
+  Sketch MakeSnapshotLocked() override { return underlying_; }
+};
+
+// --- sharded ---------------------------------------------------------------
+
+class ShardedReqEngine final : public MetricEngine {
+ public:
+  using Sharded = concurrency::ShardedReqSketch<double>;
+
+  explicit ShardedReqEngine(const MetricSpec& spec)
+      : spec_(spec), sharded_(MakeConfig(spec)) {}
+
+  EngineKind kind() const override { return EngineKind::kSharded; }
+  const MetricSpec& spec() const override { return spec_; }
+  uint64_t AcceptedN() const override {
+    return accepted_n_.load(std::memory_order_acquire);
+  }
+
+  void Append(const double* data, size_t count) override {
+    detail::CheckAppendable(data, count);
+    std::lock_guard<std::mutex> produce(append_mutex_);
+    // Whole batches rotate round-robin across shards: each shard's stream
+    // (and therefore its sketch) is a pure function of the batch arrival
+    // order, and the per-shard single-writer contract holds because the
+    // append mutex serializes the producer role.
+    sharded_.Update(next_shard_, data, count);
+    next_shard_ = (next_shard_ + 1) % sharded_.num_shards();
+    accepted_n_.fetch_add(count, std::memory_order_release);
+  }
+
+  // FlushAll is safe concurrently with producers (drains under the shard
+  // locks), so queries need not take the append mutex.
+  void Flush() override { sharded_.FlushAll(); }
+
+  std::vector<uint64_t> GetRanks(const std::vector<double>& ys,
+                                 Criterion criterion) override {
+    Flush();
+    return sharded_.GetRanks(ys, criterion);
+  }
+  std::vector<double> GetQuantiles(const std::vector<double>& qs,
+                                   Criterion criterion) override {
+    Flush();
+    return sharded_.GetQuantiles(qs, criterion);
+  }
+  std::vector<double> GetCDF(const std::vector<double>& splits,
+                             Criterion criterion) override {
+    Flush();
+    return sharded_.GetCDF(splits, criterion);
+  }
+
+  std::vector<uint8_t> Snapshot() override {
+    // Quiesce producers for the serialize: the sharded serde requires
+    // empty staging buffers (buffered items would be silently lost).
+    std::lock_guard<std::mutex> produce(append_mutex_);
+    sharded_.FlushAll();
+    std::vector<uint8_t> blob{static_cast<uint8_t>(EngineKind::kSharded)};
+    const std::vector<uint8_t> bytes = sharded_.Serialize();
+    blob.insert(blob.end(), bytes.begin(), bytes.end());
+    return blob;
+  }
+
+ private:
+  static concurrency::ShardedReqConfig MakeConfig(const MetricSpec& spec) {
+    concurrency::ShardedReqConfig config;
+    config.num_shards = spec.num_shards;
+    config.buffer_capacity = spec.buffer_capacity;
+    config.base = spec.base;
+    return config;
+  }
+
+  const MetricSpec spec_;
+  std::mutex append_mutex_;
+  size_t next_shard_ = 0;
+  Sharded sharded_;
+  std::atomic<uint64_t> accepted_n_{0};
+};
+
+// --- windowed --------------------------------------------------------------
+
+class WindowedReqEngine final
+    : public StagedEngineBase<window::WindowedReqSketch<double>> {
+ public:
+  using Window = window::WindowedReqSketch<double>;
+
+  explicit WindowedReqEngine(const MetricSpec& spec)
+      : StagedEngineBase(spec, Window(MakeConfig(spec))) {}
+
+  EngineKind kind() const override { return EngineKind::kWindowed; }
+
+  std::vector<uint8_t> Snapshot() override {
+    // Serialize the window itself (ring, rotations, bucket epochs), not
+    // its merged view: a restored snapshot keeps expiring correctly.
+    // (Count-driven rotation happens inside the base drain's batch
+    // update, at the same boundaries per-item feeding would produce.)
+    Drain();
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    std::vector<uint8_t> blob{static_cast<uint8_t>(EngineKind::kWindowed)};
+    const std::vector<uint8_t> bytes = underlying_.Serialize();
+    blob.insert(blob.end(), bytes.begin(), bytes.end());
+    return blob;
+  }
+
+ private:
+  static window::WindowedReqConfig MakeConfig(const MetricSpec& spec) {
+    window::WindowedReqConfig config;
+    config.num_buckets = spec.num_buckets;
+    config.bucket_items = spec.bucket_items;
+    config.base = spec.base;
+    return config;
+  }
+
+  Sketch MakeSnapshotLocked() override {
+    if (underlying_.is_empty()) {
+      // Queries on the empty snapshot throw the standard empty-sketch
+      // logic_error, matching the window's own checks.
+      return Sketch(spec_.base);
+    }
+    return underlying_.MergedSnapshot();
+  }
+};
+
+// --- the registry ----------------------------------------------------------
+
+class SketchRegistry {
+ public:
+  using EnginePtr = std::shared_ptr<MetricEngine>;
+
+  SketchRegistry() = default;
+  SketchRegistry(const SketchRegistry&) = delete;
+  SketchRegistry& operator=(const SketchRegistry&) = delete;
+
+  // Creates a metric; throws MetricExists if the name is taken, or
+  // invalid_argument / runtime_error on a bad spec or name.
+  EnginePtr Create(const std::string& name, const MetricSpec& spec) {
+    ValidateMetricName(name);
+    ValidateMetricSpec(spec);
+    EnginePtr engine = MakeEngine(spec);
+    {
+      std::unique_lock<std::shared_mutex> lock(map_mutex_);
+      auto [it, inserted] = engines_.emplace(name, engine);
+      (void)it;
+      if (!inserted) throw MetricExists(name);
+    }
+    epoch_.fetch_add(1, std::memory_order_release);
+    return engine;
+  }
+
+  // The engine for `name`, or nullptr when absent. The returned handle
+  // stays valid after a concurrent Drop (shared ownership).
+  EnginePtr Find(const std::string& name) const {
+    std::shared_lock<std::shared_mutex> lock(map_mutex_);
+    auto it = engines_.find(name);
+    return it == engines_.end() ? nullptr : it->second;
+  }
+
+  // Find, but throws MetricNotFound instead of returning nullptr.
+  EnginePtr Require(const std::string& name) const {
+    EnginePtr engine = Find(name);
+    if (!engine) throw MetricNotFound(name);
+    return engine;
+  }
+
+  // Removes a metric; returns whether it existed. In-flight operations on
+  // outstanding handles finish safely against the (now unlisted) engine.
+  bool Drop(const std::string& name) {
+    bool erased = false;
+    {
+      std::unique_lock<std::shared_mutex> lock(map_mutex_);
+      erased = engines_.erase(name) > 0;
+    }
+    if (erased) epoch_.fetch_add(1, std::memory_order_release);
+    return erased;
+  }
+
+  size_t size() const {
+    std::shared_lock<std::shared_mutex> lock(map_mutex_);
+    return engines_.size();
+  }
+
+  // Monotone directory version: bumped by every Create/Drop.
+  uint64_t Epoch() const { return epoch_.load(std::memory_order_acquire); }
+
+  // Sorted metric-name snapshot, epoch-cached: while no metric is created
+  // or dropped, repeated LISTs are one lock-free atomic load.
+  std::shared_ptr<const std::vector<std::string>> List() const {
+    return list_cache_.Get(
+        [this] { return epoch_.load(std::memory_order_acquire); },
+        [this] {
+          std::shared_lock<std::shared_mutex> lock(map_mutex_);
+          std::vector<std::string> names;
+          names.reserve(engines_.size());
+          for (const auto& [name, engine] : engines_) {
+            (void)engine;
+            names.push_back(name);
+          }
+          return names;  // std::map iterates sorted
+        });
+  }
+
+ private:
+  static EnginePtr MakeEngine(const MetricSpec& spec) {
+    switch (spec.kind) {
+      case EngineKind::kPlain:
+        return std::make_shared<PlainReqEngine>(spec);
+      case EngineKind::kSharded:
+        return std::make_shared<ShardedReqEngine>(spec);
+      case EngineKind::kWindowed:
+        return std::make_shared<WindowedReqEngine>(spec);
+    }
+    throw std::invalid_argument("unknown engine kind");
+  }
+
+  mutable std::shared_mutex map_mutex_;
+  std::map<std::string, EnginePtr> engines_;
+  std::atomic<uint64_t> epoch_{0};
+  concurrency::EpochSnapshotCache<std::vector<std::string>> list_cache_;
+};
+
+}  // namespace service
+}  // namespace req
+
+#endif  // REQSKETCH_SERVICE_SKETCH_REGISTRY_H_

@@ -1,0 +1,116 @@
+// Thin POSIX TCP helpers shared by the reqd server and the req-cli client
+// library: an owning fd wrapper and full-buffer send/recv loops. Loopback
+// IPv4 is the supported deployment shape (the service fronts a single
+// host's sketch registry; cross-host distribution happens by shipping
+// SNAPSHOT blobs, the Appendix D merge scenario).
+#ifndef REQSKETCH_SERVICE_SOCKET_UTIL_H_
+#define REQSKETCH_SERVICE_SOCKET_UTIL_H_
+
+#if defined(_WIN32)
+#error "the reqd service layer requires a POSIX socket API"
+#endif
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <utility>
+
+#include "util/validation.h"
+
+namespace req {
+namespace service {
+
+// Owning file descriptor (close-on-destruct, move-only).
+class ScopedFd {
+ public:
+  ScopedFd() = default;
+  explicit ScopedFd(int fd) : fd_(fd) {}
+  ScopedFd(ScopedFd&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  ScopedFd& operator=(ScopedFd&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+  ScopedFd(const ScopedFd&) = delete;
+  ScopedFd& operator=(const ScopedFd&) = delete;
+  ~ScopedFd() { Reset(); }
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+
+  int release() {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+
+  void Reset(int fd = -1) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = fd;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+inline std::string ErrnoMessage(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+// Sends the whole buffer; returns false if the peer went away (EPIPE /
+// ECONNRESET). MSG_NOSIGNAL keeps a dead peer from raising SIGPIPE, so
+// neither server nor CLI needs a process-wide signal disposition.
+inline bool SendAll(int fd, const uint8_t* data, size_t size) {
+  size_t sent = 0;
+  while (sent < size) {
+    const ssize_t r =
+        ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(r);
+  }
+  return true;
+}
+
+// One recv; returns bytes read, 0 on orderly shutdown, -1 on error
+// (EINTR retried internally).
+inline ssize_t RecvSome(int fd, uint8_t* data, size_t size) {
+  while (true) {
+    const ssize_t r = ::recv(fd, data, size, 0);
+    if (r < 0 && errno == EINTR) continue;
+    return r;
+  }
+}
+
+// Request/response over one connection is latency-bound, not
+// bandwidth-bound: disable Nagle so small frames go out immediately.
+inline void SetNoDelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+// Parses a dotted-quad IPv4 address ("localhost" accepted as loopback).
+inline in_addr ParseIPv4(const std::string& host) {
+  in_addr addr{};
+  const std::string resolved = (host == "localhost") ? "127.0.0.1" : host;
+  util::CheckArg(::inet_pton(AF_INET, resolved.c_str(), &addr) == 1,
+                 "host must be an IPv4 address or \"localhost\"");
+  return addr;
+}
+
+}  // namespace service
+}  // namespace req
+
+#endif  // REQSKETCH_SERVICE_SOCKET_UTIL_H_

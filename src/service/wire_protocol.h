@@ -1,0 +1,427 @@
+// Wire protocol for the reqd quantile service: a small length-prefixed
+// binary protocol multiplexing many named metrics over one TCP connection.
+//
+// Framing (little-endian, same byte conventions as util/serde.h):
+//
+//   frame    := u32 payload_length | payload
+//   request  := u8 opcode | body
+//   response := u8 status | body        (status != kOk: body = error string)
+//
+// payload_length counts the payload bytes only (not itself), must be >= 1
+// (the opcode/status byte) and <= kMaxFramePayload. A length prefix beyond
+// that bound means the stream is garbage or hostile; the decoder throws and
+// the server drops the connection rather than buffering unbounded input.
+//
+// Request bodies (strings are u64-length-prefixed, arrays are
+// u64-count-prefixed element runs, exactly as BinaryWriter writes them):
+//
+//   PING      (empty)
+//   CREATE    name | u8 kind | u32 k_base | u8 accuracy | u64 n_hint |
+//             u64 seed | u32 num_shards | u64 buffer_capacity |
+//             u32 num_buckets | u64 bucket_items
+//   APPEND    name | f64[] items
+//   FLUSH     name
+//   RANK      name | u8 criterion | f64[] query points
+//   QUANTILES name | u8 criterion | f64[] normalized ranks
+//   CDF       name | u8 criterion | f64[] ascending split points
+//   SNAPSHOT  name
+//   LIST      (empty)
+//   DROP      name
+//
+// Response bodies on kOk:
+//
+//   PING      u8 protocol version
+//   CREATE    (empty)
+//   APPEND    u64 n   (items accepted since CREATE, this batch included)
+//   FLUSH     u64 n
+//   RANK      u64[] estimated absolute ranks
+//   QUANTILES f64[] quantile values
+//   CDF       f64[] normalized ranks (one per split, plus the trailing 1.0)
+//   SNAPSHOT  u8[]  engine snapshot blob (u8 engine kind | engine serde)
+//   LIST      u64 count | count * name
+//   DROP      (empty)
+//
+// Parsing treats every payload as untrusted: unknown opcodes, bad enum
+// values, malformed names, counts that overrun the payload, and trailing
+// bytes all throw std::runtime_error (util::CheckData), mirroring the
+// hardening contract of core/req_serde.h. Encode/Parse round-trip bit
+// exactly; tests/service_protocol_test.cc holds the line.
+#ifndef REQSKETCH_SERVICE_WIRE_PROTOCOL_H_
+#define REQSKETCH_SERVICE_WIRE_PROTOCOL_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/req_common.h"
+#include "util/serde.h"
+#include "util/validation.h"
+
+namespace req {
+namespace service {
+
+inline constexpr uint8_t kProtocolVersion = 1;
+
+// Hard ceiling on a frame payload. Large enough for a ~4M-item APPEND or
+// any realistic snapshot, small enough that a corrupt or hostile length
+// prefix cannot make the server buffer gigabytes.
+inline constexpr uint32_t kMaxFramePayload = uint32_t{1} << 26;  // 64 MiB
+
+inline constexpr size_t kMaxMetricNameLen = 255;
+
+enum class Opcode : uint8_t {
+  kPing = 0,
+  kCreate = 1,
+  kAppend = 2,
+  kFlush = 3,
+  kRank = 4,
+  kQuantiles = 5,
+  kCdf = 6,
+  kSnapshot = 7,
+  kList = 8,
+  kDrop = 9,
+};
+
+enum class Status : uint8_t {
+  kOk = 0,
+  kBadRequest = 1,  // malformed frame or invalid arguments
+  kNotFound = 2,    // metric does not exist
+  kExists = 3,      // CREATE of a metric that already exists
+  kError = 4,       // unexpected server-side failure
+};
+
+// Which engine a metric runs on (chosen once, at CREATE).
+enum class EngineKind : uint8_t {
+  kPlain = 0,     // single ReqSketch: deterministic, byte-stable snapshots
+  kSharded = 1,   // ShardedReqSketch: multi-shard ingest, merge-on-query
+  kWindowed = 2,  // WindowedReqSketch: count-driven sliding window
+};
+
+// Per-metric engine configuration carried by CREATE. Fields beyond the
+// engine's kind are ignored by the other kinds (e.g. num_buckets for a
+// plain metric), matching how the registry validates only what it uses.
+struct MetricSpec {
+  EngineKind kind = EngineKind::kPlain;
+  // base.k_base / base.accuracy / base.n_hint / base.seed travel on the
+  // wire; coin and schedule stay at their defaults (the paper's algorithm).
+  ReqConfig base;
+  // kSharded: shard count. kPlain/kWindowed ignore it.
+  uint32_t num_shards = 4;
+  // SPSC staging capacity in items, all kinds (every engine routes ingest
+  // through a staging buffer; see service/sketch_registry.h).
+  uint64_t buffer_capacity = 4096;
+  // kWindowed: ring size and count-driven rotation threshold.
+  uint32_t num_buckets = 8;
+  uint64_t bucket_items = uint64_t{1} << 16;
+};
+
+struct Request {
+  Opcode op = Opcode::kPing;
+  std::string metric;                 // every op except PING/LIST
+  MetricSpec spec;                    // CREATE
+  Criterion criterion = Criterion::kInclusive;  // RANK/QUANTILES/CDF
+  std::vector<double> values;         // APPEND items / query points
+};
+
+struct Response {
+  Status status = Status::kOk;
+  std::string error;                  // status != kOk
+  uint8_t protocol_version = 0;       // PING
+  uint64_t n = 0;                     // APPEND / FLUSH
+  std::vector<uint64_t> ranks;        // RANK
+  std::vector<double> values;         // QUANTILES / CDF
+  std::vector<uint8_t> blob;          // SNAPSHOT
+  std::vector<std::string> names;     // LIST
+};
+
+// Thrown by the client when the server answers with a non-kOk status.
+struct ServiceError : std::runtime_error {
+  ServiceError(Status s, const std::string& message)
+      : std::runtime_error(message), status(s) {}
+  Status status;
+};
+
+// Metric names travel on the wire and appear in logs and CLI output:
+// restrict them to non-empty runs of printable non-space ASCII.
+inline void ValidateMetricName(const std::string& name) {
+  util::CheckData(!name.empty(), "metric name must be non-empty");
+  util::CheckData(name.size() <= kMaxMetricNameLen,
+                  "metric name exceeds 255 bytes");
+  for (char c : name) {
+    util::CheckData(c > 0x20 && c < 0x7f,
+                    "metric name must be printable non-space ASCII");
+  }
+}
+
+// --- framing ---------------------------------------------------------------
+
+// Appends one length-prefixed frame carrying `payload` to `*out`.
+inline void AppendFrame(std::vector<uint8_t>* out, const uint8_t* payload,
+                        size_t size) {
+  util::CheckArg(payload != nullptr && size >= 1 &&
+                     size <= kMaxFramePayload,
+                 "frame payload size out of range");
+  if (payload == nullptr) return;  // unreachable; aids -Wnonnull analysis
+  // Re-clamp after the throwing check: semantically a no-op, but it lets
+  // the compiler prove the memcpy bound (silences -Wstringop-overflow).
+  const size_t bounded = std::min<size_t>(size, kMaxFramePayload);
+  const uint32_t len = static_cast<uint32_t>(bounded);
+  const size_t offset = out->size();
+  out->resize(offset + sizeof(uint32_t) + bounded);
+  std::memcpy(out->data() + offset, &len, sizeof(uint32_t));
+  std::memcpy(out->data() + offset + sizeof(uint32_t), payload, bounded);
+}
+
+inline void AppendFrame(std::vector<uint8_t>* out,
+                        const std::vector<uint8_t>& payload) {
+  AppendFrame(out, payload.data(), payload.size());
+}
+
+// Incremental frame decoder for a byte stream: Feed() whatever the socket
+// produced, then pop complete payloads with Next(). Partial frames stay
+// buffered across calls; an out-of-range length prefix throws
+// std::runtime_error (the stream has lost sync -- the caller should close
+// the connection, there is no way to resynchronize a corrupted
+// length-prefixed stream).
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(uint32_t max_payload = kMaxFramePayload)
+      : max_payload_(max_payload) {}
+
+  void Feed(const uint8_t* data, size_t size) {
+    buffer_.insert(buffer_.end(), data, data + size);
+  }
+
+  // Moves the next complete payload into `*payload` and returns true, or
+  // returns false when the buffered bytes do not yet hold a full frame.
+  bool Next(std::vector<uint8_t>* payload) {
+    if (buffer_.size() - pos_ < sizeof(uint32_t)) return false;
+    uint32_t len = 0;
+    std::memcpy(&len, buffer_.data() + pos_, sizeof(uint32_t));
+    util::CheckData(len >= 1 && len <= max_payload_,
+                    "frame length prefix out of range");
+    if (buffer_.size() - pos_ - sizeof(uint32_t) < len) return false;
+    const uint8_t* begin = buffer_.data() + pos_ + sizeof(uint32_t);
+    payload->assign(begin, begin + len);
+    pos_ += sizeof(uint32_t) + len;
+    // Reclaim consumed prefix once it dominates the buffer, so a
+    // long-lived connection does not grow the buffer without bound.
+    if (pos_ > 4096 && pos_ * 2 > buffer_.size()) {
+      buffer_.erase(buffer_.begin(),
+                    buffer_.begin() + static_cast<ptrdiff_t>(pos_));
+      pos_ = 0;
+    }
+    return true;
+  }
+
+  // Bytes buffered but not yet consumed (diagnostics and tests).
+  size_t buffered() const { return buffer_.size() - pos_; }
+
+ private:
+  // Not const: keeps the decoder movable (the client embeds one).
+  uint32_t max_payload_;
+  std::vector<uint8_t> buffer_;
+  size_t pos_ = 0;
+};
+
+// --- requests --------------------------------------------------------------
+
+inline std::vector<uint8_t> EncodeRequest(const Request& request) {
+  util::BinaryWriter writer;
+  writer.Write<uint8_t>(static_cast<uint8_t>(request.op));
+  switch (request.op) {
+    case Opcode::kPing:
+    case Opcode::kList:
+      break;
+    case Opcode::kCreate:
+      writer.WriteString(request.metric);
+      writer.Write<uint8_t>(static_cast<uint8_t>(request.spec.kind));
+      writer.Write<uint32_t>(request.spec.base.k_base);
+      writer.Write<uint8_t>(
+          static_cast<uint8_t>(request.spec.base.accuracy));
+      writer.Write<uint64_t>(request.spec.base.n_hint);
+      writer.Write<uint64_t>(request.spec.base.seed);
+      writer.Write<uint32_t>(request.spec.num_shards);
+      writer.Write<uint64_t>(request.spec.buffer_capacity);
+      writer.Write<uint32_t>(request.spec.num_buckets);
+      writer.Write<uint64_t>(request.spec.bucket_items);
+      break;
+    case Opcode::kAppend:
+      writer.WriteString(request.metric);
+      writer.WriteVector<double>(request.values);
+      break;
+    case Opcode::kFlush:
+    case Opcode::kSnapshot:
+    case Opcode::kDrop:
+      writer.WriteString(request.metric);
+      break;
+    case Opcode::kRank:
+    case Opcode::kQuantiles:
+    case Opcode::kCdf:
+      writer.WriteString(request.metric);
+      writer.Write<uint8_t>(static_cast<uint8_t>(request.criterion));
+      writer.WriteVector<double>(request.values);
+      break;
+  }
+  return writer.Release();
+}
+
+inline Request ParseRequest(const std::vector<uint8_t>& payload) {
+  util::BinaryReader reader(payload);
+  const uint8_t op = reader.Read<uint8_t>();
+  util::CheckData(op <= static_cast<uint8_t>(Opcode::kDrop),
+                  "unknown request opcode");
+  Request request;
+  request.op = static_cast<Opcode>(op);
+  switch (request.op) {
+    case Opcode::kPing:
+    case Opcode::kList:
+      break;
+    case Opcode::kCreate: {
+      request.metric = reader.ReadString();
+      ValidateMetricName(request.metric);
+      const uint8_t kind = reader.Read<uint8_t>();
+      util::CheckData(kind <= static_cast<uint8_t>(EngineKind::kWindowed),
+                      "bad engine kind");
+      request.spec.kind = static_cast<EngineKind>(kind);
+      request.spec.base.k_base = reader.Read<uint32_t>();
+      const uint8_t accuracy = reader.Read<uint8_t>();
+      util::CheckData(accuracy <= 1, "bad rank-accuracy orientation");
+      request.spec.base.accuracy = static_cast<RankAccuracy>(accuracy);
+      request.spec.base.n_hint = reader.Read<uint64_t>();
+      request.spec.base.seed = reader.Read<uint64_t>();
+      request.spec.num_shards = reader.Read<uint32_t>();
+      request.spec.buffer_capacity = reader.Read<uint64_t>();
+      request.spec.num_buckets = reader.Read<uint32_t>();
+      request.spec.bucket_items = reader.Read<uint64_t>();
+      break;
+    }
+    case Opcode::kAppend:
+      request.metric = reader.ReadString();
+      ValidateMetricName(request.metric);
+      request.values = reader.ReadVector<double>();
+      break;
+    case Opcode::kFlush:
+    case Opcode::kSnapshot:
+    case Opcode::kDrop:
+      request.metric = reader.ReadString();
+      ValidateMetricName(request.metric);
+      break;
+    case Opcode::kRank:
+    case Opcode::kQuantiles:
+    case Opcode::kCdf: {
+      request.metric = reader.ReadString();
+      ValidateMetricName(request.metric);
+      const uint8_t criterion = reader.Read<uint8_t>();
+      util::CheckData(criterion <= 1, "bad rank criterion");
+      request.criterion = static_cast<Criterion>(criterion);
+      request.values = reader.ReadVector<double>();
+      break;
+    }
+  }
+  util::CheckData(reader.AtEnd(), "trailing bytes in request");
+  return request;
+}
+
+// --- responses -------------------------------------------------------------
+
+inline std::vector<uint8_t> EncodeResponse(Opcode op,
+                                           const Response& response) {
+  util::BinaryWriter writer;
+  writer.Write<uint8_t>(static_cast<uint8_t>(response.status));
+  if (response.status != Status::kOk) {
+    writer.WriteString(response.error);
+    return writer.Release();
+  }
+  switch (op) {
+    case Opcode::kPing:
+      writer.Write<uint8_t>(response.protocol_version);
+      break;
+    case Opcode::kCreate:
+    case Opcode::kDrop:
+      break;
+    case Opcode::kAppend:
+    case Opcode::kFlush:
+      writer.Write<uint64_t>(response.n);
+      break;
+    case Opcode::kRank:
+      writer.WriteVector<uint64_t>(response.ranks);
+      break;
+    case Opcode::kQuantiles:
+    case Opcode::kCdf:
+      writer.WriteVector<double>(response.values);
+      break;
+    case Opcode::kSnapshot:
+      writer.WriteVector<uint8_t>(response.blob);
+      break;
+    case Opcode::kList:
+      writer.Write<uint64_t>(response.names.size());
+      for (const std::string& name : response.names) {
+        writer.WriteString(name);
+      }
+      break;
+  }
+  return writer.Release();
+}
+
+// Parses a response to a request of opcode `op` (the client knows what it
+// sent; the opcode selects the body layout).
+inline Response ParseResponse(Opcode op,
+                              const std::vector<uint8_t>& payload) {
+  util::BinaryReader reader(payload);
+  const uint8_t status = reader.Read<uint8_t>();
+  util::CheckData(status <= static_cast<uint8_t>(Status::kError),
+                  "unknown response status");
+  Response response;
+  response.status = static_cast<Status>(status);
+  if (response.status != Status::kOk) {
+    response.error = reader.ReadString();
+    util::CheckData(reader.AtEnd(), "trailing bytes in response");
+    return response;
+  }
+  switch (op) {
+    case Opcode::kPing:
+      response.protocol_version = reader.Read<uint8_t>();
+      break;
+    case Opcode::kCreate:
+    case Opcode::kDrop:
+      break;
+    case Opcode::kAppend:
+    case Opcode::kFlush:
+      response.n = reader.Read<uint64_t>();
+      break;
+    case Opcode::kRank:
+      response.ranks = reader.ReadVector<uint64_t>();
+      break;
+    case Opcode::kQuantiles:
+    case Opcode::kCdf:
+      response.values = reader.ReadVector<double>();
+      break;
+    case Opcode::kSnapshot:
+      response.blob = reader.ReadVector<uint8_t>();
+      break;
+    case Opcode::kList: {
+      const uint64_t count = reader.Read<uint64_t>();
+      // Each name costs at least its u64 length prefix on the wire, so a
+      // count beyond remaining/8 is corrupt before any allocation.
+      util::CheckData(count <= reader.remaining() / sizeof(uint64_t),
+                      "metric count exceeds payload");
+      response.names.reserve(static_cast<size_t>(count));
+      for (uint64_t i = 0; i < count; ++i) {
+        response.names.push_back(reader.ReadString());
+        ValidateMetricName(response.names.back());
+      }
+      break;
+    }
+  }
+  util::CheckData(reader.AtEnd(), "trailing bytes in response");
+  return response;
+}
+
+}  // namespace service
+}  // namespace req
+
+#endif  // REQSKETCH_SERVICE_WIRE_PROTOCOL_H_

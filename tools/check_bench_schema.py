@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Guards the machine-readable bench reports against schema drift.
 
-CI smoke-runs the whole bench suite (E1..E16) and validates the resulting
+CI smoke-runs the whole bench suite (E1..E17) and validates the resulting
 JSON here (stdlib only). The committed full-run reports at the repo root
 satisfy the same schemas, so this can also be pointed at them.
 
@@ -188,6 +188,29 @@ SCHEMAS = {
                                 "warm_rank_ns"},
             "summary": {"k", "buckets", "window_items",
                         "cold_ratio_vs_single", "warm_ratio_vs_single"},
+        },
+    },
+    "e17_service": {
+        "top": {
+            "experiment",
+            "items_per_client",
+            "batch",
+            "smoke",
+            "results",
+            "summary",
+        },
+        "arrays": {
+            "results": {
+                "engine",
+                "clients",
+                "append_mups",
+                "append_wall_s",
+                "queries",
+                "query_p50_us",
+                "query_p99_us",
+            },
+            "summary": {"engine", "peak_append_mups",
+                        "max_clients_p99_us"},
         },
     },
     "e16_query": {

@@ -1,0 +1,338 @@
+// req-cli: client for the reqd quantile service. Two modes:
+//
+// Interactive (default): a line-oriented REPL over one connection.
+//
+//   req-cli [--connect HOST:PORT]
+//     > create latency plain 64
+//     > append latency 12.5 99.0 3.25
+//     > quantiles latency 0.5 0.99
+//     > rank latency 50
+//     > cdf latency 10 100 1000
+//     > snapshot latency /tmp/latency.reqs
+//     > list | flush M | drop M | ping | help | quit
+//
+// Load generator (--load): C client threads, each with its own connection
+// and its own metric, append N deterministic items in batches of B, then
+// run a query phase -- the same multi-tenant traffic shape as the E17
+// bench, usable against any live reqd. With --verify, each client also
+// feeds an in-process ReqSketch with the identical stream and requires the
+// served quantiles to match bit-for-bit (only meaningful for plain
+// engines, where the service guarantees determinism).
+//
+//   req-cli --connect HOST:PORT --load [--clients C] [--items N]
+//           [--batch B] [--engine plain|sharded|windowed] [--k K]
+//           [--verify]
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/req_sketch.h"
+#include "service/req_client.h"
+#include "service/wire_protocol.h"
+#include "util/random.h"
+
+namespace {
+
+using req::Criterion;
+using req::ReqSketch;
+using req::service::EngineKind;
+using req::service::MetricSpec;
+using req::service::ReqClient;
+
+using Clock = std::chrono::steady_clock;
+
+struct Options {
+  std::string host = "127.0.0.1";
+  uint16_t port = 7071;
+  bool load = false;
+  size_t clients = 4;
+  size_t items = 1000000;
+  size_t batch = 4096;
+  std::string engine = "plain";
+  uint32_t k_base = 64;
+  bool verify = false;
+};
+
+bool ParseHostPort(const std::string& arg, Options* opt) {
+  const size_t colon = arg.rfind(':');
+  if (colon == std::string::npos || colon == 0) return false;
+  opt->host = arg.substr(0, colon);
+  const int port = std::atoi(arg.c_str() + colon + 1);
+  if (port <= 0 || port > 65535) return false;
+  opt->port = static_cast<uint16_t>(port);
+  return true;
+}
+
+EngineKind KindOf(const std::string& s) {
+  if (s == "plain") return EngineKind::kPlain;
+  if (s == "sharded") return EngineKind::kSharded;
+  if (s == "windowed") return EngineKind::kWindowed;
+  throw std::invalid_argument("unknown engine kind: " + s);
+}
+
+// The deterministic per-metric load stream (shared with --verify).
+std::vector<double> LoadStream(uint64_t seed, size_t items) {
+  req::util::Xoshiro256 rng(seed);
+  std::vector<double> values(items);
+  for (double& v : values) v = rng.NextDouble() * 1e6;
+  return values;
+}
+
+// --- load generator --------------------------------------------------------
+
+int RunLoad(const Options& opt) {
+  const std::vector<double> qs = {0.5, 0.9, 0.99, 0.999};
+  const size_t queries = 200;
+  // Per-run nonce in the metric names: a failed run (which never reaches
+  // the Drop below) must not wedge the next run against a long-lived
+  // daemon with "metric already exists".
+  const std::string run_tag = std::to_string(
+      std::chrono::steady_clock::now().time_since_epoch().count() %
+      1000000);
+  std::vector<std::thread> threads;
+  std::vector<double> append_seconds(opt.clients, 0.0);
+  std::vector<double> query_seconds(opt.clients, 0.0);
+  std::vector<std::string> failures(opt.clients);
+
+  for (size_t c = 0; c < opt.clients; ++c) {
+    threads.emplace_back([&, c] {
+      try {
+        ReqClient client;
+        client.Connect(opt.host, opt.port);
+        const std::string metric =
+            "load." + run_tag + ".m" + std::to_string(c);
+        MetricSpec spec;
+        spec.kind = KindOf(opt.engine);
+        spec.base.k_base = opt.k_base;
+        client.Create(metric, spec);
+        const std::vector<double> stream =
+            LoadStream(/*seed=*/1000 + c, opt.items);
+
+        const auto append_start = Clock::now();
+        for (size_t i = 0; i < stream.size(); i += opt.batch) {
+          const size_t len = std::min(opt.batch, stream.size() - i);
+          client.Append(metric, stream.data() + i, len);
+        }
+        append_seconds[c] =
+            std::chrono::duration<double>(Clock::now() - append_start)
+                .count();
+
+        const auto query_start = Clock::now();
+        std::vector<double> served;
+        for (size_t q = 0; q < queries; ++q) {
+          served = client.GetQuantiles(metric, qs);
+        }
+        query_seconds[c] =
+            std::chrono::duration<double>(Clock::now() - query_start)
+                .count();
+
+        if (opt.verify) {
+          req::ReqConfig config;
+          config.k_base = opt.k_base;
+          ReqSketch<double> local(config);
+          local.Update(stream);
+          const std::vector<double> expected = local.GetQuantiles(qs);
+          for (size_t i = 0; i < qs.size(); ++i) {
+            if (served[i] != expected[i]) {
+              failures[c] = "served quantile mismatch at q=" +
+                            std::to_string(qs[i]);
+              return;
+            }
+          }
+        }
+        client.Drop(metric);
+      } catch (const std::exception& e) {
+        failures[c] = e.what();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  bool failed = false;
+  double worst_append = 0.0, total_queries_s = 0.0;
+  for (size_t c = 0; c < opt.clients; ++c) {
+    if (!failures[c].empty()) {
+      std::fprintf(stderr, "client %zu failed: %s\n", c,
+                   failures[c].c_str());
+      failed = true;
+      continue;
+    }
+    worst_append = std::max(worst_append, append_seconds[c]);
+    total_queries_s += query_seconds[c];
+  }
+  if (failed) return 1;
+  const double total_items =
+      static_cast<double>(opt.items) * static_cast<double>(opt.clients);
+  std::printf("%zu client(s) x %zu items (batch %zu, engine %s)\n",
+              opt.clients, opt.items, opt.batch, opt.engine.c_str());
+  std::printf("aggregate append throughput: %.2f Mitems/s\n",
+              total_items / worst_append / 1e6);
+  std::printf("mean quantile-query latency: %.1f us\n",
+              total_queries_s /
+                  (static_cast<double>(queries) * opt.clients) * 1e6);
+  if (opt.verify) std::printf("verify: served == in-process, bit-exact\n");
+  return 0;
+}
+
+// --- interactive -----------------------------------------------------------
+
+void PrintHelp() {
+  std::printf(
+      "commands:\n"
+      "  ping | list | help | quit\n"
+      "  create NAME KIND [K_BASE]     KIND: plain sharded windowed\n"
+      "  append NAME V...\n"
+      "  flush NAME | drop NAME\n"
+      "  rank NAME Y...\n"
+      "  quantiles NAME Q...           Q in [0,1]\n"
+      "  cdf NAME SPLIT...             ascending splits\n"
+      "  snapshot NAME [FILE]          engine snapshot blob\n");
+}
+
+int RunRepl(const Options& opt) {
+  ReqClient client;
+  client.Connect(opt.host, opt.port);
+  std::printf("connected to %s:%u (protocol v%u); 'help' for commands\n",
+              opt.host.c_str(), opt.port, client.Ping());
+
+  std::string line;
+  while (std::printf("> "), std::fflush(stdout),
+         std::getline(std::cin, line)) {
+    std::istringstream in(line);
+    std::string cmd;
+    if (!(in >> cmd)) continue;
+    try {
+      if (cmd == "quit" || cmd == "exit") break;
+      if (cmd == "help") {
+        PrintHelp();
+      } else if (cmd == "ping") {
+        std::printf("protocol v%u\n", client.Ping());
+      } else if (cmd == "list") {
+        for (const std::string& name : client.List()) {
+          std::printf("%s\n", name.c_str());
+        }
+      } else if (cmd == "create") {
+        std::string name, kind;
+        in >> name >> kind;
+        MetricSpec spec;
+        spec.kind = KindOf(kind);
+        uint32_t k = 0;
+        if (in >> k) spec.base.k_base = k;
+        client.Create(name, spec);
+        std::printf("ok\n");
+      } else if (cmd == "append" || cmd == "rank" || cmd == "quantiles" ||
+                 cmd == "cdf") {
+        std::string name;
+        in >> name;
+        std::vector<double> values;
+        double v = 0.0;
+        while (in >> v) values.push_back(v);
+        if (cmd == "append") {
+          std::printf("n=%llu\n", static_cast<unsigned long long>(
+                                      client.Append(name, values)));
+        } else if (cmd == "rank") {
+          for (uint64_t r : client.GetRanks(name, values)) {
+            std::printf("%llu\n", static_cast<unsigned long long>(r));
+          }
+        } else if (cmd == "quantiles") {
+          for (double q : client.GetQuantiles(name, values)) {
+            std::printf("%.17g\n", q);
+          }
+        } else {
+          for (double p : client.GetCDF(name, values)) {
+            std::printf("%.6f\n", p);
+          }
+        }
+      } else if (cmd == "flush") {
+        std::string name;
+        in >> name;
+        std::printf("n=%llu\n", static_cast<unsigned long long>(
+                                    client.Flush(name)));
+      } else if (cmd == "drop") {
+        std::string name;
+        in >> name;
+        client.Drop(name);
+        std::printf("ok\n");
+      } else if (cmd == "snapshot") {
+        std::string name, file;
+        in >> name >> file;
+        const std::vector<uint8_t> blob = client.Snapshot(name);
+        if (file.empty()) {
+          std::printf("%zu byte snapshot (kind %u)\n", blob.size(),
+                      blob.empty() ? 0u : blob[0]);
+        } else {
+          std::FILE* f = std::fopen(file.c_str(), "wb");
+          if (f == nullptr ||
+              std::fwrite(blob.data(), 1, blob.size(), f) != blob.size()) {
+            std::fprintf(stderr, "cannot write %s\n", file.c_str());
+          } else {
+            std::printf("wrote %zu bytes to %s\n", blob.size(),
+                        file.c_str());
+          }
+          if (f != nullptr) std::fclose(f);
+        }
+      } else {
+        std::fprintf(stderr, "unknown command %s ('help' lists them)\n",
+                     cmd.c_str());
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--connect") == 0 && i + 1 < argc) {
+      if (!ParseHostPort(argv[++i], &opt)) {
+        std::fprintf(stderr, "bad --connect (want HOST:PORT)\n");
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--load") == 0) {
+      opt.load = true;
+    } else if (std::strcmp(argv[i], "--clients") == 0 && i + 1 < argc) {
+      opt.clients = static_cast<size_t>(std::atol(argv[++i]));
+    } else if (std::strcmp(argv[i], "--items") == 0 && i + 1 < argc) {
+      opt.items = static_cast<size_t>(std::atol(argv[++i]));
+    } else if (std::strcmp(argv[i], "--batch") == 0 && i + 1 < argc) {
+      opt.batch = static_cast<size_t>(std::atol(argv[++i]));
+    } else if (std::strcmp(argv[i], "--engine") == 0 && i + 1 < argc) {
+      opt.engine = argv[++i];
+    } else if (std::strcmp(argv[i], "--k") == 0 && i + 1 < argc) {
+      opt.k_base = static_cast<uint32_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--verify") == 0) {
+      opt.verify = true;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return 2;
+    }
+  }
+  if (opt.clients == 0 || opt.items == 0 || opt.batch == 0) {
+    std::fprintf(stderr, "--clients/--items/--batch must be positive\n");
+    return 2;
+  }
+  if (opt.verify && opt.engine != "plain") {
+    // Only the plain engine guarantees bit-identical agreement with an
+    // in-process sketch (sharded answers come from a shard merge,
+    // windowed ones from the live window).
+    std::fprintf(stderr, "--verify requires --engine plain\n");
+    return 2;
+  }
+  try {
+    return opt.load ? RunLoad(opt) : RunRepl(opt);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "req-cli: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,127 @@
+// reqd: the multi-tenant quantile service daemon. Hosts a SketchRegistry
+// behind the length-prefixed TCP protocol of service/wire_protocol.h.
+//
+// Usage:
+//   reqd [--bind ADDR] [--port PORT] [--create NAME:KIND[:K_BASE]]...
+//
+//   --bind ADDR     IPv4 address to listen on (default 127.0.0.1)
+//   --port PORT     TCP port (default 7071; 0 picks an ephemeral port)
+//   --create SPEC   pre-create a metric at startup; SPEC is
+//                   NAME:KIND[:K_BASE] with KIND one of plain, sharded,
+//                   windowed (metrics can also be created over the wire)
+//
+// Runs until SIGINT/SIGTERM, then shuts down cleanly (drains connection
+// threads). Pair with req-cli for an interactive session or load run.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "service/reqd_server.h"
+#include "service/sketch_registry.h"
+
+namespace {
+
+using req::service::EngineKind;
+using req::service::MetricSpec;
+
+bool ParseCreateSpec(const std::string& arg, std::string* name,
+                     MetricSpec* spec) {
+  const size_t first = arg.find(':');
+  if (first == std::string::npos || first == 0) return false;
+  *name = arg.substr(0, first);
+  const size_t second = arg.find(':', first + 1);
+  const std::string kind = arg.substr(
+      first + 1, second == std::string::npos ? std::string::npos
+                                             : second - first - 1);
+  if (kind == "plain") {
+    spec->kind = EngineKind::kPlain;
+  } else if (kind == "sharded") {
+    spec->kind = EngineKind::kSharded;
+  } else if (kind == "windowed") {
+    spec->kind = EngineKind::kWindowed;
+  } else {
+    return false;
+  }
+  if (second != std::string::npos) {
+    const long k = std::atol(arg.c_str() + second + 1);
+    if (k <= 0) return false;
+    spec->base.k_base = static_cast<uint32_t>(k);
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  req::service::ReqdServerConfig config;
+  config.port = 7071;
+  std::vector<std::pair<std::string, MetricSpec>> precreate;
+
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--bind") == 0 && i + 1 < argc) {
+      config.bind_address = argv[++i];
+    } else if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
+      char* end = nullptr;
+      const long port = std::strtol(argv[++i], &end, 10);
+      // Reject rather than truncate: --port 70000 must not silently
+      // bind 4464 (port 0 stays legal: ephemeral).
+      if (end == argv[i] || *end != '\0' || port < 0 || port > 65535) {
+        std::fprintf(stderr, "--port must be in [0, 65535]\n");
+        return 2;
+      }
+      config.port = static_cast<uint16_t>(port);
+    } else if (std::strcmp(argv[i], "--create") == 0 && i + 1 < argc) {
+      std::string name;
+      MetricSpec spec;
+      if (!ParseCreateSpec(argv[++i], &name, &spec)) {
+        std::fprintf(stderr,
+                     "bad --create spec %s (want NAME:KIND[:K_BASE])\n",
+                     argv[i]);
+        return 2;
+      }
+      precreate.emplace_back(name, spec);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  req::service::SketchRegistry registry;
+  try {
+    for (const auto& [name, spec] : precreate) {
+      registry.Create(name, spec);
+      std::printf("created metric %s\n", name.c_str());
+    }
+    // Block the shutdown signals BEFORE spawning server threads, so they
+    // inherit the mask and sigwait below is the only consumer.
+    sigset_t set;
+    sigemptyset(&set);
+    sigaddset(&set, SIGINT);
+    sigaddset(&set, SIGTERM);
+    pthread_sigmask(SIG_BLOCK, &set, nullptr);
+
+    req::service::ReqdServer server(&registry, config);
+    server.Start();
+    std::printf("reqd listening on %s:%u (%zu metric(s))\n",
+                config.bind_address.c_str(), server.port(),
+                registry.size());
+    std::fflush(stdout);
+
+    int sig = 0;
+    sigwait(&set, &sig);
+    std::printf("signal %d: shutting down after %llu frame(s) on %llu "
+                "connection(s)\n",
+                sig,
+                static_cast<unsigned long long>(server.FramesServed()),
+                static_cast<unsigned long long>(
+                    server.ConnectionsAccepted()));
+    server.Stop();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "reqd: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

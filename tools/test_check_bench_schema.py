@@ -1,0 +1,129 @@
+"""Unit tests for check_bench_schema.py (run via `python3 -m unittest
+discover -s tools`; CI's python-tools job does exactly that)."""
+import contextlib
+import io
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import check_bench_schema  # noqa: E402
+
+
+def write_report(directory, name, payload, raw=None):
+    path = os.path.join(directory, name)
+    with open(path, "w", encoding="utf-8") as f:
+        if raw is not None:
+            f.write(raw)
+        else:
+            json.dump(payload, f)
+    return path
+
+
+def valid_e13():
+    return {
+        "experiment": "e13_hotpath",
+        "items": 1000,
+        "reps": 3,
+        "batch_api": True,
+        "results": [
+            {"metric": "update", "k": 16, "value": 1.5, "unit": "Mups"},
+        ],
+    }
+
+
+def valid_e17():
+    return {
+        "experiment": "e17_service",
+        "items_per_client": 1000,
+        "batch": 100,
+        "smoke": True,
+        "results": [
+            {
+                "engine": "plain",
+                "clients": 2,
+                "append_mups": 1.0,
+                "append_wall_s": 2.0,
+                "queries": 100,
+                "query_p50_us": 50.0,
+                "query_p99_us": 90.0,
+            },
+        ],
+        "summary": [
+            {
+                "engine": "plain",
+                "peak_append_mups": 1.0,
+                "max_clients_p99_us": 90.0,
+            },
+        ],
+    }
+
+
+class CheckSchemaTest(unittest.TestCase):
+    def setUp(self):
+        self.dir = tempfile.TemporaryDirectory()
+        self.addCleanup(self.dir.cleanup)
+
+    def check(self, payload, raw=None, name="r.json"):
+        return check_bench_schema.check(
+            write_report(self.dir.name, name, payload, raw=raw))
+
+    def test_valid_reports_pass(self):
+        self.assertEqual(self.check(valid_e13()), [])
+        self.assertEqual(self.check(valid_e17()), [])
+
+    def test_malformed_json_is_one_error(self):
+        errors = self.check(None, raw="{not json")
+        self.assertEqual(len(errors), 1)
+        self.assertIn("not valid JSON", errors[0])
+
+    def test_unknown_experiment_fails(self):
+        report = valid_e13()
+        report["experiment"] = "e99_mystery"
+        errors = self.check(report)
+        self.assertEqual(len(errors), 1)
+        self.assertIn("unknown experiment", errors[0])
+
+    def test_missing_top_level_key_fails(self):
+        report = valid_e17()
+        del report["batch"]
+        errors = self.check(report)
+        self.assertTrue(any("batch" in e for e in errors))
+
+    def test_missing_row_key_names_the_row(self):
+        report = valid_e17()
+        del report["results"][0]["query_p99_us"]
+        errors = self.check(report)
+        self.assertTrue(any("results[0]" in e and "query_p99_us" in e
+                            for e in errors))
+
+    def test_empty_array_fails(self):
+        report = valid_e17()
+        report["summary"] = []
+        errors = self.check(report)
+        self.assertTrue(any("summary" in e and "non-empty" in e
+                            for e in errors))
+
+    def test_extra_keys_are_allowed(self):
+        report = valid_e17()
+        report["new_top_field"] = 1
+        report["results"][0]["new_row_field"] = 2
+        self.assertEqual(self.check(report), [])
+
+    def test_main_exit_codes(self):
+        good = write_report(self.dir.name, "good.json", valid_e17())
+        bad = write_report(self.dir.name, "bad.json", {"experiment": "x"})
+        sink = io.StringIO()
+        with contextlib.redirect_stdout(sink), \
+                contextlib.redirect_stderr(sink):
+            self.assertEqual(check_bench_schema.main(["prog", good]), 0)
+            self.assertEqual(check_bench_schema.main(["prog", good, bad]),
+                             1)
+            self.assertEqual(check_bench_schema.main(["prog"]), 2)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -1,0 +1,279 @@
+"""Unit tests for compare_bench.py: direction awareness, identity
+matching, smoke-mismatch policy, and main()'s gating exit codes (the CI
+perf gate depends on these)."""
+import contextlib
+import io
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import compare_bench  # noqa: E402
+
+
+def baseline_report():
+    return {
+        "experiment": "e17_service",
+        "smoke": False,
+        "results": [
+            {"engine": "plain", "clients": 2, "append_mups": 10.0,
+             "query_p99_us": 100.0, "retained": 900},
+        ],
+        "summary": [
+            {"engine": "plain", "peak_append_mups": 10.0,
+             "max_clients_p99_us": 100.0},
+        ],
+    }
+
+
+class MetricDirectionTest(unittest.TestCase):
+    def test_throughput_keys_are_higher_better(self):
+        for key in ("append_mups", "items_per_second", "agg_speedup_8v1"):
+            self.assertEqual(compare_bench.metric_direction(key), "up")
+
+    def test_latency_keys_are_lower_better(self):
+        for key in ("query_p99_us", "warm_rank_ns", "merged_build_us"):
+            self.assertEqual(compare_bench.metric_direction(key), "down")
+
+    def test_accuracy_keys_never_gate(self):
+        for key in ("max_relerr", "retained", "levels"):
+            self.assertIsNone(compare_bench.metric_direction(key))
+
+    def test_unit_driven_value_direction(self):
+        row_up = {"metric": "update", "unit": "Mups", "value": 1.0}
+        row_down = {"metric": "rank", "unit": "ns/query", "value": 1.0}
+        row_none = {"metric": "x", "unit": "items", "value": 1.0}
+        self.assertEqual(
+            compare_bench.metric_direction("value", row_up), "up")
+        self.assertEqual(
+            compare_bench.metric_direction("value", row_down), "down")
+        self.assertIsNone(
+            compare_bench.metric_direction("value", row_none))
+
+
+class CompareTest(unittest.TestCase):
+    def compare(self, baseline, current, threshold=0.15):
+        return compare_bench.compare(baseline, current, threshold)
+
+    def test_clean_run_has_no_findings(self):
+        regs, imps, notes = self.compare(baseline_report(),
+                                         baseline_report())
+        self.assertEqual((regs, imps, notes), ([], [], []))
+
+    def test_throughput_drop_is_a_regression(self):
+        current = baseline_report()
+        current["results"][0]["append_mups"] = 8.0  # -20%
+        regs, _, _ = self.compare(baseline_report(), current)
+        self.assertEqual(len(regs), 1)
+        self.assertIn("append_mups", regs[0])
+
+    def test_latency_rise_is_a_regression(self):
+        current = baseline_report()
+        current["results"][0]["query_p99_us"] = 130.0  # +30%
+        regs, _, _ = self.compare(baseline_report(), current)
+        self.assertEqual(len(regs), 1)
+        self.assertIn("query_p99_us", regs[0])
+
+    def test_improvements_are_reported_not_flagged(self):
+        current = baseline_report()
+        current["results"][0]["append_mups"] = 20.0
+        current["results"][0]["query_p99_us"] = 50.0
+        regs, imps, _ = self.compare(baseline_report(), current)
+        self.assertEqual(regs, [])
+        self.assertEqual(len(imps), 2)
+
+    def test_small_drift_within_threshold_passes(self):
+        current = baseline_report()
+        current["results"][0]["append_mups"] = 9.0   # -10% < 15%
+        current["results"][0]["query_p99_us"] = 110.0  # +10% < 15%
+        regs, imps, _ = self.compare(baseline_report(), current)
+        self.assertEqual((regs, imps), ([], []))
+
+    def test_accuracy_fields_never_regress(self):
+        current = baseline_report()
+        current["results"][0]["retained"] = 5000  # 5x "worse": not perf
+        regs, imps, _ = self.compare(baseline_report(), current)
+        self.assertEqual((regs, imps), ([], []))
+
+    def test_latency_floor_downgrades_tiny_latency_regressions(self):
+        current = baseline_report()
+        current["results"][0]["query_p99_us"] = 300.0  # 3x the 100us base
+        # Floor above the 100us baseline: reported as a note, not gated.
+        regs, _, notes = compare_bench.compare(
+            baseline_report(), current, 0.15, latency_floor_us=150.0)
+        self.assertEqual(regs, [])
+        self.assertTrue(any("noise floor" in n for n in notes))
+        # Floor below the baseline: still a hard regression.
+        regs, _, _ = compare_bench.compare(
+            baseline_report(), current, 0.15, latency_floor_us=50.0)
+        self.assertEqual(len(regs), 1)
+
+    def test_latency_floor_never_shields_throughput(self):
+        current = baseline_report()
+        current["results"][0]["append_mups"] = 1.0
+        regs, _, _ = compare_bench.compare(
+            baseline_report(), current, 0.15, latency_floor_us=1e9)
+        self.assertEqual(len(regs), 1)
+
+    def test_latency_in_us_conversions(self):
+        self.assertEqual(compare_bench.latency_in_us("warm_rank_ns", 500),
+                         0.5)
+        self.assertEqual(compare_bench.latency_in_us("cdf_1k_us", 7.0),
+                         7.0)
+        self.assertEqual(
+            compare_bench.latency_in_us("value", 2.0,
+                                        {"unit": "ms/op"}), 2000.0)
+        self.assertIsNone(compare_bench.latency_in_us("append_mups", 9.0))
+
+    def test_unmatched_row_is_a_note_not_a_regression(self):
+        current = baseline_report()
+        current["results"][0]["clients"] = 64  # identity changed
+        regs, _, notes = self.compare(baseline_report(), current)
+        self.assertEqual(regs, [])
+        self.assertEqual(len(notes), 1)
+        self.assertIn("no match", notes[0])
+
+
+class MergeBestTest(unittest.TestCase):
+    def test_envelope_takes_best_per_direction(self):
+        fast = baseline_report()
+        slow = baseline_report()
+        slow["results"][0]["append_mups"] = 2.0     # worse (up-metric)
+        slow["results"][0]["query_p99_us"] = 500.0  # worse (down-metric)
+        slow["results"][0]["retained"] = 111        # not a perf metric
+        merged = compare_bench.merge_best([slow, fast])
+        row = merged["results"][0]
+        self.assertEqual(row["append_mups"], 10.0)   # max wins
+        self.assertEqual(row["query_p99_us"], 100.0)  # min wins
+        self.assertEqual(row["retained"], 111)  # first report's value
+
+    def test_single_report_is_identity(self):
+        report = baseline_report()
+        self.assertEqual(compare_bench.merge_best([report]), report)
+
+    def test_unmatched_rows_survive_from_first(self):
+        first = baseline_report()
+        second = baseline_report()
+        second["results"][0]["clients"] = 16  # different identity
+        merged = compare_bench.merge_best([first, second])
+        self.assertEqual(merged["results"][0]["clients"], 2)
+        self.assertEqual(merged["results"][0]["append_mups"], 10.0)
+
+
+class MainGateTest(unittest.TestCase):
+    def setUp(self):
+        self.dir = tempfile.TemporaryDirectory()
+        self.addCleanup(self.dir.cleanup)
+
+    def write(self, name, report):
+        path = os.path.join(self.dir.name, name)
+        with open(path, "w", encoding="utf-8") as f:
+            json.dump(report, f)
+        return path
+
+    def run_main(self, *argv):
+        sink = io.StringIO()
+        with contextlib.redirect_stdout(sink), \
+                contextlib.redirect_stderr(sink):
+            code = compare_bench.main(["compare_bench.py"] + list(argv))
+        return code, sink.getvalue()
+
+    def test_regression_gates_with_exit_1(self):
+        current = baseline_report()
+        current["results"][0]["append_mups"] = 5.0
+        code, out = self.run_main(
+            self.write("base.json", baseline_report()),
+            self.write("cur.json", current))
+        self.assertEqual(code, 1)
+        self.assertIn("REGRESSION", out)
+
+    def test_warn_only_exits_0_on_regression(self):
+        current = baseline_report()
+        current["results"][0]["append_mups"] = 5.0
+        code, _ = self.run_main(
+            self.write("base.json", baseline_report()),
+            self.write("cur.json", current), "--warn-only")
+        self.assertEqual(code, 0)
+
+    def test_clean_comparison_exits_0(self):
+        code, _ = self.run_main(
+            self.write("base.json", baseline_report()),
+            self.write("cur.json", baseline_report()))
+        self.assertEqual(code, 0)
+
+    def test_smoke_mismatch_skips_unless_allowed(self):
+        smoke = baseline_report()
+        smoke["smoke"] = True
+        smoke["results"][0]["append_mups"] = 1.0  # huge "regression"
+        base = self.write("base.json", baseline_report())
+        cur = self.write("cur.json", smoke)
+        # Without the flag: skipped, exit 0, no gate.
+        code, out = self.run_main(base, cur)
+        self.assertEqual(code, 0)
+        self.assertIn("skipped", out)
+        # With the flag: compared, regression gates.
+        code, out = self.run_main(base, cur, "--allow-smoke-mismatch")
+        self.assertEqual(code, 1)
+        self.assertIn("REGRESSION", out)
+
+    def test_different_experiments_are_incomparable(self):
+        other = baseline_report()
+        other["experiment"] = "e13_hotpath"
+        code, _ = self.run_main(
+            self.write("base.json", baseline_report()),
+            self.write("cur.json", other))
+        self.assertEqual(code, 2)
+
+    def test_best_of_n_deflakes_one_noisy_run(self):
+        noisy = baseline_report()
+        noisy["results"][0]["append_mups"] = 4.0   # a stall, -60%
+        noisy["results"][0]["query_p99_us"] = 900.0
+        clean = baseline_report()
+        base = self.write("base.json", baseline_report())
+        cur1 = self.write("cur1.json", noisy)
+        cur2 = self.write("cur2.json", clean)
+        # The noisy run alone gates; the best-of-2 envelope does not.
+        code, _ = self.run_main(base, cur1)
+        self.assertEqual(code, 1)
+        code, _ = self.run_main(base, cur1, cur2)
+        self.assertEqual(code, 0)
+
+    def test_write_best_stores_the_envelope(self):
+        noisy = baseline_report()
+        noisy["results"][0]["append_mups"] = 4.0
+        out = os.path.join(self.dir.name, "best.json")
+        code, _ = self.run_main(
+            self.write("base.json", baseline_report()),
+            self.write("cur1.json", noisy),
+            self.write("cur2.json", baseline_report()),
+            "--write-best", out)
+        self.assertEqual(code, 0)
+        with open(out, encoding="utf-8") as f:
+            best = json.load(f)
+        self.assertEqual(best["results"][0]["append_mups"], 10.0)
+
+    def test_mismatched_current_reports_are_rejected(self):
+        other = baseline_report()
+        other["experiment"] = "e13_hotpath"
+        code, _ = self.run_main(
+            self.write("base.json", baseline_report()),
+            self.write("cur1.json", baseline_report()),
+            self.write("cur2.json", other))
+        self.assertEqual(code, 2)
+
+    def test_custom_threshold(self):
+        current = baseline_report()
+        current["results"][0]["append_mups"] = 9.0  # -10%
+        base = self.write("base.json", baseline_report())
+        cur = self.write("cur.json", current)
+        code, _ = self.run_main(base, cur, "--threshold", "0.05")
+        self.assertEqual(code, 1)
+        code, _ = self.run_main(base, cur, "--threshold", "0.15")
+        self.assertEqual(code, 0)
+
+
+if __name__ == "__main__":
+    unittest.main()
