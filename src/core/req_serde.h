@@ -9,11 +9,16 @@
 //   u8 has_min | T min | u8 has_max | T max
 //   u32 num_levels
 //   per level: u64 state | u64 num_compactions | u64 count | T[count]
+//   v2 only: u64 rng_state[4]
 //
-// Note: the PRNG is reseeded from the stored seed on deserialization; the
-// sketch remains a valid summary with identical estimates, but subsequent
-// coin flips are not bitwise-identical to the original object's (they are
-// fresh independent randomness, which the analysis permits).
+// Version 2 (current) appends the exact Xoshiro256 state, so a restored
+// sketch continues BIT-IDENTICALLY to the original under the same future
+// updates -- the property the durability layer's checkpoint-then-replay
+// contract (src/persist/) is built on. Version 1 streams (no trailing
+// state) are still accepted: the PRNG is reseeded from the stored seed,
+// which keeps the sketch a valid summary with identical estimates but
+// makes subsequent coin flips fresh independent randomness rather than a
+// bitwise continuation (the analysis permits either).
 //
 // Validation guarantees: Deserialize treats the byte stream as untrusted.
 // Every field is checked before it is used to size an allocation or index
@@ -31,6 +36,7 @@
 #ifndef REQSKETCH_CORE_REQ_SERDE_H_
 #define REQSKETCH_CORE_REQ_SERDE_H_
 
+#include <array>
 #include <cmath>
 #include <cstdint>
 #include <type_traits>
@@ -49,7 +55,8 @@ struct ReqSerde {
                 "ReqSerde supports trivially copyable item types");
 
   static constexpr uint32_t kMagic = 0x52455153;  // "REQS"
-  static constexpr uint8_t kVersion = 1;
+  static constexpr uint8_t kVersion = 2;
+  static constexpr uint8_t kMinVersion = 1;
 
   static std::vector<uint8_t> Serialize(const ReqSketch<T, Compare>& sketch) {
     util::BinaryWriter writer;
@@ -76,6 +83,7 @@ struct ReqSerde {
       const ItemSpan<T> items = level.items();
       writer.WriteArray<T>(items.data(), items.size());
     }
+    for (uint64_t word : sketch.rng_.state()) writer.Write<uint64_t>(word);
     return writer.Release();
   }
 
@@ -84,7 +92,8 @@ struct ReqSerde {
     util::BinaryReader reader(bytes);
     util::CheckData(reader.Read<uint32_t>() == kMagic,
                     "not a serialized REQ sketch (bad magic)");
-    util::CheckData(reader.Read<uint8_t>() == kVersion,
+    const uint8_t version = reader.Read<uint8_t>();
+    util::CheckData(version >= kMinVersion && version <= kVersion,
                     "unsupported REQ sketch serialization version");
     ReqConfig config;
     const uint8_t accuracy = reader.Read<uint8_t>();
@@ -183,6 +192,14 @@ struct ReqSerde {
     }
     util::CheckData(sketch.TotalWeight() == n,
                     "corrupt REQ sketch: weight does not match n");
+    if (version >= 2) {
+      // Exact PRNG state: the restored sketch's future coin flips are
+      // bitwise-identical to the original's (checkpoint-replay equality).
+      // Any 256-bit value is a valid generator state, so no range check.
+      std::array<uint64_t, 4> rng_state;
+      for (uint64_t& word : rng_state) word = reader.Read<uint64_t>();
+      sketch.rng_.set_state(rng_state);
+    }
     // The payload length is fully determined by the declared counts, so a
     // well-formed stream ends exactly here; trailing bytes mean a count
     // was corrupted downward (silent data loss) and must be rejected.

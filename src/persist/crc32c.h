@@ -1,0 +1,52 @@
+// CRC32C (Castagnoli polynomial 0x1EDC6F41, reflected 0x82F63B78): the
+// checksum framing every durable record and checkpoint blob in
+// src/persist/. Castagnoli rather than CRC32 (zlib) because its error
+// detection is strictly better for the short-to-medium record sizes a WAL
+// writes, and it is the checksum the storage ecosystem standardized on
+// (ext4 metadata, iSCSI, LevelDB/RocksDB logs), which keeps the on-disk
+// format unsurprising. Byte-at-a-time table implementation: portable,
+// branch-free in the loop, and fast enough that framing overhead is noise
+// next to the write() syscall it protects (E18 measures the whole path).
+#ifndef REQSKETCH_PERSIST_CRC32C_H_
+#define REQSKETCH_PERSIST_CRC32C_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace req {
+namespace persist {
+
+namespace detail {
+
+inline const std::array<uint32_t, 256>& Crc32cTable() {
+  static const std::array<uint32_t, 256> table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int j = 0; j < 8; ++j) {
+        crc = (crc >> 1) ^ ((crc & 1u) ? 0x82f63b78u : 0u);
+      }
+      t[i] = crc;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace detail
+
+inline uint32_t Crc32c(const void* data, size_t size) {
+  const auto& table = detail::Crc32cTable();
+  const uint8_t* bytes = static_cast<const uint8_t*>(data);
+  uint32_t crc = 0xffffffffu;
+  for (size_t i = 0; i < size; ++i) {
+    crc = (crc >> 8) ^ table[(crc ^ bytes[i]) & 0xffu];
+  }
+  return crc ^ 0xffffffffu;
+}
+
+}  // namespace persist
+}  // namespace req
+
+#endif  // REQSKETCH_PERSIST_CRC32C_H_

@@ -7,12 +7,23 @@
 // Server-side failures surface as ServiceError carrying the wire status;
 // transport failures (connect/send/recv) and malformed responses throw
 // std::runtime_error.
+//
+// Self-healing: EnableReconnect() arms bounded exponential-backoff
+// reconnection. A client that lost its connection transparently redials
+// before the next request, and IDEMPOTENT requests (queries, Ping, List,
+// Snapshot, Flush) that die mid-flight are re-issued on the fresh
+// connection. Append/Create/Drop are never silently re-sent: a lost ack
+// does not reveal whether the server applied them, so the caller decides
+// (the durable server's response.n makes Append reconciliation exact).
 #ifndef REQSKETCH_SERVICE_REQ_CLIENT_H_
 #define REQSKETCH_SERVICE_REQ_CLIENT_H_
 
+#include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -22,6 +33,14 @@
 
 namespace req {
 namespace service {
+
+// Backoff schedule for EnableReconnect: attempt k sleeps a jittered
+// interval in [b/2, b] with b = initial * 2^k capped at max_backoff_ms.
+struct ReconnectPolicy {
+  int max_attempts = 6;
+  uint64_t initial_backoff_ms = 20;
+  uint64_t max_backoff_ms = 2000;
+};
 
 class ReqClient {
  public:
@@ -47,6 +66,8 @@ class ReqClient {
     // connection's partial response would desync the new stream.
     decoder_ = FrameDecoder();
     fd_ = std::move(fd);
+    host_ = host;
+    port_ = port;
   }
 
   bool connected() const { return fd_.valid(); }
@@ -54,6 +75,19 @@ class ReqClient {
     fd_.Reset();
     decoder_ = FrameDecoder();
   }
+
+  // Arms transparent reconnection (see the class comment). Takes effect
+  // from the next request; requires a successful Connect() first so the
+  // client knows where to redial.
+  void EnableReconnect(const ReconnectPolicy& policy = {}) {
+    util::CheckArg(policy.max_attempts > 0, "max_attempts must be > 0");
+    reconnect_enabled_ = true;
+    policy_ = policy;
+  }
+  void DisableReconnect() { reconnect_enabled_ = false; }
+
+  // Successful redials performed so far (tests and monitoring).
+  uint64_t Reconnects() const { return reconnects_; }
 
   // --- protocol operations (each is one round trip) ------------------------
 
@@ -148,7 +182,73 @@ class ReqClient {
   }
 
  private:
+  // Re-sendable without observable effect: a lost ack leaves the caller
+  // free to ask again. Append/Create/Drop mutate; see the class comment.
+  static bool IsIdempotent(Opcode op) {
+    switch (op) {
+      case Opcode::kPing:
+      case Opcode::kFlush:
+      case Opcode::kRank:
+      case Opcode::kQuantiles:
+      case Opcode::kCdf:
+      case Opcode::kSnapshot:
+      case Opcode::kList:
+        return true;
+      case Opcode::kCreate:
+      case Opcode::kAppend:
+      case Opcode::kDrop:
+        return false;
+    }
+    return false;
+  }
+
   Response RoundTrip(const Request& request) {
+    // A torn-down connection (a previous call's transport failure, or a
+    // restarted server) redials before sending anything -- safe for every
+    // opcode, since no bytes of THIS request are in flight yet.
+    if (!fd_.valid() && reconnect_enabled_ && !host_.empty()) Reconnect();
+    int attempt = 0;
+    while (true) {
+      try {
+        return RoundTripOnce(request);
+      } catch (const ServiceError&) {
+        throw;  // the server answered; the transport is fine
+      } catch (const std::runtime_error&) {
+        if (!reconnect_enabled_ || !IsIdempotent(request.op) ||
+            ++attempt > policy_.max_attempts) {
+          throw;
+        }
+      }
+      Reconnect();
+    }
+  }
+
+  // Redials host_:port_ with jittered exponential backoff; rethrows the
+  // final connect error when the server stays down past max_attempts.
+  void Reconnect() {
+    util::CheckState(!host_.empty(), "no prior Connect to redo");
+    uint64_t backoff_ms = policy_.initial_backoff_ms;
+    for (int attempt = 0;; ++attempt) {
+      Close();
+      try {
+        Connect(host_, port_);
+        ++reconnects_;
+        return;
+      } catch (const std::runtime_error&) {
+        if (attempt + 1 >= policy_.max_attempts) throw;
+      }
+      // Sleep in [b/2, b]: full-jitter style, so a fleet of clients that
+      // lost the same server does not redial in lockstep.
+      jitter_state_ =
+          jitter_state_ * 6364136223846793005ULL + 1442695040888963407ULL;
+      const uint64_t half = backoff_ms / 2;
+      const uint64_t sleep_ms = half + (jitter_state_ >> 33) % (half + 1);
+      std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+      backoff_ms = std::min(backoff_ms * 2, policy_.max_backoff_ms);
+    }
+  }
+
+  Response RoundTripOnce(const Request& request) {
     util::CheckState(fd_.valid(), "client not connected");
     std::vector<uint8_t> frame;
     AppendFrame(&frame, EncodeRequest(request));
@@ -184,6 +284,14 @@ class ReqClient {
 
   ScopedFd fd_;
   FrameDecoder decoder_;
+  std::string host_;
+  uint16_t port_ = 0;
+  bool reconnect_enabled_ = false;
+  ReconnectPolicy policy_;
+  uint64_t reconnects_ = 0;
+  // Cheap LCG for backoff jitter; seeded per-instance so clients in one
+  // process still spread out.
+  uint64_t jitter_state_ = reinterpret_cast<uint64_t>(this) | 1;
 };
 
 }  // namespace service

@@ -46,6 +46,7 @@
 #include <utility>
 #include <vector>
 
+#include "persist/io_injector.h"
 #include "service/sketch_registry.h"
 #include "service/socket_util.h"
 #include "service/wire_protocol.h"
@@ -142,6 +143,11 @@ class ReqdServer {
   // Monitoring counters.
   uint64_t ConnectionsAccepted() const { return connections_.load(); }
   uint64_t FramesServed() const { return frames_.load(); }
+  // Connections that ended (EOF/reset) with a partial frame still
+  // buffered -- each one is a client that died mid-send.
+  uint64_t AbortedPartialFrames() const {
+    return aborted_partial_frames_.load();
+  }
 
  private:
   void AcceptLoop() {
@@ -208,7 +214,17 @@ class ReqdServer {
     bool desynced = false;
     while (!desynced && running_.load(std::memory_order_acquire)) {
       const ssize_t got = RecvSome(conn.get(), chunk, sizeof(chunk));
-      if (got <= 0) break;  // peer closed or socket shut down
+      if (got <= 0) {
+        // Peer closed or the socket was shut down. A half-written frame
+        // left in the decoder (a client killed mid-send, a torn TCP
+        // stream) is a clean disconnect, never an error path: the bytes
+        // are simply discarded with the connection. Counted so tests and
+        // operators can observe aborted uploads.
+        if (decoder.buffered() > 0) {
+          aborted_partial_frames_.fetch_add(1, std::memory_order_relaxed);
+        }
+        break;
+      }
       decoder.Feed(chunk, static_cast<size_t>(got));
       outbound.clear();
       while (true) {
@@ -252,6 +268,13 @@ class ReqdServer {
     } catch (const MetricExists& e) {
       response.status = Status::kExists;
       response.error = e.what();
+    } catch (const persist::IoError& e) {
+      // Durability failures (fsync error, injected fault, disk full) are
+      // server-side trouble, not a malformed request: kError, and the
+      // ordering matters -- IoError derives from runtime_error, which
+      // maps to kBadRequest below.
+      response.status = Status::kError;
+      response.error = e.what();
     } catch (const std::invalid_argument& e) {
       response.status = Status::kBadRequest;
       response.error = e.what();
@@ -282,6 +305,10 @@ class ReqdServer {
             registry_->Require(request.metric);
         engine->Append(request.values.data(), request.values.size());
         response.n = engine->AcceptedN();
+        // Checkpoint on the append path, after the ack state is set: the
+        // engine decides (by WAL bytes written) whether a snapshot is
+        // due, so recovery replay stays short without a background timer.
+        engine->MaybeCheckpoint();
         break;
       }
       case Opcode::kFlush: {
@@ -339,6 +366,7 @@ class ReqdServer {
   std::vector<uint64_t> finished_ids_;
   std::atomic<uint64_t> connections_{0};
   std::atomic<uint64_t> frames_{0};
+  std::atomic<uint64_t> aborted_partial_frames_{0};
 };
 
 }  // namespace service

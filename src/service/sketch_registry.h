@@ -58,6 +58,7 @@
 #include "concurrency/spsc_buffer.h"
 #include "core/req_serde.h"
 #include "core/req_sketch.h"
+#include "persist/metric_log.h"
 #include "service/wire_protocol.h"
 #include "util/validation.h"
 #include "window/windowed_req_sketch.h"
@@ -106,6 +107,13 @@ inline void ValidateMetricSpec(const MetricSpec& spec) {
 // One metric's engine. Thread safety: Append may be called from any number
 // of connections concurrently (serialized internally); queries and
 // Snapshot may run concurrently with appends and each other.
+//
+// Durability: when a WAL is attached (SetLog, done by the registry's
+// durability hook or the recovery path), every Append logs its batch
+// BEFORE staging it, under the same append mutex -- so the WAL's batch
+// order IS the engine's apply order, and the engine's state at WAL
+// position L is exactly "the first L batches applied". Snapshot() and the
+// checkpoint hooks quiesce the append path to pin that correspondence.
 class MetricEngine {
  public:
   virtual ~MetricEngine() = default;
@@ -115,10 +123,13 @@ class MetricEngine {
 
   // Total items accepted since CREATE (acknowledged appends; for windowed
   // metrics this is lifetime-accepted, not in-window).
-  virtual uint64_t AcceptedN() const = 0;
+  uint64_t AcceptedN() const {
+    return accepted_n_.load(std::memory_order_acquire);
+  }
 
   // Stages `count` items; rejects NaN up front (strong guarantee: nothing
-  // is applied on throw).
+  // is applied on throw -- including a WAL write failure, which surfaces
+  // as persist::IoError before any state change).
   virtual void Append(const double* data, size_t count) = 0;
 
   // Makes every staged item query-visible.
@@ -134,8 +145,47 @@ class MetricEngine {
                                      Criterion criterion) = 0;
 
   // Serialized engine state: u8 engine kind | engine-specific serde bytes
-  // (ReqSerde / sharded serde / windowed serde).
-  virtual std::vector<uint8_t> Snapshot() = 0;
+  // (ReqSerde / sharded serde / windowed serde). Quiesces the append path
+  // so the blob sits on a WAL batch boundary.
+  std::vector<uint8_t> Snapshot() {
+    std::lock_guard<std::mutex> produce(append_mutex_);
+    return SnapshotLocked();
+  }
+
+  // Attaches the metric's WAL. Called before the engine is published
+  // (CREATE) or after replay completes (recovery) -- never while other
+  // threads are appending.
+  void SetLog(std::shared_ptr<persist::MetricLog> log) {
+    log_ = std::move(log);
+  }
+  persist::MetricLog* wal() const { return log_.get(); }
+
+  // Checkpoint when the WAL has grown past its threshold; the server
+  // calls this after APPEND acks. No-op without a WAL.
+  void MaybeCheckpoint() {
+    if (log_ && log_->ShouldCheckpoint()) ForceCheckpoint();
+  }
+
+  // Unconditional checkpoint (shutdown, tests). Takes the append mutex,
+  // so the snapshot LSN is exact: state == first next_lsn() batches.
+  void ForceCheckpoint() {
+    if (!log_) return;
+    std::lock_guard<std::mutex> produce(append_mutex_);
+    const uint64_t lsn = log_->next_lsn();
+    const std::vector<uint8_t> blob = SnapshotLocked();
+    log_->WriteCheckpoint(lsn, AcceptedN(), blob);
+  }
+
+ protected:
+  // Snapshot with append_mutex_ held by the caller.
+  virtual std::vector<uint8_t> SnapshotLocked() = 0;
+
+  // Serializes the producer role (SPSC producer / shard rotation) across
+  // appending connections, and pins the WAL-position <-> engine-state
+  // correspondence for snapshots and checkpoints.
+  std::mutex append_mutex_;
+  std::atomic<uint64_t> accepted_n_{0};
+  std::shared_ptr<persist::MetricLog> log_;
 };
 
 // Splits a snapshot blob into its kind tag and serde payload; throws
@@ -176,13 +226,14 @@ class StagedEngineBase : public MetricEngine {
   using Sketch = ReqSketch<double>;
 
   const MetricSpec& spec() const override { return spec_; }
-  uint64_t AcceptedN() const override {
-    return accepted_n_.load(std::memory_order_acquire);
-  }
 
   void Append(const double* data, size_t count) override {
     detail::CheckAppendable(data, count);
     std::lock_guard<std::mutex> produce(append_mutex_);
+    // WAL before staging: if the log write fails (persist::IoError),
+    // nothing was applied and nothing gets acknowledged. The reverse
+    // order could acknowledge a batch that never reached the log.
+    if (log_) log_->AppendBatch(data, count);
     size_t left = count;
     while (left > 0) {
       const size_t pushed = staging_.TryPushBulk(data, left);
@@ -209,10 +260,15 @@ class StagedEngineBase : public MetricEngine {
   }
 
  protected:
-  StagedEngineBase(const MetricSpec& spec, Underlying underlying)
+  // accepted_n != 0 only on the recovery path, restoring the checkpoint's
+  // acknowledged-item count before WAL replay re-appends the tail.
+  StagedEngineBase(const MetricSpec& spec, Underlying underlying,
+                   uint64_t accepted_n = 0)
       : spec_(spec),
         staging_(spec.buffer_capacity),
-        underlying_(std::move(underlying)) {}
+        underlying_(std::move(underlying)) {
+    accepted_n_.store(accepted_n, std::memory_order_release);
+  }
 
   // Builds the query snapshot from underlying_; called under
   // state_mutex_ (the sorted-view warm-up happens outside it).
@@ -247,14 +303,12 @@ class StagedEngineBase : public MetricEngine {
   }
 
   const MetricSpec spec_;
-  // Serializes the SPSC producer role across appending connections.
-  std::mutex append_mutex_;
   concurrency::SpscBuffer<double> staging_;
   // Guards underlying_, drain_scratch_, and the staging consumer role.
+  // (The SPSC producer role is serialized by the base append_mutex_.)
   std::mutex state_mutex_;
   Underlying underlying_;
   std::vector<double> drain_scratch_;
-  std::atomic<uint64_t> accepted_n_{0};
   std::atomic<uint64_t> epoch_{0};
   concurrency::EpochSnapshotCache<Sketch> cache_;
 };
@@ -266,9 +320,16 @@ class PlainReqEngine final : public StagedEngineBase<ReqSketch<double>> {
   explicit PlainReqEngine(const MetricSpec& spec)
       : StagedEngineBase(spec, Sketch(spec.base)) {}
 
+  // Recovery: adopts a checkpoint-restored sketch (ReqSerde v2 carries
+  // the exact PRNG state, so continuation is bit-identical).
+  PlainReqEngine(const MetricSpec& spec, Sketch&& restored,
+                 uint64_t accepted_n)
+      : StagedEngineBase(spec, std::move(restored), accepted_n) {}
+
   EngineKind kind() const override { return EngineKind::kPlain; }
 
-  std::vector<uint8_t> Snapshot() override {
+ protected:
+  std::vector<uint8_t> SnapshotLocked() override {
     // The cached snapshot is a faithful copy (config, seed, levels,
     // schedule state), so it serializes byte-identically to the live
     // sketch -- and to an in-process sketch fed the same stream.
@@ -292,15 +353,27 @@ class ShardedReqEngine final : public MetricEngine {
   explicit ShardedReqEngine(const MetricSpec& spec)
       : spec_(spec), sharded_(MakeConfig(spec)) {}
 
+  // Recovery: restores the serialized shard set and resumes the
+  // round-robin rotation where batch number `batches` left it, so WAL
+  // replay routes every batch to the same shard it originally hit.
+  ShardedReqEngine(const MetricSpec& spec,
+                   const std::vector<uint8_t>& payload, uint64_t accepted_n,
+                   uint64_t batches)
+      : spec_(spec),
+        next_shard_(static_cast<size_t>(batches % spec.num_shards)),
+        sharded_(Sharded::Deserialize(payload)) {
+    util::CheckData(sharded_.num_shards() == spec.num_shards,
+                    "sharded snapshot shard count differs from spec");
+    accepted_n_.store(accepted_n, std::memory_order_release);
+  }
+
   EngineKind kind() const override { return EngineKind::kSharded; }
   const MetricSpec& spec() const override { return spec_; }
-  uint64_t AcceptedN() const override {
-    return accepted_n_.load(std::memory_order_acquire);
-  }
 
   void Append(const double* data, size_t count) override {
     detail::CheckAppendable(data, count);
     std::lock_guard<std::mutex> produce(append_mutex_);
+    if (log_) log_->AppendBatch(data, count);
     // Whole batches rotate round-robin across shards: each shard's stream
     // (and therefore its sketch) is a pure function of the batch arrival
     // order, and the per-shard single-writer contract holds because the
@@ -330,10 +403,12 @@ class ShardedReqEngine final : public MetricEngine {
     return sharded_.GetCDF(splits, criterion);
   }
 
-  std::vector<uint8_t> Snapshot() override {
-    // Quiesce producers for the serialize: the sharded serde requires
-    // empty staging buffers (buffered items would be silently lost).
-    std::lock_guard<std::mutex> produce(append_mutex_);
+ protected:
+  std::vector<uint8_t> SnapshotLocked() override {
+    // The caller (MetricEngine::Snapshot / ForceCheckpoint) holds the
+    // append mutex, quiescing producers for the serialize: the sharded
+    // serde requires empty staging buffers (buffered items would be
+    // silently lost).
     sharded_.FlushAll();
     std::vector<uint8_t> blob{static_cast<uint8_t>(EngineKind::kSharded)};
     const std::vector<uint8_t> bytes = sharded_.Serialize();
@@ -351,10 +426,8 @@ class ShardedReqEngine final : public MetricEngine {
   }
 
   const MetricSpec spec_;
-  std::mutex append_mutex_;
   size_t next_shard_ = 0;
   Sharded sharded_;
-  std::atomic<uint64_t> accepted_n_{0};
 };
 
 // --- windowed --------------------------------------------------------------
@@ -367,9 +440,17 @@ class WindowedReqEngine final
   explicit WindowedReqEngine(const MetricSpec& spec)
       : StagedEngineBase(spec, Window(MakeConfig(spec))) {}
 
+  // Recovery: adopts a checkpoint-restored window (rotation is
+  // count-driven, and each bucket's sketch carries its exact PRNG state,
+  // so WAL replay rotates and compacts identically).
+  WindowedReqEngine(const MetricSpec& spec, Window&& restored,
+                    uint64_t accepted_n)
+      : StagedEngineBase(spec, std::move(restored), accepted_n) {}
+
   EngineKind kind() const override { return EngineKind::kWindowed; }
 
-  std::vector<uint8_t> Snapshot() override {
+ protected:
+  std::vector<uint8_t> SnapshotLocked() override {
     // Serialize the window itself (ring, rotations, bucket epochs), not
     // its merged view: a restored snapshot keeps expiring correctly.
     // (Count-driven rotation happens inside the base drain's batch
@@ -411,12 +492,49 @@ class SketchRegistry {
   SketchRegistry(const SketchRegistry&) = delete;
   SketchRegistry& operator=(const SketchRegistry&) = delete;
 
-  // Creates a metric; throws MetricExists if the name is taken, or
-  // invalid_argument / runtime_error on a bad spec or name.
+  // Wires the durability hook (persist::DurabilityManager). Called once,
+  // before serving -- typically by DurabilityManager::RecoverInto. Null
+  // (the default) runs the registry memory-only.
+  void SetDurability(persist::DirectoryHook* durability) {
+    durability_ = durability;
+  }
+
+  // Creates a metric; throws MetricExists if the name is taken,
+  // invalid_argument / runtime_error on a bad spec or name, or
+  // persist::IoError when the durable CREATE record cannot be written
+  // (in which case the metric does not exist, in memory or on disk).
   EnginePtr Create(const std::string& name, const MetricSpec& spec) {
     ValidateMetricName(name);
     ValidateMetricSpec(spec);
     EnginePtr engine = MakeEngine(spec);
+    {
+      std::unique_lock<std::shared_mutex> lock(map_mutex_);
+      if (engines_.count(name) != 0) throw MetricExists(name);
+      // Durable before visible: the manifest record and the metric's WAL
+      // exist before any client can observe (and append to) the metric.
+      if (durability_ != nullptr) {
+        engine->SetLog(durability_->OnCreate(name, spec));
+      }
+      engines_.emplace(name, engine);
+    }
+    epoch_.fetch_add(1, std::memory_order_release);
+    return engine;
+  }
+
+  // Recovery-path Create: installs an engine rebuilt from a checkpoint
+  // blob (empty => fresh engine) positioned at WAL batch `batches`,
+  // WITHOUT notifying the durability hook -- the metric already exists on
+  // disk; the caller replays the WAL tail and then attaches the log via
+  // SetLog. Single-threaded use, before the server starts.
+  EnginePtr CreateRecovered(const std::string& name, const MetricSpec& spec,
+                            const std::vector<uint8_t>& snapshot_blob,
+                            uint64_t accepted_n, uint64_t batches) {
+    ValidateMetricName(name);
+    ValidateMetricSpec(spec);
+    EnginePtr engine =
+        snapshot_blob.empty()
+            ? MakeEngine(spec)
+            : MakeRecoveredEngine(spec, snapshot_blob, accepted_n, batches);
     {
       std::unique_lock<std::shared_mutex> lock(map_mutex_);
       auto [it, inserted] = engines_.emplace(name, engine);
@@ -443,12 +561,17 @@ class SketchRegistry {
   }
 
   // Removes a metric; returns whether it existed. In-flight operations on
-  // outstanding handles finish safely against the (now unlisted) engine.
+  // outstanding handles finish safely against the (now unlisted) engine
+  // (its WAL goes quiet via MarkDropped). If the durable DROP record
+  // fails, the metric is already gone from memory and the error
+  // propagates: the next restart resurrects it, which is the recoverable
+  // direction (dropping again beats silently losing a live metric).
   bool Drop(const std::string& name) {
     bool erased = false;
     {
       std::unique_lock<std::shared_mutex> lock(map_mutex_);
       erased = engines_.erase(name) > 0;
+      if (erased && durability_ != nullptr) durability_->OnDrop(name);
     }
     if (erased) epoch_.fetch_add(1, std::memory_order_release);
     return erased;
@@ -492,8 +615,35 @@ class SketchRegistry {
     throw std::invalid_argument("unknown engine kind");
   }
 
+  // Rebuilds an engine from a kind-tagged checkpoint blob. The blob is
+  // untrusted (it came off disk): kind mismatches and serde corruption
+  // throw runtime_error, which recovery surfaces at startup rather than
+  // serving a metric whose state silently disagrees with its spec.
+  static EnginePtr MakeRecoveredEngine(const MetricSpec& spec,
+                                       const std::vector<uint8_t>& blob,
+                                       uint64_t accepted_n,
+                                       uint64_t batches) {
+    util::CheckData(SnapshotBlobKind(blob) == spec.kind,
+                    "snapshot engine kind differs from metric spec");
+    const std::vector<uint8_t> payload = SnapshotBlobPayload(blob);
+    switch (spec.kind) {
+      case EngineKind::kPlain:
+        return std::make_shared<PlainReqEngine>(
+            spec, DeserializeSketch<double>(payload), accepted_n);
+      case EngineKind::kSharded:
+        return std::make_shared<ShardedReqEngine>(spec, payload, accepted_n,
+                                                  batches);
+      case EngineKind::kWindowed:
+        return std::make_shared<WindowedReqEngine>(
+            spec, window::WindowedReqSketch<double>::Deserialize(payload),
+            accepted_n);
+    }
+    throw std::invalid_argument("unknown engine kind");
+  }
+
   mutable std::shared_mutex map_mutex_;
   std::map<std::string, EnginePtr> engines_;
+  persist::DirectoryHook* durability_ = nullptr;
   std::atomic<uint64_t> epoch_{0};
   concurrency::EpochSnapshotCache<std::vector<std::string>> list_cache_;
 };

@@ -9,6 +9,7 @@
 #ifndef REQSKETCH_UTIL_RANDOM_H_
 #define REQSKETCH_UTIL_RANDOM_H_
 
+#include <array>
 #include <cstdint>
 
 namespace req {
@@ -60,6 +61,17 @@ class Xoshiro256 {
   // Jump function: advances the state by 2^128 steps; used to derive
   // independent parallel substreams from a common seed.
   void Jump();
+
+  // Exact generator state, for serializing a deterministically
+  // continuable sketch (ReqSerde v2). Restoring the state drops any
+  // cached Gaussian half-pair: raw 64-bit outputs (the only randomness
+  // the sketch consumes) continue bit-identically; an interleaved
+  // NextGaussian sequence may repeat one cached value.
+  std::array<uint64_t, 4> state() const { return {s_[0], s_[1], s_[2], s_[3]}; }
+  void set_state(const std::array<uint64_t, 4>& state) {
+    for (int i = 0; i < 4; ++i) s_[i] = state[i];
+    has_cached_gaussian_ = false;
+  }
 
  private:
   uint64_t s_[4];

@@ -80,6 +80,47 @@ TEST(ReqSerdeTest, DeserializedSketchRemainsUsable) {
   EXPECT_NEAR(restored.GetNormalizedRank(499.5), 0.5, 0.05);
 }
 
+TEST(ReqSerdeTest, ContinuationIsBitIdentical) {
+  // Version 2 persists the exact PRNG state: feeding the same suffix to
+  // the original and the restored sketch must produce byte-identical
+  // serializations, even when the suffix triggers compactions (coin
+  // flips). This is the property the WAL checkpoint-then-replay recovery
+  // path depends on.
+  ReqSketch<double> sketch(MakeConfig(16, 11));
+  const auto values = workload::GenerateLognormal(40000, 4);
+  // Stop mid-stream at an odd point so levels are mid-fill.
+  const size_t cut = 23457;
+  for (size_t i = 0; i < cut; ++i) sketch.Update(values[i]);
+  auto restored = DeserializeSketch<double>(SerializeSketch(sketch));
+  for (size_t i = cut; i < values.size(); ++i) {
+    sketch.Update(values[i]);
+    restored.Update(values[i]);
+  }
+  EXPECT_EQ(SerializeSketch(restored), SerializeSketch(sketch));
+  for (double q : {0.01, 0.5, 0.99}) {
+    EXPECT_EQ(restored.GetQuantile(q), sketch.GetQuantile(q)) << "q=" << q;
+  }
+}
+
+TEST(ReqSerdeTest, LegacyVersion1StillAccepted) {
+  // A v1 stream is a v2 stream minus the trailing 4x u64 PRNG state, with
+  // the version byte set to 1. It must deserialize to a healthy sketch
+  // (estimates identical; future coin flips reseeded, not continued).
+  ReqSketch<double> sketch(MakeConfig(16, 13));
+  const auto values = workload::GenerateUniform(20000, 9);
+  for (double v : values) sketch.Update(v);
+  auto bytes = SerializeSketch(sketch);
+  bytes[4] = 1;  // version byte follows the u32 magic
+  bytes.resize(bytes.size() - 4 * sizeof(uint64_t));
+  auto restored = DeserializeSketch<double>(bytes);
+  EXPECT_EQ(restored.n(), sketch.n());
+  for (double y : {0.1, 0.5, 0.9}) {
+    EXPECT_EQ(restored.GetRank(y), sketch.GetRank(y)) << "y=" << y;
+  }
+  restored.Update(1.0);  // remains usable
+  EXPECT_EQ(restored.n(), sketch.n() + 1);
+}
+
 TEST(ReqSerdeTest, MergeAfterDeserialize) {
   // The distributed pattern: worker sketches are serialized, shipped, and
   // merged at the coordinator.

@@ -142,10 +142,12 @@ TEST(SerdeCorruptionTest, CraftedOversizedLevelCountIsRejected) {
   ReqSketch<double> sketch(MakeConfig());
   for (int i = 0; i < 100; ++i) sketch.Update(static_cast<double>(i));
   auto bytes = SerializeSketch(sketch);
-  // Single level, items at the tail: count is 8 bytes, at
-  // end - 8 * items - 8. Find it by reading the sketch's retained count.
+  // Single level, items just before the trailing 4x u64 rng state (v2):
+  // count is 8 bytes, at end - 32 - 8 * items - 8. Find it by reading the
+  // sketch's retained count.
   const size_t retained = sketch.RetainedItems();
-  const size_t count_offset = bytes.size() - retained * sizeof(double) - 8;
+  const size_t count_offset =
+      bytes.size() - 4 * sizeof(uint64_t) - retained * sizeof(double) - 8;
   auto crafted = bytes;
   crafted[count_offset + 6] = 0xff;  // count ~ 2^55: would be a 256 PiB
   EXPECT_THROW(DeserializeSketch<double>(crafted), std::runtime_error);

@@ -13,6 +13,7 @@
 // snapshot-blob corruption contract (reusing the serde_corruption
 // pattern: round-trip or throw, never UB), and server lifecycle.
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstring>
 #include <memory>
@@ -461,6 +462,72 @@ TEST_F(ServiceE2ETest, CountersAdvance) {
   client.Ping();
   EXPECT_GE(server_->ConnectionsAccepted(), 1u);
   EXPECT_GE(server_->FramesServed(), 2u);
+}
+
+TEST_F(ServiceE2ETest, HalfFrameAtEofCountsAsAbortedUpload) {
+  // A client that dies mid-send leaves a half-written frame in the
+  // server's decoder at EOF. That is a clean disconnect (no error
+  // response, no desync, server keeps serving) and is observable via
+  // AbortedPartialFrames -- raw socket, since the client library always
+  // completes its frames.
+  ASSERT_EQ(server_->AbortedPartialFrames(), 0u);
+  {
+    ScopedFd fd = RawConnect();
+    Request ping;
+    ping.op = Opcode::kPing;
+    std::vector<uint8_t> frame;
+    AppendFrame(&frame, EncodeRequest(ping));
+    // One complete frame (served), then a torn one: 4-byte length prefix
+    // promising more payload than ever arrives.
+    ASSERT_TRUE(SendAll(fd.get(), frame.data(), frame.size()));
+    const uint32_t promised = 100;
+    uint8_t torn[4 + 10] = {};
+    std::memcpy(torn, &promised, 4);
+    ASSERT_TRUE(SendAll(fd.get(), torn, sizeof(torn)));
+  }  // EOF with 14 buffered bytes undelivered
+  for (int tries = 0; tries < 100 && server_->AbortedPartialFrames() == 0;
+       ++tries) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(server_->AbortedPartialFrames(), 1u);
+  ReqClient client = Connect();
+  EXPECT_EQ(client.Ping(), kProtocolVersion);  // server unharmed
+}
+
+TEST_F(ServiceE2ETest, SelfHealingClientSurvivesServerRestart) {
+  ReqClient client = Connect();
+  ReconnectPolicy policy;
+  policy.max_attempts = 8;
+  policy.initial_backoff_ms = 10;
+  client.EnableReconnect(policy);
+  MetricSpec spec;
+  client.Create("heal", spec);
+  client.Append("heal", {1.0, 2.0, 3.0});
+  EXPECT_EQ(client.Flush("heal"), 3u);
+
+  // Restart the server on the SAME port (the old ephemeral port is free
+  // the moment the listener closes; SO_REUSEADDR covers TIME_WAIT).
+  const uint16_t port = server_->port();
+  server_->Stop();
+  ReqdServerConfig config;
+  config.port = port;
+  server_ = std::make_unique<ReqdServer>(&registry_, config);
+  server_->Start();
+
+  // The next idempotent call rides the backoff loop transparently. The
+  // registry survived in-process here; with reqd + --data-dir the same
+  // client behavior covers a real daemon restart
+  // (tests/persist_crash_recovery_test.cc).
+  EXPECT_EQ(client.Flush("heal"), 3u);
+  EXPECT_GE(client.Reconnects(), 1u);
+  const std::vector<double> qs = client.GetQuantiles("heal", {0.5});
+  EXPECT_EQ(qs[0], 2.0);
+
+  // Non-idempotent ops are never auto-retried mid-flight, but a torn
+  // connection from a PREVIOUS call redials before sending: Append on a
+  // freshly restarted server works on the first try.
+  client.Append("heal", {4.0});
+  EXPECT_EQ(client.Flush("heal"), 4u);
 }
 
 }  // namespace

@@ -226,13 +226,11 @@ TEST(WindowedReqSketchTest, WindowedAccuracyOverSlidingStream) {
 
 TEST(WindowedReqSketchTest, SerdeRoundTripPreservesStateAndFuture) {
   WindowedReqSketch<double> w(MakeConfig(4, 1000));
-  // Exactly 10000 items: the current bucket is full, so every bucket's
-  // future is coin-flip-free (full buckets only ever get Reset, which
-  // reseeds) and the restored window continues byte-identically. A window
-  // serialized with a partially-filled, already-compacted current bucket
-  // keeps identical estimates but draws fresh coin flips for that
-  // bucket's later compactions (ReqSerde does not persist PRNG state).
-  const auto values = workload::GenerateLognormal(10000, 5);
+  // 10500 items: the current bucket is mid-fill and has already compacted,
+  // the hardest continuation case. ReqSerde v2 persists each bucket's
+  // exact PRNG state, so the restored window's later compactions flip the
+  // same coins and the whole window continues byte-identically.
+  const auto values = workload::GenerateLognormal(10500, 5);
   for (double v : values) w.Update(v);
   const auto bytes = w.Serialize();
   auto restored = WindowedReqSketch<double>::Deserialize(bytes);

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Guards the machine-readable bench reports against schema drift.
 
-CI smoke-runs the whole bench suite (E1..E17) and validates the resulting
+CI smoke-runs the whole bench suite (E1..E18) and validates the resulting
 JSON here (stdlib only). The committed full-run reports at the repo root
 satisfy the same schemas, so this can also be pointed at them.
 
@@ -211,6 +211,20 @@ SCHEMAS = {
             },
             "summary": {"engine", "peak_append_mups",
                         "max_clients_p99_us"},
+        },
+    },
+    "e18_persistence": {
+        "top": {"experiment", "items", "batch", "smoke", "results",
+                "recovery", "summary"},
+        "arrays": {
+            # Gated rows (none/wal_nosync) add "append_mups"; fsync rows
+            # add the ungated "append_rate" -- only the shared keys are
+            # required here.
+            "results": {"mode", "wall_s", "batch_cost_ms", "wal_bytes"},
+            "recovery": {"batches", "checkpoint", "recover_ms",
+                         "recovered_items", "tail_bytes"},
+            "summary": {"wal_nosync_overhead_pct",
+                        "fsync_always_batch_ms", "replay_mups"},
         },
     },
     "e16_query": {

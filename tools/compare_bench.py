@@ -55,7 +55,8 @@ LOWER_BETTER_SUFFIX = ("_ns", "_us")
 IDENTITY_KEYS = {
     "name", "k", "threads", "shards", "order", "topology", "variant",
     "parts", "schedule", "buckets", "n", "metric", "unit", "window_items",
-    "bucket_items", "delta", "engine", "clients",
+    "bucket_items", "delta", "engine", "clients", "mode", "batches",
+    "checkpoint",
 }
 
 

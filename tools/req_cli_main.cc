@@ -106,6 +106,9 @@ int RunLoad(const Options& opt) {
       try {
         ReqClient client;
         client.Connect(opt.host, opt.port);
+        // Self-healing: queries transparently survive a daemon restart;
+        // appends reconcile explicitly below.
+        client.EnableReconnect();
         const std::string metric =
             "load." + run_tag + ".m" + std::to_string(c);
         MetricSpec spec;
@@ -116,9 +119,21 @@ int RunLoad(const Options& opt) {
             LoadStream(/*seed=*/1000 + c, opt.items);
 
         const auto append_start = Clock::now();
-        for (size_t i = 0; i < stream.size(); i += opt.batch) {
+        for (size_t i = 0; i < stream.size();) {
           const size_t len = std::min(opt.batch, stream.size() - i);
-          client.Append(metric, stream.data() + i, len);
+          try {
+            client.Append(metric, stream.data() + i, len);
+            i += len;
+          } catch (const req::service::ServiceError&) {
+            throw;  // the server answered: a real error, not a restart
+          } catch (const std::runtime_error&) {
+            // Connection died mid-append -- possibly a daemon restart
+            // with durability. Append is not idempotent, so the client
+            // did not re-send; instead ask the (recovered) daemon how
+            // many items it accepted and resume exactly there. Flush is
+            // idempotent and redials transparently.
+            i = static_cast<size_t>(client.Flush(metric));
+          }
         }
         append_seconds[c] =
             std::chrono::duration<double>(Clock::now() - append_start)
@@ -199,6 +214,10 @@ void PrintHelp() {
 int RunRepl(const Options& opt) {
   ReqClient client;
   client.Connect(opt.host, opt.port);
+  // An interactive session outlives daemon restarts: queries redial and
+  // retry; a failed append reports its error and the NEXT command
+  // reconnects.
+  client.EnableReconnect();
   std::printf("connected to %s:%u (protocol v%u); 'help' for commands\n",
               opt.host.c_str(), opt.port, client.Ping());
 

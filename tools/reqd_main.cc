@@ -3,22 +3,39 @@
 //
 // Usage:
 //   reqd [--bind ADDR] [--port PORT] [--create NAME:KIND[:K_BASE]]...
+//        [--data-dir DIR] [--fsync POLICY] [--checkpoint-bytes N]
+//        [--port-file PATH]
 //
-//   --bind ADDR     IPv4 address to listen on (default 127.0.0.1)
-//   --port PORT     TCP port (default 7071; 0 picks an ephemeral port)
-//   --create SPEC   pre-create a metric at startup; SPEC is
-//                   NAME:KIND[:K_BASE] with KIND one of plain, sharded,
-//                   windowed (metrics can also be created over the wire)
+//   --bind ADDR        IPv4 address to listen on (default 127.0.0.1)
+//   --port PORT        TCP port (default 7071; 0 picks an ephemeral port)
+//   --create SPEC      pre-create a metric at startup; SPEC is
+//                      NAME:KIND[:K_BASE] with KIND one of plain,
+//                      sharded, windowed (metrics can also be created
+//                      over the wire). Skipped when the metric was
+//                      already recovered from --data-dir.
+//   --data-dir DIR     enable durability: per-metric WAL + snapshot
+//                      checkpoints under DIR, recovered on startup
+//   --fsync POLICY     always | interval | never (default interval):
+//                      when WAL appends reach disk; see README
+//   --checkpoint-bytes N   snapshot + rotate a metric's WAL after N
+//                      logged bytes (default 4194304)
+//   --port-file PATH   write the bound port to PATH (tmp + rename) once
+//                      listening -- how the crash-recovery test finds an
+//                      ephemeral-port daemon
 //
-// Runs until SIGINT/SIGTERM, then shuts down cleanly (drains connection
-// threads). Pair with req-cli for an interactive session or load run.
+// Runs until SIGINT/SIGTERM, then shuts down gracefully: stops
+// accepting, drains connection threads, flushes every metric's staged
+// items, and (when durable) writes a final checkpoint per metric so a
+// clean restart replays no WAL at all.
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "persist/durability.h"
 #include "service/reqd_server.h"
 #include "service/sketch_registry.h"
 
@@ -53,12 +70,39 @@ bool ParseCreateSpec(const std::string& arg, std::string* name,
   return true;
 }
 
+bool ParseFsyncPolicy(const std::string& arg,
+                      req::persist::FsyncPolicy* policy) {
+  if (arg == "always") {
+    *policy = req::persist::FsyncPolicy::kAlways;
+  } else if (arg == "interval") {
+    *policy = req::persist::FsyncPolicy::kInterval;
+  } else if (arg == "never") {
+    *policy = req::persist::FsyncPolicy::kNever;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+// tmp + rename, so a reader never sees a half-written port number.
+bool WritePortFile(const std::string& path, uint16_t port) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fprintf(f, "%u\n", static_cast<unsigned>(port));
+  std::fclose(f);
+  return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   req::service::ReqdServerConfig config;
   config.port = 7071;
   std::vector<std::pair<std::string, MetricSpec>> precreate;
+  std::string data_dir;
+  std::string port_file;
+  req::persist::DurabilityOptions durability_options;
 
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--bind") == 0 && i + 1 < argc) {
@@ -83,6 +127,23 @@ int main(int argc, char** argv) {
         return 2;
       }
       precreate.emplace_back(name, spec);
+    } else if (std::strcmp(argv[i], "--data-dir") == 0 && i + 1 < argc) {
+      data_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--fsync") == 0 && i + 1 < argc) {
+      if (!ParseFsyncPolicy(argv[++i], &durability_options.fsync)) {
+        std::fprintf(stderr, "--fsync must be always|interval|never\n");
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--checkpoint-bytes") == 0 &&
+               i + 1 < argc) {
+      const long long bytes = std::atoll(argv[++i]);
+      if (bytes <= 0) {
+        std::fprintf(stderr, "--checkpoint-bytes must be > 0\n");
+        return 2;
+      }
+      durability_options.checkpoint_bytes = static_cast<uint64_t>(bytes);
+    } else if (std::strcmp(argv[i], "--port-file") == 0 && i + 1 < argc) {
+      port_file = argv[++i];
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
       return 2;
@@ -91,9 +152,21 @@ int main(int argc, char** argv) {
 
   req::service::SketchRegistry registry;
   try {
+    std::unique_ptr<req::persist::DurabilityManager> durability;
+    if (!data_dir.empty()) {
+      durability = std::make_unique<req::persist::DurabilityManager>(
+          data_dir, durability_options);
+      durability->RecoverInto(&registry);
+      std::printf("recovered %zu metric(s) from %s\n", registry.size(),
+                  data_dir.c_str());
+    }
     for (const auto& [name, spec] : precreate) {
-      registry.Create(name, spec);
-      std::printf("created metric %s\n", name.c_str());
+      try {
+        registry.Create(name, spec);
+        std::printf("created metric %s\n", name.c_str());
+      } catch (const req::service::MetricExists&) {
+        // Already recovered from --data-dir; the durable spec wins.
+      }
     }
     // Block the shutdown signals BEFORE spawning server threads, so they
     // inherit the mask and sigwait below is the only consumer.
@@ -109,6 +182,11 @@ int main(int argc, char** argv) {
                 config.bind_address.c_str(), server.port(),
                 registry.size());
     std::fflush(stdout);
+    if (!port_file.empty() && !WritePortFile(port_file, server.port())) {
+      std::fprintf(stderr, "reqd: cannot write --port-file %s\n",
+                   port_file.c_str());
+      return 1;
+    }
 
     int sig = 0;
     sigwait(&set, &sig);
@@ -118,7 +196,22 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(server.FramesServed()),
                 static_cast<unsigned long long>(
                     server.ConnectionsAccepted()));
+    // Graceful drain: stop accepting and join every connection thread
+    // FIRST (no appends can race the final snapshot), then flush staged
+    // items and checkpoint each metric so the next boot replays nothing.
     server.Stop();
+    if (durability) {
+      std::shared_ptr<const std::vector<std::string>> names =
+          registry.List();
+      for (const std::string& name : *names) {
+        req::service::SketchRegistry::EnginePtr engine =
+            registry.Find(name);
+        if (!engine) continue;
+        engine->Flush();
+        engine->ForceCheckpoint();
+      }
+      std::printf("checkpointed %zu metric(s)\n", names->size());
+    }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "reqd: %s\n", e.what());
     return 1;
