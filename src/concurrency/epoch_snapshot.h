@@ -76,6 +76,16 @@ class EpochSnapshotCache {
     std::atomic_store_explicit(&snapshot_, empty, std::memory_order_release);
   }
 
+  // The currently stored snapshot (whatever its epoch), or null when none
+  // is stored. Never rebuilds: used by memory accounting, which wants to
+  // measure the cache, not populate it.
+  std::shared_ptr<const T> Peek() const {
+    std::shared_ptr<const Tagged> current =
+        std::atomic_load_explicit(&snapshot_, std::memory_order_acquire);
+    if (!current) return nullptr;
+    return Alias(current);
+  }
+
   // The tag of the stored snapshot, or false when none is stored yet
   // (diagnostics and tests).
   bool SnapshotEpoch(uint64_t* out) const {

@@ -129,6 +129,41 @@ class ShardedReqSketch {
     return total;
   }
 
+  // Resident heap footprint: every shard's staging buffer (at capacity),
+  // flush scratch, and sketch, plus the cached merged view when one is
+  // published. Takes each shard lock in turn (never two at once).
+  size_t MemoryBytes() const {
+    size_t bytes = sizeof(*this) + shards_.capacity() * sizeof(void*);
+    for (const auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mutex);
+      // sketch.MemoryBytes() counts the sketch header already inside
+      // sizeof(Shard); charge the Shard once and subtract the overlap.
+      bytes += sizeof(Shard) - sizeof(Sketch) +
+               shard->buffer.capacity() * sizeof(T) +
+               shard->flush_scratch.capacity() * sizeof(T) +
+               shard->sketch.MemoryBytes();
+    }
+    std::shared_ptr<const MergedView> merged =
+        std::atomic_load_explicit(&merged_, std::memory_order_acquire);
+    if (merged) bytes += sizeof(MergedView) + merged->sketch.MemoryBytes();
+    return bytes;
+  }
+
+  // Releases allocator slack on every shard (view caches, flush scratch,
+  // arena slack) and drops the cached merged view. Requires the producers
+  // to be quiescent, like Merge; concurrent queries remain safe (a query
+  // holding the old merged view keeps it alive through its shared_ptr).
+  void TrimMemory() {
+    for (const auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mutex);
+      shard->sketch.TrimMemory();
+      shard->flush_scratch.clear();
+      shard->flush_scratch.shrink_to_fit();
+    }
+    std::shared_ptr<const MergedView> empty;
+    std::atomic_store_explicit(&merged_, empty, std::memory_order_release);
+  }
+
   // Monotone counter bumped after every flush/merge; the cached merged
   // view is tagged with it (exposed for tests and monitoring).
   uint64_t Epoch() const { return epoch_.load(std::memory_order_acquire); }

@@ -127,6 +127,34 @@ class LevelArena {
     return total;
   }
 
+  // Heap bytes actually held by the arena, slack included: the quota
+  // accounting figure behind MemoryFootprint(). Item payload plus the
+  // slot table, both at *capacity* (what the allocator charges us), not
+  // live size.
+  size_t AllocatedBytes() const {
+    return data_.capacity() * sizeof(T) + slots_.capacity() * sizeof(Slot);
+  }
+
+  // Releases allocator slack: trims each slot's capacity to its live size
+  // (one compacting pass, slot order and ids preserved) and shrinks the
+  // flat buffer. Steady-state cost of an idle sketch becomes its payload.
+  void ShrinkToFit() {
+    size_t out = 0;
+    for (Slot& slot : slots_) {
+      if (slot.offset != out) {
+        T* base = data_.data();
+        std::move(base + slot.offset, base + slot.offset + slot.size,
+                  base + out);
+      }
+      slot.offset = out;
+      slot.cap = slot.size;
+      out += slot.size;
+    }
+    data_.resize(out);
+    data_.shrink_to_fit();
+    slots_.shrink_to_fit();
+  }
+
   // Ensures slot s can hold at least `cap` items, shifting later slots up
   // as needed. Never shrinks.
   void Reserve(uint32_t s, size_t cap) {
@@ -226,8 +254,11 @@ class LevelArena {
  private:
   // Largest slot region materialized up front; larger requests grow on
   // demand (amortized O(1) per item, one shift of the slots above per
-  // doubling).
-  static constexpr size_t kInitialSlotCap = 256;
+  // doubling). Kept small so an idle metric's steady-state cost is its
+  // sketch payload, not pre-touched filler: at 16 doubles this is 128
+  // bytes per level instead of 2 KiB, and a busy level reaches its
+  // nominal capacity B after a handful of amortized doublings.
+  static constexpr size_t kInitialSlotCap = 16;
 
   struct Slot {
     size_t offset;

@@ -246,6 +246,50 @@ class ReqSketch {
     return levels_.size() * static_cast<size_t>(level_capacity());
   }
 
+  // Resident heap footprint of the sketch in bytes: object header, arena
+  // storage at capacity, level table, promotion scratch, and the memoized
+  // view cache (runs, upper-run, merge scratch, published view). This is
+  // the figure quota accounting charges per metric, so it counts what the
+  // allocator holds, not just live items. Takes the view lock briefly so a
+  // concurrent view rebuild cannot race the cache walk.
+  size_t MemoryBytes() const {
+    size_t bytes = sizeof(*this) + arena_.AllocatedBytes() +
+                   levels_.capacity() * sizeof(Level) +
+                   promote_scratch_.capacity() * sizeof(T);
+    std::lock_guard<std::mutex> lock(view_mutex_.mutex);
+    const ViewCacheState& c = view_cache_;
+    bytes += c.runs.capacity() * sizeof(std::vector<T>);
+    for (const std::vector<T>& run : c.runs) {
+      bytes += run.capacity() * sizeof(T);
+    }
+    bytes += c.run_versions.capacity() * sizeof(uint64_t);
+    bytes += c.run_valid.capacity() * sizeof(char);
+    bytes += c.upper_items.capacity() * sizeof(T);
+    bytes += c.upper_weights.capacity() * sizeof(uint64_t);
+    bytes += c.scratch_items.capacity() * sizeof(T);
+    bytes += c.scratch_weights.capacity() * sizeof(uint64_t);
+    bytes += c.view.items().capacity() * sizeof(T);
+    bytes += c.view.cum_weights().capacity() * sizeof(uint64_t);
+    return bytes;
+  }
+
+  // Releases everything except the sketch payload itself: drops the
+  // memoized view cache, frees the promotion scratch, and compacts the
+  // arena's slack capacity. Accuracy and query answers are unaffected --
+  // the next order-based query simply rebuilds its view, and levels regrow
+  // their slots on demand. Requires exclusive access, like any mutator;
+  // the idle-metric steady state after a trim is the paper's O(k log n)
+  // payload plus fixed object headers.
+  void TrimMemory() {
+    {
+      std::lock_guard<std::mutex> lock(view_mutex_.mutex);
+      ResetViewCache();
+    }
+    promote_scratch_.clear();
+    promote_scratch_.shrink_to_fit();
+    arena_.ShrinkToFit();
+  }
+
   // Exact stream minimum / maximum (tracked outside the buffers).
   const T& MinItem() const {
     util::CheckState(n_ > 0, "MinItem() on an empty sketch");

@@ -121,6 +121,35 @@ class DurabilityManager : public DirectoryHook {
     live_.erase(it);
   }
 
+  // The metric checkpointed and closed its WAL (idle eviction). Only the
+  // manager's handle is released -- the metric stays manifest-live and
+  // its directory keeps the checkpoint the next touch rehydrates from.
+  void OnEvict(const std::string& name) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = live_.find(name);
+    if (it != live_.end()) it->second.log.reset();
+  }
+
+  // An evicted metric was touched: reload its durable state and open a
+  // fresh WAL at the recovered next LSN. The eviction checkpoint rotated
+  // the WAL to an empty segment at that LSN, so the MetricLog
+  // constructor's same-name truncation cannot discard acknowledged data
+  // (the retired engine stopped appending before the checkpoint).
+  RehydratedMetric OnRehydrate(const std::string& name) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = live_.find(name);
+    if (it == live_.end()) {
+      throw IoError("metric '" + name + "' is not manifest-live");
+    }
+    const std::string dir = MetricDirPath(it->second.id);
+    RehydratedMetric rehydrated;
+    rehydrated.state = ReadMetricState(dir, name);
+    rehydrated.log = std::make_shared<MetricLog>(
+        dir, name, rehydrated.state.next_lsn, LogOptions());
+    it->second.log = rehydrated.log;
+    return rehydrated;
+  }
+
   // --- recovery -------------------------------------------------------------
 
   // Rebuilds every manifest-live metric inside `registry` (which must

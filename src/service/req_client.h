@@ -6,7 +6,10 @@
 //
 // Server-side failures surface as ServiceError carrying the wire status;
 // transport failures (connect/send/recv) and malformed responses throw
-// std::runtime_error.
+// std::runtime_error. A kQuotaExceeded answer throws the more specific
+// QuotaExceededError: it is a definitive policy decision by the server,
+// so the client NEVER retries it (retrying a full registry is pure
+// load), and callers can catch the type to shed or re-route tenants.
 //
 // Self-healing: EnableReconnect() arms bounded exponential-backoff
 // reconnection. A client that lost its connection transparently redials
@@ -40,6 +43,15 @@ struct ReconnectPolicy {
   int max_attempts = 6;
   uint64_t initial_backoff_ms = 20;
   uint64_t max_backoff_ms = 2000;
+};
+
+// The server refused a CREATE on a tenancy quota (metric count or
+// memory). Terminal for this request: backing off and retrying cannot
+// succeed until an operator raises the limit or drops metrics, so the
+// client surfaces it as its own type instead of a generic ServiceError.
+struct QuotaExceededError : ServiceError {
+  explicit QuotaExceededError(const std::string& message)
+      : ServiceError(Status::kQuotaExceeded, message) {}
 };
 
 class ReqClient {
@@ -88,6 +100,17 @@ class ReqClient {
 
   // Successful redials performed so far (tests and monitoring).
   uint64_t Reconnects() const { return reconnects_; }
+
+  // CREATEs the server refused on a quota (each threw
+  // QuotaExceededError; none was retried).
+  uint64_t QuotaRejections() const { return quota_rejections_; }
+
+  // Wall-clock microseconds of the most recent completed round trip
+  // (send to parsed response, excluding redials). An append that lands
+  // on an evicted metric pays its rehydration here -- this is how the
+  // churn bench and operators observe eviction-rehydrate latency from
+  // the client side.
+  uint64_t LastRttUs() const { return last_rtt_us_; }
 
   // --- protocol operations (each is one round trip) ------------------------
 
@@ -174,6 +197,22 @@ class ReqClient {
     return RoundTrip(request).names;
   }
 
+  // v2 paged LIST: names matching `prefix` (empty = all), skipping
+  // `offset` matches, at most `limit` per page (0 = no limit). *total
+  // (optional) receives the full match count. Requires a v2 server.
+  std::vector<std::string> List(const std::string& prefix, uint64_t offset,
+                                uint64_t limit, uint64_t* total = nullptr) {
+    Request request;
+    request.op = Opcode::kList;
+    request.list_paged = true;
+    request.list_prefix = prefix;
+    request.list_offset = offset;
+    request.list_limit = limit;
+    Response response = RoundTrip(request);
+    if (total != nullptr) *total = response.total;
+    return std::move(response.names);
+  }
+
   void Drop(const std::string& metric) {
     Request request;
     request.op = Opcode::kDrop;
@@ -250,6 +289,8 @@ class ReqClient {
 
   Response RoundTripOnce(const Request& request) {
     util::CheckState(fd_.valid(), "client not connected");
+    const std::chrono::steady_clock::time_point start =
+        std::chrono::steady_clock::now();
     std::vector<uint8_t> frame;
     AppendFrame(&frame, EncodeRequest(request));
     if (!SendAll(fd_.get(), frame.data(), frame.size())) {
@@ -275,8 +316,19 @@ class ReqClient {
       Close();
       throw;
     }
-    Response response = ParseResponse(request.op, payload);
+    Response response =
+        ParseResponse(request.op, payload, request.list_paged);
+    last_rtt_us_ = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count());
     if (response.status != Status::kOk) {
+      if (response.status == Status::kQuotaExceeded) {
+        // Typed and counted, and (being a ServiceError) never retried by
+        // RoundTrip: the server's quota decision is final.
+        ++quota_rejections_;
+        throw QuotaExceededError(response.error);
+      }
       throw ServiceError(response.status, response.error);
     }
     return response;
@@ -289,6 +341,8 @@ class ReqClient {
   bool reconnect_enabled_ = false;
   ReconnectPolicy policy_;
   uint64_t reconnects_ = 0;
+  uint64_t quota_rejections_ = 0;
+  uint64_t last_rtt_us_ = 0;
   // Cheap LCG for backoff jitter; seeded per-instance so clients in one
   // process still spread out.
   uint64_t jitter_state_ = reinterpret_cast<uint64_t>(this) | 1;

@@ -261,12 +261,33 @@ class ReqdServer {
     try {
       const Request request = ParseRequest(payload);
       op = request.op;
-      response = Dispatch(request);
+      // An operation can race an idle eviction: the engine handle goes
+      // retired between Require and use. Re-dispatching re-resolves the
+      // metric, which rehydrates it -- invisible to the client beyond
+      // latency. Bounded so a pathological evict loop cannot spin here.
+      for (int attempt = 0;; ++attempt) {
+        try {
+          response = Dispatch(request);
+          break;
+        } catch (const MetricRetired&) {
+          if (attempt >= 2) throw;
+        }
+      }
     } catch (const MetricNotFound& e) {
       response.status = Status::kNotFound;
       response.error = e.what();
     } catch (const MetricExists& e) {
       response.status = Status::kExists;
+      response.error = e.what();
+    } catch (const QuotaExceeded& e) {
+      // Before the runtime_error ladder: a quota rejection is a
+      // definitive, typed answer, not a malformed request.
+      response.status = Status::kQuotaExceeded;
+      response.error = e.what();
+    } catch (const MetricRetired& e) {
+      // Retries exhausted (an evictor is racing this metric hard):
+      // server-side condition, safe for the client to retry.
+      response.status = Status::kError;
       response.error = e.what();
     } catch (const persist::IoError& e) {
       // Durability failures (fsync error, injected fault, disk full) are
@@ -335,9 +356,18 @@ class ReqdServer {
         response.blob = registry_->Require(request.metric)->Snapshot();
         break;
       case Opcode::kList: {
-        std::shared_ptr<const std::vector<std::string>> names =
-            registry_->List();
-        response.names = *names;
+        if (request.list_paged) {
+          // v2 paged form: prefix filter + offset/limit, served from the
+          // lazily merged per-shard name runs.
+          response.list_paged = true;
+          response.names =
+              registry_->ListPage(request.list_prefix, request.list_offset,
+                                  request.list_limit, &response.total);
+        } else {
+          std::shared_ptr<const std::vector<std::string>> names =
+              registry_->List();
+          response.names = *names;
+        }
         break;
       }
       case Opcode::kDrop:

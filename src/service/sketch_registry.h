@@ -29,24 +29,40 @@
 // sharded engine delegates to ShardedReqSketch's own epoch-cached merged
 // view, which implements the same pattern internally.
 //
-// The registry itself uses the same primitive one level up: the metric
-// directory (LIST) is an epoch-tagged name snapshot, rebuilt only after a
-// CREATE or DROP bumped the registry epoch.
+// Tenancy spine (the million-metric refactor): the name->engine map is
+// sharded by name hash into kRegistryShards independent mutex+map shards,
+// each with its own epoch and its own sorted-name snapshot cache. A
+// CREATE/DROP invalidates only its shard's listing; the global LIST is a
+// lazy k-way concatenation of the per-shard caches, and the paged
+// ListPage(prefix, offset, limit) form never materializes more than one
+// page. Lifecycle: EvictIdle() checkpoints and closes the WAL of metrics
+// idle past a TTL (their engines are dropped from memory and rebuilt
+// bit-identically from the checkpoint on the next touch -- an acked item
+// is never lost), or trims allocator slack when running memory-only.
+// Metric-count and memory quotas (SetLimits) reject CREATEs with the
+// typed QuotaExceeded below, which the server maps to kQuotaExceeded.
 //
 // Error model: engines and registry throw the repo's standard exception
 // taxonomy (invalid_argument for bad arguments, logic_error for queries on
 // empty state, runtime_error for corrupt data) plus the typed
-// MetricNotFound / MetricExists below, which the server maps to wire
-// statuses.
+// MetricNotFound / MetricExists / QuotaExceeded below, which the server
+// maps to wire statuses. MetricRetired is internal backpressure: an append
+// raced an eviction and the server transparently retries against the
+// rehydrated engine.
 #ifndef REQSKETCH_SERVICE_SKETCH_REGISTRY_H_
 #define REQSKETCH_SERVICE_SKETCH_REGISTRY_H_
 
+#include <algorithm>
+#include <array>
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <queue>
 #include <shared_mutex>
 #include <stdexcept>
 #include <string>
@@ -74,6 +90,21 @@ struct MetricNotFound : std::invalid_argument {
 struct MetricExists : std::invalid_argument {
   explicit MetricExists(const std::string& name)
       : std::invalid_argument("metric already exists: " + name) {}
+};
+
+// CREATE rejected by a registry quota (metric count or accounted memory).
+// The server maps this to Status::kQuotaExceeded; clients must treat it as
+// a definitive answer, never a transport failure to retry.
+struct QuotaExceeded : std::runtime_error {
+  explicit QuotaExceeded(const std::string& what) : std::runtime_error(what) {}
+};
+
+// An append raced an idle eviction: the engine handle was retired after
+// the caller resolved it. Internal backpressure, never surfaced on the
+// wire -- the server re-resolves the metric (rehydrating it) and retries.
+struct MetricRetired : std::runtime_error {
+  MetricRetired()
+      : std::runtime_error("metric engine retired by eviction; re-resolve") {}
 };
 
 // Validates a CREATE spec before any engine is built, so a bad request
@@ -135,6 +166,39 @@ class MetricEngine {
   // Makes every staged item query-visible.
   virtual void Flush() = 0;
 
+  // Resident heap bytes this engine holds (sketch payload, staging,
+  // snapshot caches, allocator slack). The registry's quota accounting
+  // charges this figure per metric; it is a measurement, not a contract,
+  // and may be briefly stale against concurrent appends.
+  virtual size_t MemoryFootprint() const = 0;
+
+  // Releases allocator slack (snapshot caches, scratch, arena slack)
+  // without changing any answer. The memory-only idle path; durable idle
+  // metrics get evicted outright via RetireForEviction instead.
+  virtual void TrimMemory() {}
+
+  // True once RetireForEviction succeeded: the engine took its final
+  // checkpoint and closed its WAL. Queries still serve the final state;
+  // appends throw MetricRetired so the caller re-resolves the metric.
+  bool Retired() const { return retired_.load(std::memory_order_acquire); }
+
+  // Eviction: quiesce appends, checkpoint at the exact WAL position, then
+  // poison the append path and release the WAL handle. Strong guarantee --
+  // a checkpoint failure throws with the engine still live and appendable.
+  // Requires an attached WAL (memory-only metrics are trimmed, not
+  // evicted).
+  void RetireForEviction() {
+    std::lock_guard<std::mutex> produce(append_mutex_);
+    util::CheckState(log_ != nullptr, "RetireForEviction requires a WAL");
+    const uint64_t lsn = log_->next_lsn();
+    const std::vector<uint8_t> blob = SnapshotLocked();
+    log_->WriteCheckpoint(lsn, AcceptedN(), blob);
+    // Nothing can append between the checkpoint and the flag: both sit
+    // under the append mutex. From here the engine is a read-only relic.
+    retired_.store(true, std::memory_order_release);
+    log_.reset();
+  }
+
   // Order-based queries. Observe every append acknowledged before the
   // call (each query drains staging first).
   virtual std::vector<uint64_t> GetRanks(const std::vector<double>& ys,
@@ -180,11 +244,19 @@ class MetricEngine {
   // Snapshot with append_mutex_ held by the caller.
   virtual std::vector<uint8_t> SnapshotLocked() = 0;
 
+  // Every Append implementation calls this under append_mutex_, so no
+  // batch can slip past a completed retirement (its WAL segment is
+  // closed; an append landing there would be lost on rehydrate).
+  void CheckNotRetired() const {
+    if (retired_.load(std::memory_order_relaxed)) throw MetricRetired();
+  }
+
   // Serializes the producer role (SPSC producer / shard rotation) across
   // appending connections, and pins the WAL-position <-> engine-state
   // correspondence for snapshots and checkpoints.
   std::mutex append_mutex_;
   std::atomic<uint64_t> accepted_n_{0};
+  std::atomic<bool> retired_{false};
   std::shared_ptr<persist::MetricLog> log_;
 };
 
@@ -220,6 +292,15 @@ inline void CheckAppendable(const double* data, size_t count) {
 // epoch-cached ReqSketch snapshot. Derived classes choose the underlying
 // type and how to snapshot it; the staging/epoch protocol lives here
 // exactly once.
+//
+// Lazy staging: the SPSC buffer does not exist until a second connection
+// is actually observed appending (a try-lock miss on the append mutex).
+// Until then appends take the direct batch path -- one state-lock'd
+// Update(data, count) -- with zero staging allocation, which is what
+// makes a million single-writer metrics affordable. The two paths build
+// bit-identical sketches: the batch Update is documented to chunk
+// invariantly, so where the drain boundaries fall cannot change the
+// result.
 template <typename Underlying>
 class StagedEngineBase : public MetricEngine {
  public:
@@ -229,22 +310,83 @@ class StagedEngineBase : public MetricEngine {
 
   void Append(const double* data, size_t count) override {
     detail::CheckAppendable(data, count);
-    std::lock_guard<std::mutex> produce(append_mutex_);
+    // A try-lock miss is the one observable signature of a concurrent
+    // writer; record it, then queue normally. The flag is sticky -- once
+    // contended, the metric keeps its staging buffer for life.
+    std::unique_lock<std::mutex> produce(append_mutex_, std::try_to_lock);
+    if (!produce.owns_lock()) {
+      contended_.store(true, std::memory_order_relaxed);
+      produce.lock();
+    }
+    CheckNotRetired();
     // WAL before staging: if the log write fails (persist::IoError),
     // nothing was applied and nothing gets acknowledged. The reverse
     // order could acknowledge a batch that never reached the log.
     if (log_) log_->AppendBatch(data, count);
-    size_t left = count;
-    while (left > 0) {
-      const size_t pushed = staging_.TryPushBulk(data, left);
-      data += pushed;
-      left -= pushed;
-      if (left > 0) Drain();
+    if (!staging_ && contended_.load(std::memory_order_relaxed)) {
+      // Materialize under BOTH locks: Drain reads the pointer under the
+      // state mutex, this appender owns the append mutex.
+      std::lock_guard<std::mutex> lock(state_mutex_);
+      staging_ = std::make_unique<concurrency::SpscBuffer<double>>(
+          spec_.buffer_capacity);
+    }
+    if (!staging_) {
+      // Single-writer direct path: apply the batch in place. Same result
+      // as staging + draining, without touching a buffer.
+      std::lock_guard<std::mutex> lock(state_mutex_);
+      underlying_.Update(data, count);
+      epoch_.fetch_add(1, std::memory_order_release);
+    } else {
+      size_t left = count;
+      while (left > 0) {
+        const size_t pushed = staging_->TryPushBulk(data, left);
+        data += pushed;
+        left -= pushed;
+        if (left > 0) Drain();
+      }
     }
     accepted_n_.fetch_add(count, std::memory_order_release);
   }
 
   void Flush() override { Drain(); }
+
+  // Whether the staging buffer has been materialized (tests and
+  // footprint diagnostics: a serial metric must never pay for one).
+  bool StagingMaterialized() const {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    return staging_ != nullptr;
+  }
+
+  size_t MemoryFootprint() const override {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    // underlying_ is embedded, so its MemoryBytes() (which counts
+    // sizeof(Sketch)) must replace -- not add to -- its share of
+    // sizeof(*this).
+    size_t bytes = sizeof(*this) - sizeof(Sketch) +
+                   underlying_.MemoryBytes() +
+                   drain_scratch_.capacity() * sizeof(double);
+    if (staging_) {
+      bytes += sizeof(concurrency::SpscBuffer<double>) +
+               staging_->capacity() * sizeof(double);
+    }
+    if (std::shared_ptr<const Sketch> snap = cache_.Peek()) {
+      bytes += snap->MemoryBytes();
+    }
+    return bytes;
+  }
+
+  // Memory-only idle path: drain, drop the snapshot cache, release
+  // scratch and arena slack. Answers are unchanged; the next query
+  // rebuilds its snapshot.
+  void TrimMemory() override {
+    std::lock_guard<std::mutex> produce(append_mutex_);
+    Drain();
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    underlying_.TrimMemory();
+    drain_scratch_.clear();
+    drain_scratch_.shrink_to_fit();
+    cache_.Invalidate();
+  }
 
   std::vector<uint64_t> GetRanks(const std::vector<double>& ys,
                                  Criterion criterion) override {
@@ -264,9 +406,7 @@ class StagedEngineBase : public MetricEngine {
   // acknowledged-item count before WAL replay re-appends the tail.
   StagedEngineBase(const MetricSpec& spec, Underlying underlying,
                    uint64_t accepted_n = 0)
-      : spec_(spec),
-        staging_(spec.buffer_capacity),
-        underlying_(std::move(underlying)) {
+      : spec_(spec), underlying_(std::move(underlying)) {
     accepted_n_.store(accepted_n, std::memory_order_release);
   }
 
@@ -276,8 +416,9 @@ class StagedEngineBase : public MetricEngine {
 
   void Drain() {
     std::lock_guard<std::mutex> lock(state_mutex_);
+    if (!staging_) return;  // direct-path appends are already applied
     drain_scratch_.clear();
-    if (staging_.PopAll(&drain_scratch_) > 0) {
+    if (staging_->PopAll(&drain_scratch_) > 0) {
       underlying_.Update(drain_scratch_.data(), drain_scratch_.size());
       // Bump INSIDE the lock: a second query thread that serializes
       // behind this drain (pops nothing) must then read the bumped
@@ -303,10 +444,13 @@ class StagedEngineBase : public MetricEngine {
   }
 
   const MetricSpec spec_;
-  concurrency::SpscBuffer<double> staging_;
-  // Guards underlying_, drain_scratch_, and the staging consumer role.
-  // (The SPSC producer role is serialized by the base append_mutex_.)
-  std::mutex state_mutex_;
+  // Null until a concurrent writer is observed; see the class comment.
+  std::unique_ptr<concurrency::SpscBuffer<double>> staging_;
+  std::atomic<bool> contended_{false};
+  // Guards underlying_, drain_scratch_, the staging pointer, and the
+  // staging consumer role. (The SPSC producer role is serialized by the
+  // base append_mutex_.)
+  mutable std::mutex state_mutex_;
   Underlying underlying_;
   std::vector<double> drain_scratch_;
   std::atomic<uint64_t> epoch_{0};
@@ -373,6 +517,7 @@ class ShardedReqEngine final : public MetricEngine {
   void Append(const double* data, size_t count) override {
     detail::CheckAppendable(data, count);
     std::lock_guard<std::mutex> produce(append_mutex_);
+    CheckNotRetired();
     if (log_) log_->AppendBatch(data, count);
     // Whole batches rotate round-robin across shards: each shard's stream
     // (and therefore its sketch) is a pure function of the batch arrival
@@ -386,6 +531,16 @@ class ShardedReqEngine final : public MetricEngine {
   // FlushAll is safe concurrently with producers (drains under the shard
   // locks), so queries need not take the append mutex.
   void Flush() override { sharded_.FlushAll(); }
+
+  size_t MemoryFootprint() const override {
+    return sizeof(*this) - sizeof(Sharded) + sharded_.MemoryBytes();
+  }
+
+  void TrimMemory() override {
+    std::lock_guard<std::mutex> produce(append_mutex_);
+    sharded_.FlushAll();
+    sharded_.TrimMemory();
+  }
 
   std::vector<uint64_t> GetRanks(const std::vector<double>& ys,
                                  Criterion criterion) override {
@@ -484,9 +639,25 @@ class WindowedReqEngine final
 
 // --- the registry ----------------------------------------------------------
 
+// What one EvictIdle sweep did: how many metrics it looked at, how many
+// it checkpointed out of memory, how many it merely trimmed.
+struct EvictionStats {
+  size_t scanned = 0;
+  size_t evicted = 0;
+  size_t trimmed = 0;
+};
+
 class SketchRegistry {
  public:
   using EnginePtr = std::shared_ptr<MetricEngine>;
+
+  // Name-hash shards of the directory. Power of two; 64 keeps the
+  // hottest realistic core counts from colliding while costing ~6 KiB of
+  // fixed overhead for the whole registry.
+  static constexpr size_t kRegistryShards = 64;
+
+  // What an evicted metric is charged: directory entry + name, no engine.
+  static constexpr uint64_t kEvictedEntryBytes = 256;
 
   SketchRegistry() = default;
   SketchRegistry(const SketchRegistry&) = delete;
@@ -499,25 +670,48 @@ class SketchRegistry {
     durability_ = durability;
   }
 
+  // Tenancy quotas, enforced at CREATE time (0 = unlimited, the
+  // default). Memory is accounted per metric from MemoryFootprint(),
+  // refreshed by eviction sweeps. Call before serving; not synchronized
+  // against in-flight Creates.
+  void SetLimits(uint64_t max_metrics, uint64_t max_memory_bytes) {
+    max_metrics_.store(max_metrics, std::memory_order_relaxed);
+    max_memory_bytes_.store(max_memory_bytes, std::memory_order_relaxed);
+  }
+
   // Creates a metric; throws MetricExists if the name is taken,
-  // invalid_argument / runtime_error on a bad spec or name, or
-  // persist::IoError when the durable CREATE record cannot be written
-  // (in which case the metric does not exist, in memory or on disk).
+  // QuotaExceeded when a tenancy limit would be crossed, invalid_argument
+  // / runtime_error on a bad spec or name, or persist::IoError when the
+  // durable CREATE record cannot be written (in which case the metric
+  // does not exist, in memory or on disk).
   EnginePtr Create(const std::string& name, const MetricSpec& spec) {
     ValidateMetricName(name);
     ValidateMetricSpec(spec);
     EnginePtr engine = MakeEngine(spec);
+    const uint64_t footprint = engine->MemoryFootprint();
+    Shard& shard = ShardFor(name);
     {
-      std::unique_lock<std::shared_mutex> lock(map_mutex_);
-      if (engines_.count(name) != 0) throw MetricExists(name);
+      std::unique_lock<std::shared_mutex> lock(shard.mutex);
+      if (shard.metrics.count(name) != 0) throw MetricExists(name);
+      ReserveQuota(name, footprint);
       // Durable before visible: the manifest record and the metric's WAL
       // exist before any client can observe (and append to) the metric.
       if (durability_ != nullptr) {
-        engine->SetLog(durability_->OnCreate(name, spec));
+        try {
+          engine->SetLog(durability_->OnCreate(name, spec));
+        } catch (...) {
+          ReleaseQuota(footprint);
+          throw;
+        }
       }
-      engines_.emplace(name, engine);
+      auto entry = std::make_shared<Entry>(spec);
+      entry->last_touch_ms.store(NowMs(), std::memory_order_relaxed);
+      entry->accounted_bytes.store(footprint, std::memory_order_relaxed);
+      std::atomic_store_explicit(&entry->engine, engine,
+                                 std::memory_order_release);
+      shard.metrics.emplace(name, std::move(entry));
+      shard.epoch.fetch_add(1, std::memory_order_release);
     }
-    epoch_.fetch_add(1, std::memory_order_release);
     return engine;
   }
 
@@ -525,7 +719,9 @@ class SketchRegistry {
   // blob (empty => fresh engine) positioned at WAL batch `batches`,
   // WITHOUT notifying the durability hook -- the metric already exists on
   // disk; the caller replays the WAL tail and then attaches the log via
-  // SetLog. Single-threaded use, before the server starts.
+  // SetLog. Quotas are accounted but NOT enforced: recovery must never
+  // refuse state that was already acknowledged. Single-threaded use,
+  // before the server starts.
   EnginePtr CreateRecovered(const std::string& name, const MetricSpec& spec,
                             const std::vector<uint8_t>& snapshot_blob,
                             uint64_t accepted_n, uint64_t batches) {
@@ -535,29 +731,63 @@ class SketchRegistry {
         snapshot_blob.empty()
             ? MakeEngine(spec)
             : MakeRecoveredEngine(spec, snapshot_blob, accepted_n, batches);
+    const uint64_t footprint = engine->MemoryFootprint();
+    Shard& shard = ShardFor(name);
     {
-      std::unique_lock<std::shared_mutex> lock(map_mutex_);
-      auto [it, inserted] = engines_.emplace(name, engine);
-      (void)it;
-      if (!inserted) throw MetricExists(name);
+      std::unique_lock<std::shared_mutex> lock(shard.mutex);
+      if (shard.metrics.count(name) != 0) throw MetricExists(name);
+      total_metrics_.fetch_add(1, std::memory_order_relaxed);
+      memory_bytes_.fetch_add(footprint, std::memory_order_relaxed);
+      auto entry = std::make_shared<Entry>(spec);
+      entry->last_touch_ms.store(NowMs(), std::memory_order_relaxed);
+      entry->accounted_bytes.store(footprint, std::memory_order_relaxed);
+      std::atomic_store_explicit(&entry->engine, engine,
+                                 std::memory_order_release);
+      shard.metrics.emplace(name, std::move(entry));
+      shard.epoch.fetch_add(1, std::memory_order_release);
     }
-    epoch_.fetch_add(1, std::memory_order_release);
     return engine;
   }
 
-  // The engine for `name`, or nullptr when absent. The returned handle
-  // stays valid after a concurrent Drop (shared ownership).
-  EnginePtr Find(const std::string& name) const {
-    std::shared_lock<std::shared_mutex> lock(map_mutex_);
-    auto it = engines_.find(name);
-    return it == engines_.end() ? nullptr : it->second;
+  // The engine for `name`, or nullptr when absent. Touches the metric's
+  // idle clock and transparently rehydrates an evicted engine from its
+  // eviction checkpoint (bit-identical: the checkpoint sat on a WAL batch
+  // boundary and ReqSerde carries exact PRNG state). The returned handle
+  // stays valid after a concurrent Drop or eviction (shared ownership);
+  // a retired handle throws MetricRetired on Append, and re-resolving
+  // through Find yields the fresh engine.
+  EnginePtr Find(const std::string& name) {
+    Shard& shard = ShardFor(name);
+    EntryPtr entry;
+    {
+      std::shared_lock<std::shared_mutex> lock(shard.mutex);
+      auto it = shard.metrics.find(name);
+      if (it == shard.metrics.end()) return nullptr;
+      entry = it->second;
+    }
+    entry->last_touch_ms.store(NowMs(), std::memory_order_relaxed);
+    EnginePtr engine = std::atomic_load_explicit(&entry->engine,
+                                                 std::memory_order_acquire);
+    if (engine) return engine;
+    return Rehydrate(name, entry);
   }
 
   // Find, but throws MetricNotFound instead of returning nullptr.
-  EnginePtr Require(const std::string& name) const {
+  EnginePtr Require(const std::string& name) {
     EnginePtr engine = Find(name);
     if (!engine) throw MetricNotFound(name);
     return engine;
+  }
+
+  // Whether the metric currently has an engine in memory (false while
+  // evicted). Does not touch the idle clock -- observability only.
+  bool IsResident(const std::string& name) const {
+    const Shard& shard = ShardFor(name);
+    std::shared_lock<std::shared_mutex> lock(shard.mutex);
+    auto it = shard.metrics.find(name);
+    if (it == shard.metrics.end()) return false;
+    return std::atomic_load_explicit(&it->second->engine,
+                                     std::memory_order_acquire) != nullptr;
   }
 
   // Removes a metric; returns whether it existed. In-flight operations on
@@ -567,42 +797,394 @@ class SketchRegistry {
   // propagates: the next restart resurrects it, which is the recoverable
   // direction (dropping again beats silently losing a live metric).
   bool Drop(const std::string& name) {
-    bool erased = false;
+    Shard& shard = ShardFor(name);
+    std::unique_lock<std::shared_mutex> lock(shard.mutex);
+    auto it = shard.metrics.find(name);
+    if (it == shard.metrics.end()) return false;
+    EntryPtr entry = it->second;
     {
-      std::unique_lock<std::shared_mutex> lock(map_mutex_);
-      erased = engines_.erase(name) > 0;
-      if (erased && durability_ != nullptr) durability_->OnDrop(name);
+      // Lock order everywhere: shard.mutex before entry lifecycle.
+      // (Rehydrate takes the lifecycle mutex alone.) The dropped flag
+      // turns any concurrent rehydrate of this entry into MetricNotFound
+      // rather than a resurrection.
+      std::lock_guard<std::mutex> lifecycle(entry->lifecycle_mutex);
+      entry->dropped.store(true, std::memory_order_release);
+      shard.metrics.erase(it);
+      total_metrics_.fetch_sub(1, std::memory_order_relaxed);
+      memory_bytes_.fetch_sub(
+          entry->accounted_bytes.load(std::memory_order_relaxed),
+          std::memory_order_relaxed);
+      shard.epoch.fetch_add(1, std::memory_order_release);
+      if (durability_ != nullptr) durability_->OnDrop(name);
     }
-    if (erased) epoch_.fetch_add(1, std::memory_order_release);
-    return erased;
+    return true;
+  }
+
+  // Sweeps every shard for metrics idle past `idle_ms`. Durable idle
+  // metrics are evicted: final checkpoint, WAL closed, engine dropped
+  // from memory (Find rehydrates on next touch -- no acked item lost).
+  // Memory-only idle metrics get TrimMemory() instead. Hot metrics just
+  // have their memory accounting refreshed. Safe concurrently with
+  // appends/queries/creates/drops; an appender racing an eviction sees
+  // MetricRetired and the server retries against the rehydrated engine.
+  EvictionStats EvictIdle(uint64_t idle_ms) {
+    EvictionStats stats;
+    const uint64_t now = NowMs();
+    for (Shard& shard : shards_) {
+      std::vector<std::pair<std::string, EntryPtr>> candidates;
+      {
+        std::shared_lock<std::shared_mutex> lock(shard.mutex);
+        candidates.reserve(shard.metrics.size());
+        for (const auto& [name, entry] : shard.metrics) {
+          candidates.emplace_back(name, entry);
+        }
+      }
+      for (auto& [name, entry] : candidates) {
+        ++stats.scanned;
+        const uint64_t touch =
+            entry->last_touch_ms.load(std::memory_order_relaxed);
+        EnginePtr engine = std::atomic_load_explicit(
+            &entry->engine, std::memory_order_acquire);
+        if (touch > now || now - touch < idle_ms) {
+          // Hot: refresh the per-metric accounting and move on.
+          if (engine) AccountEntry(*entry, engine->MemoryFootprint());
+          continue;
+        }
+        std::lock_guard<std::mutex> lifecycle(entry->lifecycle_mutex);
+        if (entry->dropped.load(std::memory_order_acquire)) continue;
+        // Re-read the idle clock under the lifecycle lock, against a
+        // fresh clock: a Find may have touched this metric (or a slow
+        // Rehydrate republished it -- it refreshes the touch under this
+        // same mutex) since the unlocked scan above, possibly long ago
+        // if this sweep is large. Deciding against the stale sweep-start
+        // `now` would re-retire an engine the moment it came back.
+        const uint64_t now_locked = NowMs();
+        const uint64_t touch_locked =
+            entry->last_touch_ms.load(std::memory_order_relaxed);
+        engine = std::atomic_load_explicit(&entry->engine,
+                                           std::memory_order_acquire);
+        if (touch_locked > now_locked || now_locked - touch_locked < idle_ms) {
+          if (engine) AccountEntry(*entry, engine->MemoryFootprint());
+          continue;
+        }
+        if (!engine) continue;  // already evicted
+        if (durability_ != nullptr && engine->wal() != nullptr) {
+          // Unpublish BEFORE retiring. Once the pointer is null, a
+          // racing appender's re-resolve parks in Rehydrate on this
+          // lifecycle mutex instead of spinning on a still-published
+          // retired handle -- with one core, that spin can burn every
+          // bounded server retry before this thread runs again. The
+          // ordering bounds the race: an append can only see
+          // MetricRetired through a handle it grabbed before the null
+          // store, so its first re-resolve already blocks until the
+          // rehydrated engine is ready.
+          EnginePtr empty;
+          std::atomic_store_explicit(&entry->engine, empty,
+                                     std::memory_order_release);
+          try {
+            engine->RetireForEviction();
+          } catch (...) {
+            // Checkpoint failed; the engine is still live and appendable
+            // (strong guarantee), so republish it before rethrowing.
+            std::atomic_store_explicit(&entry->engine, engine,
+                                       std::memory_order_release);
+            throw;
+          }
+          durability_->OnEvict(name);
+          AccountEntry(*entry, kEvictedEntryBytes + name.size());
+          rehydration_stats_evictions_.fetch_add(1,
+                                                 std::memory_order_relaxed);
+          ++stats.evicted;
+        } else {
+          engine->TrimMemory();
+          AccountEntry(*entry, engine->MemoryFootprint());
+          ++stats.trimmed;
+        }
+      }
+    }
+    return stats;
   }
 
   size_t size() const {
-    std::shared_lock<std::shared_mutex> lock(map_mutex_);
-    return engines_.size();
+    return total_metrics_.load(std::memory_order_relaxed);
   }
 
-  // Monotone directory version: bumped by every Create/Drop.
-  uint64_t Epoch() const { return epoch_.load(std::memory_order_acquire); }
+  // Bytes currently charged against the memory quota (sum of per-metric
+  // accounted footprints; refreshed by eviction sweeps).
+  uint64_t AccountedMemoryBytes() const {
+    return memory_bytes_.load(std::memory_order_relaxed);
+  }
+
+  uint64_t Evictions() const {
+    return rehydration_stats_evictions_.load(std::memory_order_relaxed);
+  }
+  uint64_t Rehydrations() const {
+    return rehydration_stats_rehydrations_.load(std::memory_order_relaxed);
+  }
+
+  // Monotone directory version: the sum of per-shard epochs, each bumped
+  // by every Create/Drop in that shard. Reads are sequential over
+  // monotone counters, so the sum observed by a later scan is never
+  // smaller than an earlier one -- staleness is always detected.
+  uint64_t Epoch() const {
+    uint64_t sum = 0;
+    for (const Shard& shard : shards_) {
+      sum += shard.epoch.load(std::memory_order_acquire);
+    }
+    return sum;
+  }
 
   // Sorted metric-name snapshot, epoch-cached: while no metric is created
-  // or dropped, repeated LISTs are one lock-free atomic load.
+  // or dropped, repeated LISTs are one lock-free atomic load; after a
+  // CREATE/DROP only the touched shard's sorted run is rebuilt and the
+  // global view re-merged lazily, on the next LIST.
   std::shared_ptr<const std::vector<std::string>> List() const {
-    return list_cache_.Get(
-        [this] { return epoch_.load(std::memory_order_acquire); },
-        [this] {
-          std::shared_lock<std::shared_mutex> lock(map_mutex_);
+    return list_cache_.Get([this] { return Epoch(); },
+                           [this] { return MergeAllNames(); });
+  }
+
+  // One page of the directory, sorted: names matching `prefix` (empty =
+  // all), skipping `offset` matches, returning at most `limit` (0 = no
+  // limit). *total gets the full match count regardless of paging. Never
+  // materializes more than the page plus the per-shard cached runs.
+  std::vector<std::string> ListPage(const std::string& prefix,
+                                    uint64_t offset, uint64_t limit,
+                                    uint64_t* total) const {
+    ValidateMetricPrefix(prefix);
+    const std::string upper = PrefixSuccessor(prefix);
+    struct Range {
+      std::shared_ptr<const std::vector<std::string>> names;
+      size_t pos;
+      size_t end;
+    };
+    std::vector<Range> ranges;
+    ranges.reserve(kRegistryShards);
+    uint64_t matched = 0;
+    for (const Shard& shard : shards_) {
+      std::shared_ptr<const std::vector<std::string>> names =
+          ShardNames(shard);
+      auto begin = prefix.empty()
+                       ? names->begin()
+                       : std::lower_bound(names->begin(), names->end(),
+                                          prefix);
+      auto end = upper.empty()
+                     ? names->end()
+                     : std::lower_bound(begin, names->end(), upper);
+      if (begin == end) continue;
+      const size_t b = static_cast<size_t>(begin - names->begin());
+      const size_t e = static_cast<size_t>(end - names->begin());
+      matched += e - b;
+      ranges.push_back(Range{std::move(names), b, e});
+    }
+    if (total != nullptr) *total = matched;
+    std::vector<std::string> page;
+    if (offset >= matched) return page;
+    const uint64_t want = (limit == 0)
+                              ? matched - offset
+                              : std::min<uint64_t>(limit, matched - offset);
+    page.reserve(static_cast<size_t>(want));
+    // K-way merge of the per-shard sorted runs, counting off the offset
+    // then emitting the page.
+    auto greater = [&ranges](size_t a, size_t b) {
+      return (*ranges[a].names)[ranges[a].pos] >
+             (*ranges[b].names)[ranges[b].pos];
+    };
+    std::priority_queue<size_t, std::vector<size_t>, decltype(greater)>
+        heap(greater);
+    for (size_t i = 0; i < ranges.size(); ++i) heap.push(i);
+    uint64_t skipped = 0;
+    while (!heap.empty() && page.size() < want) {
+      const size_t i = heap.top();
+      heap.pop();
+      if (skipped < offset) {
+        ++skipped;
+      } else {
+        page.push_back((*ranges[i].names)[ranges[i].pos]);
+      }
+      if (++ranges[i].pos < ranges[i].end) heap.push(i);
+    }
+    return page;
+  }
+
+ private:
+  // One metric's directory slot. Outlives eviction (the engine pointer
+  // goes null); erased from the shard map only by Drop.
+  struct Entry {
+    explicit Entry(const MetricSpec& s) : spec(s) {}
+    const MetricSpec spec;
+    // Read/written with std::atomic_load/store; null while evicted.
+    std::shared_ptr<MetricEngine> engine;
+    // Serializes evict vs. rehydrate vs. drop for THIS metric. Taken
+    // after the shard mutex when both are held; alone in Rehydrate.
+    std::mutex lifecycle_mutex;
+    std::atomic<uint64_t> last_touch_ms{0};
+    std::atomic<uint64_t> accounted_bytes{0};
+    std::atomic<bool> dropped{false};
+  };
+  using EntryPtr = std::shared_ptr<Entry>;
+
+  struct Shard {
+    mutable std::shared_mutex mutex;
+    std::map<std::string, EntryPtr> metrics;
+    std::atomic<uint64_t> epoch{0};
+    // Sorted-name snapshot of THIS shard, keyed on the shard epoch:
+    // a CREATE/DROP elsewhere leaves this run untouched.
+    concurrency::EpochSnapshotCache<std::vector<std::string>> names_cache;
+  };
+
+  Shard& ShardFor(const std::string& name) {
+    return shards_[std::hash<std::string>{}(name) & (kRegistryShards - 1)];
+  }
+  const Shard& ShardFor(const std::string& name) const {
+    return shards_[std::hash<std::string>{}(name) & (kRegistryShards - 1)];
+  }
+
+  static uint64_t NowMs() {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+
+  // Re-charges a metric at `new_bytes`, keeping the global gauge in sync
+  // (modular uint64 arithmetic absorbs shrinking footprints).
+  void AccountEntry(Entry& entry, uint64_t new_bytes) {
+    const uint64_t old_bytes =
+        entry.accounted_bytes.exchange(new_bytes, std::memory_order_relaxed);
+    memory_bytes_.fetch_add(new_bytes - old_bytes, std::memory_order_relaxed);
+  }
+
+  // Reserves one metric + `footprint` bytes against the quotas, rolling
+  // back and throwing QuotaExceeded on either limit. Called under the
+  // target shard's unique lock (so a rejected CREATE never becomes
+  // visible).
+  void ReserveQuota(const std::string& name, uint64_t footprint) {
+    const uint64_t max_metrics =
+        max_metrics_.load(std::memory_order_relaxed);
+    const uint64_t prior_count =
+        total_metrics_.fetch_add(1, std::memory_order_relaxed);
+    if (max_metrics != 0 && prior_count >= max_metrics) {
+      total_metrics_.fetch_sub(1, std::memory_order_relaxed);
+      throw QuotaExceeded("metric quota exceeded (limit " +
+                          std::to_string(max_metrics) +
+                          "): cannot create '" + name + "'");
+    }
+    const uint64_t max_bytes =
+        max_memory_bytes_.load(std::memory_order_relaxed);
+    const uint64_t prior_bytes =
+        memory_bytes_.fetch_add(footprint, std::memory_order_relaxed);
+    if (max_bytes != 0 && prior_bytes + footprint > max_bytes) {
+      memory_bytes_.fetch_sub(footprint, std::memory_order_relaxed);
+      total_metrics_.fetch_sub(1, std::memory_order_relaxed);
+      throw QuotaExceeded("memory quota exceeded (limit " +
+                          std::to_string(max_bytes) +
+                          " bytes): cannot create '" + name + "'");
+    }
+  }
+
+  void ReleaseQuota(uint64_t footprint) {
+    memory_bytes_.fetch_sub(footprint, std::memory_order_relaxed);
+    total_metrics_.fetch_sub(1, std::memory_order_relaxed);
+  }
+
+  // Rebuilds an evicted metric's engine from its eviction checkpoint +
+  // WAL tail, exactly the restart-recovery procedure, so the rehydrated
+  // engine is bit-identical to the evicted one. Serialized per entry by
+  // the lifecycle mutex; concurrent Finds wait and share the result.
+  EnginePtr Rehydrate(const std::string& name, const EntryPtr& entry) {
+    std::lock_guard<std::mutex> lifecycle(entry->lifecycle_mutex);
+    EnginePtr engine = std::atomic_load_explicit(&entry->engine,
+                                                 std::memory_order_acquire);
+    if (engine) return engine;  // another thread rehydrated first
+    if (entry->dropped.load(std::memory_order_acquire)) return nullptr;
+    util::CheckState(durability_ != nullptr,
+                     "evicted metric without a durability hook");
+    persist::RehydratedMetric r = durability_->OnRehydrate(name);
+    EnginePtr fresh =
+        r.state.snapshot_blob.empty()
+            ? MakeEngine(entry->spec)
+            : MakeRecoveredEngine(entry->spec, r.state.snapshot_blob,
+                                  r.state.snapshot_accepted_n,
+                                  r.state.snapshot_lsn);
+    for (const std::vector<double>& batch : r.state.batches) {
+      fresh->Append(batch.data(), batch.size());
+    }
+    fresh->Flush();
+    fresh->SetLog(std::move(r.log));
+    AccountEntry(*entry, fresh->MemoryFootprint());
+    // Refresh the idle clock before publishing: rehydration can wait out
+    // a long eviction sweep on the durability manager, leaving the
+    // Find-time touch older than the idle TTL -- the metric's idle life
+    // starts now, when it is actually usable again. The evictor re-reads
+    // the touch under this same lifecycle mutex, so a just-published
+    // engine can never be re-retired as idle.
+    entry->last_touch_ms.store(NowMs(), std::memory_order_relaxed);
+    std::atomic_store_explicit(&entry->engine, fresh,
+                               std::memory_order_release);
+    rehydration_stats_rehydrations_.fetch_add(1, std::memory_order_relaxed);
+    return fresh;
+  }
+
+  // This shard's sorted name run (epoch-cached; rebuilt only after a
+  // CREATE/DROP in this shard).
+  std::shared_ptr<const std::vector<std::string>> ShardNames(
+      const Shard& shard) const {
+    return shard.names_cache.Get(
+        [&shard] { return shard.epoch.load(std::memory_order_acquire); },
+        [&shard] {
+          std::shared_lock<std::shared_mutex> lock(shard.mutex);
           std::vector<std::string> names;
-          names.reserve(engines_.size());
-          for (const auto& [name, engine] : engines_) {
-            (void)engine;
+          names.reserve(shard.metrics.size());
+          for (const auto& [name, entry] : shard.metrics) {
+            (void)entry;
             names.push_back(name);
           }
           return names;  // std::map iterates sorted
         });
   }
 
- private:
+  // Full sorted directory: k-way merge of the per-shard runs.
+  std::vector<std::string> MergeAllNames() const {
+    std::vector<std::shared_ptr<const std::vector<std::string>>> parts;
+    parts.reserve(kRegistryShards);
+    size_t count = 0;
+    for (const Shard& shard : shards_) {
+      parts.push_back(ShardNames(shard));
+      count += parts.back()->size();
+    }
+    std::vector<std::string> merged;
+    merged.reserve(count);
+    std::vector<size_t> pos(parts.size(), 0);
+    auto greater = [&parts, &pos](size_t a, size_t b) {
+      return (*parts[a])[pos[a]] > (*parts[b])[pos[b]];
+    };
+    std::priority_queue<size_t, std::vector<size_t>, decltype(greater)>
+        heap(greater);
+    for (size_t i = 0; i < parts.size(); ++i) {
+      if (!parts[i]->empty()) heap.push(i);
+    }
+    while (!heap.empty()) {
+      const size_t i = heap.top();
+      heap.pop();
+      merged.push_back((*parts[i])[pos[i]]);
+      if (++pos[i] < parts[i]->size()) heap.push(i);
+    }
+    return merged;
+  }
+
+  // Smallest string greater than every string with prefix `prefix`, or
+  // empty when no finite bound exists (prefix all-0xff or empty).
+  static std::string PrefixSuccessor(std::string prefix) {
+    while (!prefix.empty()) {
+      if (static_cast<unsigned char>(prefix.back()) != 0xff) {
+        prefix.back() = static_cast<char>(prefix.back() + 1);
+        return prefix;
+      }
+      prefix.pop_back();
+    }
+    return prefix;
+  }
+
   static EnginePtr MakeEngine(const MetricSpec& spec) {
     switch (spec.kind) {
       case EngineKind::kPlain:
@@ -641,10 +1223,15 @@ class SketchRegistry {
     throw std::invalid_argument("unknown engine kind");
   }
 
-  mutable std::shared_mutex map_mutex_;
-  std::map<std::string, EnginePtr> engines_;
+  std::array<Shard, kRegistryShards> shards_;
   persist::DirectoryHook* durability_ = nullptr;
-  std::atomic<uint64_t> epoch_{0};
+  std::atomic<uint64_t> max_metrics_{0};
+  std::atomic<uint64_t> max_memory_bytes_{0};
+  std::atomic<uint64_t> total_metrics_{0};
+  std::atomic<uint64_t> memory_bytes_{0};
+  std::atomic<uint64_t> rehydration_stats_evictions_{0};
+  std::atomic<uint64_t> rehydration_stats_rehydrations_{0};
+  // Whole-directory sorted view, keyed on the shard-epoch sum.
   concurrency::EpochSnapshotCache<std::vector<std::string>> list_cache_;
 };
 

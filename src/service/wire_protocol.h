@@ -25,7 +25,8 @@
 //   QUANTILES name | u8 criterion | f64[] normalized ranks
 //   CDF       name | u8 criterion | f64[] ascending split points
 //   SNAPSHOT  name
-//   LIST      (empty)
+//   LIST      (empty)                      -- v1 form: full listing
+//   LIST      prefix | u64 offset | u64 limit   -- v2 paged form
 //   DROP      name
 //
 // Response bodies on kOk:
@@ -38,8 +39,15 @@
 //   QUANTILES f64[] quantile values
 //   CDF       f64[] normalized ranks (one per split, plus the trailing 1.0)
 //   SNAPSHOT  u8[]  engine snapshot blob (u8 engine kind | engine serde)
-//   LIST      u64 count | count * name
+//   LIST      u64 count | count * name                    -- v1 form
+//   LIST      u64 total | u64 count | count * name        -- v2 paged form
 //   DROP      (empty)
+//
+// LIST versioning: an empty LIST body is the v1 request and gets the v1
+// response, so old clients keep working byte-for-byte against a v2
+// server. The paged form filters by name prefix (empty = all), skips
+// `offset` matches and returns at most `limit` names (0 = no limit);
+// `total` is the number of matches before pagination.
 //
 // Parsing treats every payload as untrusted: unknown opcodes, bad enum
 // values, malformed names, counts that overrun the payload, and trailing
@@ -63,7 +71,7 @@
 namespace req {
 namespace service {
 
-inline constexpr uint8_t kProtocolVersion = 1;
+inline constexpr uint8_t kProtocolVersion = 2;
 
 // Hard ceiling on a frame payload. Large enough for a ~4M-item APPEND or
 // any realistic snapshot, small enough that a corrupt or hostile length
@@ -91,6 +99,10 @@ enum class Status : uint8_t {
   kNotFound = 2,    // metric does not exist
   kExists = 3,      // CREATE of a metric that already exists
   kError = 4,       // unexpected server-side failure
+  // CREATE rejected by a registry quota (metric count or memory). Not a
+  // transport failure and not retryable as-is: the client surfaces it as
+  // a typed error and must NOT blind-retry (v2).
+  kQuotaExceeded = 5,
 };
 
 // Which engine a metric runs on (chosen once, at CREATE).
@@ -124,6 +136,11 @@ struct Request {
   MetricSpec spec;                    // CREATE
   Criterion criterion = Criterion::kInclusive;  // RANK/QUANTILES/CDF
   std::vector<double> values;         // APPEND items / query points
+  // LIST v2 pagination; list_paged=false encodes the v1 empty body.
+  bool list_paged = false;
+  std::string list_prefix;            // empty = every metric
+  uint64_t list_offset = 0;           // matches to skip
+  uint64_t list_limit = 0;            // max names returned; 0 = no limit
 };
 
 struct Response {
@@ -134,7 +151,9 @@ struct Response {
   std::vector<uint64_t> ranks;        // RANK
   std::vector<double> values;         // QUANTILES / CDF
   std::vector<uint8_t> blob;          // SNAPSHOT
-  std::vector<std::string> names;     // LIST
+  std::vector<std::string> names;     // LIST (one page in the v2 form)
+  bool list_paged = false;            // LIST: response carries `total`
+  uint64_t total = 0;                 // LIST v2: matches before paging
 };
 
 // Thrown by the client when the server answers with a non-kOk status.
@@ -153,6 +172,17 @@ inline void ValidateMetricName(const std::string& name) {
   for (char c : name) {
     util::CheckData(c > 0x20 && c < 0x7f,
                     "metric name must be printable non-space ASCII");
+  }
+}
+
+// A LIST prefix is a (possibly empty) leading fragment of a metric name,
+// so it obeys the name alphabet but not the non-empty rule.
+inline void ValidateMetricPrefix(const std::string& prefix) {
+  util::CheckData(prefix.size() <= kMaxMetricNameLen,
+                  "metric prefix exceeds 255 bytes");
+  for (char c : prefix) {
+    util::CheckData(c > 0x20 && c < 0x7f,
+                    "metric prefix must be printable non-space ASCII");
   }
 }
 
@@ -234,7 +264,15 @@ inline std::vector<uint8_t> EncodeRequest(const Request& request) {
   writer.Write<uint8_t>(static_cast<uint8_t>(request.op));
   switch (request.op) {
     case Opcode::kPing:
+      break;
     case Opcode::kList:
+      // v1 compatibility: the unpaged request is the empty body old
+      // servers expect; the paged operands only exist in the v2 form.
+      if (request.list_paged) {
+        writer.WriteString(request.list_prefix);
+        writer.Write<uint64_t>(request.list_offset);
+        writer.Write<uint64_t>(request.list_limit);
+      }
       break;
     case Opcode::kCreate:
       writer.WriteString(request.metric);
@@ -278,7 +316,17 @@ inline Request ParseRequest(const std::vector<uint8_t>& payload) {
   request.op = static_cast<Opcode>(op);
   switch (request.op) {
     case Opcode::kPing:
+      break;
     case Opcode::kList:
+      // An empty body is a v1 full-listing request; any body is the v2
+      // paged form (prefix | offset | limit).
+      if (!reader.AtEnd()) {
+        request.list_paged = true;
+        request.list_prefix = reader.ReadString();
+        ValidateMetricPrefix(request.list_prefix);
+        request.list_offset = reader.Read<uint64_t>();
+        request.list_limit = reader.Read<uint64_t>();
+      }
       break;
     case Opcode::kCreate: {
       request.metric = reader.ReadString();
@@ -358,6 +406,9 @@ inline std::vector<uint8_t> EncodeResponse(Opcode op,
       writer.WriteVector<uint8_t>(response.blob);
       break;
     case Opcode::kList:
+      // Paged responses lead with the pre-pagination match total; the v1
+      // body stays byte-identical for unpaged requests.
+      if (response.list_paged) writer.Write<uint64_t>(response.total);
       writer.Write<uint64_t>(response.names.size());
       for (const std::string& name : response.names) {
         writer.WriteString(name);
@@ -368,12 +419,15 @@ inline std::vector<uint8_t> EncodeResponse(Opcode op,
 }
 
 // Parses a response to a request of opcode `op` (the client knows what it
-// sent; the opcode selects the body layout).
-inline Response ParseResponse(Opcode op,
-                              const std::vector<uint8_t>& payload) {
+// sent; the opcode selects the body layout). `paged_list` must mirror the
+// request's list_paged flag: a paged LIST answer leads with the match
+// total, the v1 answer does not, and only the requester knows which form
+// it asked for.
+inline Response ParseResponse(Opcode op, const std::vector<uint8_t>& payload,
+                              bool paged_list = false) {
   util::BinaryReader reader(payload);
   const uint8_t status = reader.Read<uint8_t>();
-  util::CheckData(status <= static_cast<uint8_t>(Status::kError),
+  util::CheckData(status <= static_cast<uint8_t>(Status::kQuotaExceeded),
                   "unknown response status");
   Response response;
   response.status = static_cast<Status>(status);
@@ -404,11 +458,17 @@ inline Response ParseResponse(Opcode op,
       response.blob = reader.ReadVector<uint8_t>();
       break;
     case Opcode::kList: {
+      if (paged_list) {
+        response.list_paged = true;
+        response.total = reader.Read<uint64_t>();
+      }
       const uint64_t count = reader.Read<uint64_t>();
       // Each name costs at least its u64 length prefix on the wire, so a
       // count beyond remaining/8 is corrupt before any allocation.
       util::CheckData(count <= reader.remaining() / sizeof(uint64_t),
                       "metric count exceeds payload");
+      util::CheckData(!response.list_paged || count <= response.total,
+                      "LIST page larger than its match total");
       response.names.reserve(static_cast<size_t>(count));
       for (uint64_t i = 0; i < count; ++i) {
         response.names.push_back(reader.ReadString());

@@ -149,6 +149,30 @@ class WindowedReqSketch {
     return params::RelativeStdErr(config_.base.k_base);
   }
 
+  // Resident heap footprint: every bucket sketch plus the memoized merged
+  // view when it is built. Requires the usual reader contract (no
+  // concurrent mutators); takes the merged lock so a concurrent query
+  // building the view cannot race the walk.
+  size_t MemoryBytes() const {
+    // Bucket headers live inside the buckets_ allocation, and each
+    // bucket's MemoryBytes() already counts its own sizeof -- charge only
+    // the ring's slack capacity on top.
+    size_t bytes = sizeof(*this) +
+                   (buckets_.capacity() - buckets_.size()) * sizeof(Sketch);
+    for (const Sketch& bucket : buckets_) bytes += bucket.MemoryBytes();
+    std::lock_guard<std::mutex> lock(merged_mutex_.mutex);
+    if (merged_cache_.has_value()) bytes += merged_cache_->MemoryBytes();
+    return bytes;
+  }
+
+  // Releases allocator slack: drops the merged view and trims every
+  // bucket. Mutator contract (exclusive access); the window's contents
+  // and answers are unchanged, the next query just rebuilds its view.
+  void TrimMemory() {
+    InvalidateMerged();
+    for (Sketch& bucket : buckets_) bucket.TrimMemory();
+  }
+
   // --- updates -------------------------------------------------------------
 
   void Update(const T& item) {

@@ -313,6 +313,92 @@ TEST(ResponseCodec, RejectsBadStatusAndTrailingBytes) {
   EXPECT_THROW(ParseResponse(Opcode::kAppend, bytes), std::runtime_error);
 }
 
+// --- paged LIST (protocol v2) ----------------------------------------------
+
+TEST(PagedList, RequestRoundTripsAndV1StaysBare) {
+  Request request;
+  request.op = Opcode::kList;
+  request.list_paged = true;
+  request.list_prefix = "api.";
+  request.list_offset = 1000;
+  request.list_limit = 50;
+  const Request parsed = ParseRequest(EncodeRequest(request));
+  EXPECT_TRUE(parsed.list_paged);
+  EXPECT_EQ(parsed.list_prefix, "api.");
+  EXPECT_EQ(parsed.list_offset, 1000u);
+  EXPECT_EQ(parsed.list_limit, 50u);
+
+  // A v1 LIST (list_paged unset) must still encode the bare one-byte body
+  // old servers expect, and parse back as unpaged.
+  Request v1;
+  v1.op = Opcode::kList;
+  const std::vector<uint8_t> bytes = EncodeRequest(v1);
+  EXPECT_EQ(bytes.size(), 1u);
+  EXPECT_FALSE(ParseRequest(bytes).list_paged);
+}
+
+TEST(PagedList, EmptyPrefixListsEverything) {
+  Request request;
+  request.op = Opcode::kList;
+  request.list_paged = true;
+  request.list_offset = 3;
+  const Request parsed = ParseRequest(EncodeRequest(request));
+  EXPECT_TRUE(parsed.list_paged);
+  EXPECT_TRUE(parsed.list_prefix.empty());
+  EXPECT_EQ(parsed.list_offset, 3u);
+}
+
+TEST(PagedList, RejectsBadPrefix) {
+  for (const std::string& bad :
+       {std::string("has space"), std::string("nul\0x", 5),
+        std::string(300, 'a')}) {
+    Request request;
+    request.op = Opcode::kList;
+    request.list_paged = true;
+    request.list_prefix = bad;
+    EXPECT_THROW(ParseRequest(EncodeRequest(request)), std::runtime_error);
+  }
+}
+
+TEST(PagedList, ResponseCarriesTotalOnlyWhenPaged) {
+  Response r;
+  r.list_paged = true;
+  r.total = 12345;
+  r.names = {"a", "b"};
+  const Response parsed = ParseResponse(
+      Opcode::kList, EncodeResponse(Opcode::kList, r), /*paged_list=*/true);
+  EXPECT_TRUE(parsed.list_paged);
+  EXPECT_EQ(parsed.total, 12345u);
+  EXPECT_EQ(parsed.names, r.names);
+
+  // The same names encoded unpaged still parse as a v1 body: no total.
+  Response v1;
+  v1.names = {"a", "b"};
+  const std::vector<uint8_t> bare = EncodeResponse(Opcode::kList, v1);
+  EXPECT_EQ(ParseResponse(Opcode::kList, bare).total, 0u);
+}
+
+TEST(PagedList, RejectsCountExceedingTotal) {
+  Response r;
+  r.list_paged = true;
+  r.total = 1;  // lies: two names follow
+  r.names = {"a", "b"};
+  const std::vector<uint8_t> bytes = EncodeResponse(Opcode::kList, r);
+  EXPECT_THROW(
+      ParseResponse(Opcode::kList, bytes, /*paged_list=*/true),
+      std::runtime_error);
+}
+
+TEST(ResponseCodec, RoundTripsQuotaExceeded) {
+  Response r;
+  r.status = Status::kQuotaExceeded;
+  r.error = "metric quota exceeded (limit 1000000)";
+  const Response parsed =
+      ParseResponse(Opcode::kCreate, EncodeResponse(Opcode::kCreate, r));
+  EXPECT_EQ(parsed.status, Status::kQuotaExceeded);
+  EXPECT_EQ(parsed.error, r.error);
+}
+
 TEST(ResponseCodec, RejectsCorruptListCount) {
   Response r;
   r.names = {"a"};

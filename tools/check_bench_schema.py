@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Guards the machine-readable bench reports against schema drift.
 
-CI smoke-runs the whole bench suite (E1..E18) and validates the resulting
+CI smoke-runs the whole bench suite (E1..E19) and validates the resulting
 JSON here (stdlib only). The committed full-run reports at the repo root
 satisfy the same schemas, so this can also be pointed at them.
 
@@ -225,6 +225,20 @@ SCHEMAS = {
                          "recovered_items", "tail_bytes"},
             "summary": {"wal_nosync_overhead_pct",
                         "fsync_always_batch_ms", "replay_mups"},
+        },
+    },
+    "e19_churn": {
+        "top": {"experiment", "metrics", "smoke", "footprint", "latency",
+                "rehydrate", "churn", "summary"},
+        "arrays": {
+            "footprint": {"phase", "bytes_per_metric",
+                          "observed_rss_per_metric"},
+            "latency": {"op", "p50_us", "p99_us"},
+            # Disk-bound, hence the ungated *_ms fields (E18 precedent).
+            "rehydrate": {"metrics", "p50_ms", "p99_ms"},
+            "churn": {"rounds", "ops_per_sec"},
+            "summary": {"metrics", "idle_bytes_per_metric",
+                        "list_page_p99_us", "rehydrate_p99_ms"},
         },
     },
     "e16_query": {

@@ -6,11 +6,11 @@ threads, order, topology, ...); metric fields are compared with
 direction awareness:
 
   * higher-is-better: throughput-style keys (``*mups*``,
-    ``items_per_second``, ``*speedup*``) regress when the current value
-    drops more than the threshold below the baseline;
-  * lower-is-better: latency/cost-style keys (``*_ns``, ``*_us``)
-    regress when the current value rises more than the threshold above
-    the baseline.
+    ``items_per_second``, ``*per_sec*``, ``*speedup*``) regress when the
+    current value drops more than the threshold below the baseline;
+  * lower-is-better: latency/cost-style keys (``*_ns``, ``*_us``) and
+    space-style keys (``*bytes_per*``) regress when the current value
+    rises more than the threshold above the baseline.
 
 Accuracy/space fields (relerr, retained, ...) are reported but never
 fail the comparison -- they are claims for the test suite, not perf.
@@ -45,8 +45,13 @@ import argparse
 import json
 import sys
 
-HIGHER_BETTER = ("mups", "items_per_second", "speedup")
+HIGHER_BETTER = ("mups", "items_per_second", "per_sec", "speedup")
 LOWER_BETTER_SUFFIX = ("_ns", "_us")
+# Substring matches for space metrics (e.g. bytes_per_metric,
+# idle_bytes_per_metric). Deliberately narrow: raw RSS-derived fields
+# (observed_rss_per_metric) match no rule and stay ungated -- the OS
+# decides when to reclaim pages, not this codebase.
+LOWER_BETTER_CONTAINS = ("bytes_per",)
 
 # Fields that identify a row rather than measure it. Measurements that
 # vary run-to-run (e.g. "retained") must NOT be listed here, or rows
@@ -56,7 +61,7 @@ IDENTITY_KEYS = {
     "name", "k", "threads", "shards", "order", "topology", "variant",
     "parts", "schedule", "buckets", "n", "metric", "unit", "window_items",
     "bucket_items", "delta", "engine", "clients", "mode", "batches",
-    "checkpoint",
+    "checkpoint", "phase", "op", "rounds", "metrics",
 }
 
 
@@ -78,6 +83,8 @@ def metric_direction(key, row=None):
     if any(tag in lowered for tag in HIGHER_BETTER):
         return "up"
     if lowered.endswith(LOWER_BETTER_SUFFIX):
+        return "down"
+    if any(tag in lowered for tag in LOWER_BETTER_CONTAINS):
         return "down"
     return None
 

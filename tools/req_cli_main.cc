@@ -22,6 +22,17 @@
 //   req-cli --connect HOST:PORT --load [--clients C] [--items N]
 //           [--batch B] [--engine plain|sharded|windowed] [--k K]
 //           [--verify]
+//
+// Churn storm (--churn): the metric-LIFECYCLE load shape, as opposed to
+// --load's item throughput. Each round creates M metrics, appends one
+// small batch to each, pages through the directory with prefix-filtered
+// LISTs, then drops everything -- exercising the sharded registry,
+// paged LIST, and quotas on a live daemon. A CREATE refused on a quota
+// (kQuotaExceeded) is terminal for the round, reported, and never
+// retried. Reports create/append/list latency percentiles.
+//
+//   req-cli --connect HOST:PORT --churn [--metrics M] [--rounds R]
+//           [--page P] [--engine plain|sharded|windowed] [--k K]
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -58,6 +69,10 @@ struct Options {
   std::string engine = "plain";
   uint32_t k_base = 64;
   bool verify = false;
+  bool churn = false;
+  size_t metrics = 1000;
+  size_t rounds = 3;
+  size_t page = 100;
 };
 
 bool ParseHostPort(const std::string& arg, Options* opt) {
@@ -196,12 +211,105 @@ int RunLoad(const Options& opt) {
   return 0;
 }
 
+// --- churn storm -----------------------------------------------------------
+
+double PercentileUs(std::vector<double>* sorted_us, double p) {
+  if (sorted_us->empty()) return 0.0;
+  std::sort(sorted_us->begin(), sorted_us->end());
+  const size_t idx = std::min(
+      sorted_us->size() - 1,
+      static_cast<size_t>(p * static_cast<double>(sorted_us->size())));
+  return (*sorted_us)[idx];
+}
+
+int RunChurn(const Options& opt) {
+  ReqClient client;
+  client.Connect(opt.host, opt.port);
+  client.EnableReconnect();
+  const std::string run_tag = std::to_string(
+      std::chrono::steady_clock::now().time_since_epoch().count() %
+      1000000);
+  const std::string prefix = "churn." + run_tag + ".";
+  MetricSpec spec;
+  spec.kind = KindOf(opt.engine);
+  spec.base.k_base = opt.k_base;
+  const std::vector<double> batch = LoadStream(/*seed=*/42, 16);
+
+  std::vector<double> create_us, append_us, list_us;
+  create_us.reserve(opt.metrics * opt.rounds);
+  append_us.reserve(opt.metrics * opt.rounds);
+  size_t created_total = 0, dropped_total = 0;
+  const auto start = Clock::now();
+  for (size_t round = 0; round < opt.rounds; ++round) {
+    std::vector<std::string> created;
+    created.reserve(opt.metrics);
+    try {
+      for (size_t m = 0; m < opt.metrics; ++m) {
+        const std::string name =
+            prefix + "r" + std::to_string(round) + ".m" + std::to_string(m);
+        client.Create(name, spec);
+        create_us.push_back(static_cast<double>(client.LastRttUs()));
+        created.push_back(name);
+      }
+    } catch (const req::service::QuotaExceededError& e) {
+      // Definitive server policy: report, keep the metrics we DID get,
+      // and do not retry (see req_client.h).
+      std::fprintf(stderr, "round %zu: quota after %zu create(s): %s\n",
+                   round, created.size(), e.what());
+    }
+    created_total += created.size();
+    for (const std::string& name : created) {
+      client.Append(name, batch);
+      append_us.push_back(static_cast<double>(client.LastRttUs()));
+    }
+    // Page through this round's slice of the directory and check the
+    // server's arithmetic: the pages must reassemble to exactly what we
+    // created, already sorted.
+    uint64_t total = 0;
+    size_t paged = 0;
+    for (uint64_t offset = 0;; offset += opt.page) {
+      const std::vector<std::string> names =
+          client.List(prefix, offset, opt.page, &total);
+      list_us.push_back(static_cast<double>(client.LastRttUs()));
+      paged += names.size();
+      if (names.empty() || paged >= total) break;
+    }
+    if (paged != created.size()) {
+      std::fprintf(stderr,
+                   "round %zu: paged LIST returned %zu names, created %zu\n",
+                   round, paged, created.size());
+      return 1;
+    }
+    for (const std::string& name : created) client.Drop(name);
+    dropped_total += created.size();
+  }
+  const double elapsed =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  const double ops = static_cast<double>(created_total + dropped_total +
+                                         append_us.size() + list_us.size());
+  std::printf("%zu round(s) x %zu metric(s) (engine %s): %zu created, "
+              "%zu dropped, %llu quota rejection(s)\n",
+              opt.rounds, opt.metrics, opt.engine.c_str(), created_total,
+              dropped_total,
+              static_cast<unsigned long long>(client.QuotaRejections()));
+  std::printf("create p50/p99: %.1f/%.1f us\n",
+              PercentileUs(&create_us, 0.50), PercentileUs(&create_us, 0.99));
+  std::printf("append p50/p99: %.1f/%.1f us\n",
+              PercentileUs(&append_us, 0.50), PercentileUs(&append_us, 0.99));
+  std::printf("paged-list p50/p99: %.1f/%.1f us (page %zu)\n",
+              PercentileUs(&list_us, 0.50), PercentileUs(&list_us, 0.99),
+              opt.page);
+  std::printf("lifecycle ops/s: %.0f\n", ops / elapsed);
+  return 0;
+}
+
 // --- interactive -----------------------------------------------------------
 
 void PrintHelp() {
   std::printf(
       "commands:\n"
-      "  ping | list | help | quit\n"
+      "  ping | help | quit\n"
+      "  list [PREFIX [OFFSET [LIMIT]]]   paged form prints total too\n"
       "  create NAME KIND [K_BASE]     KIND: plain sharded windowed\n"
       "  append NAME V...\n"
       "  flush NAME | drop NAME\n"
@@ -234,8 +342,23 @@ int RunRepl(const Options& opt) {
       } else if (cmd == "ping") {
         std::printf("protocol v%u\n", client.Ping());
       } else if (cmd == "list") {
-        for (const std::string& name : client.List()) {
-          std::printf("%s\n", name.c_str());
+        std::string prefix;
+        if (in >> prefix) {
+          uint64_t offset = 0, limit = 0, total = 0;
+          in >> offset >> limit;
+          // "." pages the whole directory (an empty prefix cannot be
+          // typed as a standalone token).
+          if (prefix == ".") prefix.clear();
+          for (const std::string& name :
+               client.List(prefix, offset, limit, &total)) {
+            std::printf("%s\n", name.c_str());
+          }
+          std::printf("(%llu total match(es))\n",
+                      static_cast<unsigned long long>(total));
+        } else {
+          for (const std::string& name : client.List()) {
+            std::printf("%s\n", name.c_str());
+          }
         }
       } else if (cmd == "create") {
         std::string name, kind;
@@ -332,6 +455,14 @@ int main(int argc, char** argv) {
       opt.k_base = static_cast<uint32_t>(std::atoi(argv[++i]));
     } else if (std::strcmp(argv[i], "--verify") == 0) {
       opt.verify = true;
+    } else if (std::strcmp(argv[i], "--churn") == 0) {
+      opt.churn = true;
+    } else if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
+      opt.metrics = static_cast<size_t>(std::atol(argv[++i]));
+    } else if (std::strcmp(argv[i], "--rounds") == 0 && i + 1 < argc) {
+      opt.rounds = static_cast<size_t>(std::atol(argv[++i]));
+    } else if (std::strcmp(argv[i], "--page") == 0 && i + 1 < argc) {
+      opt.page = static_cast<size_t>(std::atol(argv[++i]));
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
       return 2;
@@ -339,6 +470,14 @@ int main(int argc, char** argv) {
   }
   if (opt.clients == 0 || opt.items == 0 || opt.batch == 0) {
     std::fprintf(stderr, "--clients/--items/--batch must be positive\n");
+    return 2;
+  }
+  if (opt.churn && (opt.metrics == 0 || opt.rounds == 0 || opt.page == 0)) {
+    std::fprintf(stderr, "--metrics/--rounds/--page must be positive\n");
+    return 2;
+  }
+  if (opt.churn && opt.load) {
+    std::fprintf(stderr, "--churn and --load are exclusive\n");
     return 2;
   }
   if (opt.verify && opt.engine != "plain") {
@@ -349,6 +488,7 @@ int main(int argc, char** argv) {
     return 2;
   }
   try {
+    if (opt.churn) return RunChurn(opt);
     return opt.load ? RunLoad(opt) : RunRepl(opt);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "req-cli: %s\n", e.what());

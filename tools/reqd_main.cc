@@ -22,17 +22,30 @@
 //   --port-file PATH   write the bound port to PATH (tmp + rename) once
 //                      listening -- how the crash-recovery test finds an
 //                      ephemeral-port daemon
+//   --max-metrics N    reject CREATEs beyond N metrics (kQuotaExceeded;
+//                      0 = unlimited, the default)
+//   --max-memory-bytes N   reject CREATEs once accounted sketch memory
+//                      would pass N bytes (0 = unlimited)
+//   --evict-idle-ms N  background-sweep metrics idle for N ms: durable
+//                      ones are checkpointed out of memory (rehydrated
+//                      transparently on next touch), memory-only ones
+//                      trimmed (0 = sweeper off, the default)
 //
 // Runs until SIGINT/SIGTERM, then shuts down gracefully: stops
 // accepting, drains connection threads, flushes every metric's staged
 // items, and (when durable) writes a final checkpoint per metric so a
 // clean restart replays no WAL at all.
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "persist/durability.h"
@@ -102,6 +115,9 @@ int main(int argc, char** argv) {
   std::vector<std::pair<std::string, MetricSpec>> precreate;
   std::string data_dir;
   std::string port_file;
+  uint64_t max_metrics = 0;
+  uint64_t max_memory_bytes = 0;
+  uint64_t evict_idle_ms = 0;
   req::persist::DurabilityOptions durability_options;
 
   for (int i = 1; i < argc; ++i) {
@@ -144,6 +160,29 @@ int main(int argc, char** argv) {
       durability_options.checkpoint_bytes = static_cast<uint64_t>(bytes);
     } else if (std::strcmp(argv[i], "--port-file") == 0 && i + 1 < argc) {
       port_file = argv[++i];
+    } else if (std::strcmp(argv[i], "--max-metrics") == 0 && i + 1 < argc) {
+      const long long n = std::atoll(argv[++i]);
+      if (n < 0) {
+        std::fprintf(stderr, "--max-metrics must be >= 0\n");
+        return 2;
+      }
+      max_metrics = static_cast<uint64_t>(n);
+    } else if (std::strcmp(argv[i], "--max-memory-bytes") == 0 &&
+               i + 1 < argc) {
+      const long long n = std::atoll(argv[++i]);
+      if (n < 0) {
+        std::fprintf(stderr, "--max-memory-bytes must be >= 0\n");
+        return 2;
+      }
+      max_memory_bytes = static_cast<uint64_t>(n);
+    } else if (std::strcmp(argv[i], "--evict-idle-ms") == 0 &&
+               i + 1 < argc) {
+      const long long n = std::atoll(argv[++i]);
+      if (n < 0) {
+        std::fprintf(stderr, "--evict-idle-ms must be >= 0\n");
+        return 2;
+      }
+      evict_idle_ms = static_cast<uint64_t>(n);
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
       return 2;
@@ -151,6 +190,7 @@ int main(int argc, char** argv) {
   }
 
   req::service::SketchRegistry registry;
+  registry.SetLimits(max_metrics, max_memory_bytes);
   try {
     std::unique_ptr<req::persist::DurabilityManager> durability;
     if (!data_dir.empty()) {
@@ -188,8 +228,45 @@ int main(int argc, char** argv) {
       return 1;
     }
 
+    // Idle-eviction sweeper: wakes twice per TTL (so a metric is caught
+    // within ~1.5x its idle threshold), interruptible for fast shutdown.
+    std::thread sweeper;
+    std::mutex sweep_mutex;
+    std::condition_variable sweep_cv;
+    std::atomic<bool> sweeping{evict_idle_ms > 0};
+    if (evict_idle_ms > 0) {
+      sweeper = std::thread([&] {
+        const auto period =
+            std::chrono::milliseconds(evict_idle_ms / 2 + 1);
+        std::unique_lock<std::mutex> lock(sweep_mutex);
+        while (sweeping.load()) {
+          if (sweep_cv.wait_for(lock, period,
+                                [&] { return !sweeping.load(); })) {
+            break;
+          }
+          lock.unlock();
+          try {
+            registry.EvictIdle(evict_idle_ms);
+          } catch (const std::exception& e) {
+            // A failed checkpoint left its metric live and appendable;
+            // log and keep sweeping the rest next round.
+            std::fprintf(stderr, "reqd: eviction sweep: %s\n", e.what());
+          }
+          lock.lock();
+        }
+      });
+    }
+
     int sig = 0;
     sigwait(&set, &sig);
+    if (sweeper.joinable()) {
+      {
+        std::lock_guard<std::mutex> lock(sweep_mutex);
+        sweeping.store(false);
+      }
+      sweep_cv.notify_all();
+      sweeper.join();
+    }
     std::printf("signal %d: shutting down after %llu frame(s) on %llu "
                 "connection(s)\n",
                 sig,
@@ -204,6 +281,10 @@ int main(int argc, char** argv) {
       std::shared_ptr<const std::vector<std::string>> names =
           registry.List();
       for (const std::string& name : *names) {
+        // Evicted metrics already sit on their eviction checkpoint;
+        // rehydrating one here just to re-checkpoint it would be wasted
+        // replay on the shutdown path.
+        if (!registry.IsResident(name)) continue;
         req::service::SketchRegistry::EnginePtr engine =
             registry.Find(name);
         if (!engine) continue;

@@ -42,6 +42,20 @@ class MetricDirectionTest(unittest.TestCase):
         for key in ("max_relerr", "retained", "levels"):
             self.assertIsNone(compare_bench.metric_direction(key))
 
+    def test_space_keys_are_lower_better(self):
+        for key in ("bytes_per_metric", "idle_bytes_per_metric"):
+            self.assertEqual(compare_bench.metric_direction(key), "down")
+
+    def test_rate_keys_are_higher_better(self):
+        self.assertEqual(compare_bench.metric_direction("ops_per_sec"),
+                         "up")
+
+    def test_rss_derived_keys_never_gate(self):
+        # The OS decides when pages come back, not this codebase: raw
+        # RSS-per-metric observations are informational only.
+        self.assertIsNone(
+            compare_bench.metric_direction("observed_rss_per_metric"))
+
     def test_unit_driven_value_direction(self):
         row_up = {"metric": "update", "unit": "Mups", "value": 1.0}
         row_down = {"metric": "rank", "unit": "ns/query", "value": 1.0}
@@ -127,6 +141,24 @@ class CompareTest(unittest.TestCase):
             compare_bench.latency_in_us("value", 2.0,
                                         {"unit": "ms/op"}), 2000.0)
         self.assertIsNone(compare_bench.latency_in_us("append_mups", 9.0))
+
+    def test_footprint_growth_is_a_regression(self):
+        base = {
+            "experiment": "e19_churn",
+            "smoke": True,
+            "footprint": [
+                {"phase": "idle", "bytes_per_metric": 600.0,
+                 "observed_rss_per_metric": 900.0},
+            ],
+        }
+        current = json.loads(json.dumps(base))
+        current["footprint"][0]["bytes_per_metric"] = 900.0    # +50%
+        current["footprint"][0]["observed_rss_per_metric"] = 1e6
+        regs, _, _ = self.compare(base, current)
+        # Accounted footprint gates; the RSS observation never does.
+        self.assertEqual(len(regs), 1)
+        self.assertIn("bytes_per_metric", regs[0])
+        self.assertNotIn("observed_rss", regs[0])
 
     def test_unmatched_row_is_a_note_not_a_regression(self):
         current = baseline_report()
