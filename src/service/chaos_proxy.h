@@ -1,0 +1,489 @@
+// ChaosProxy: an in-process TCP fault-injection proxy for hostile-network
+// testing. It sits between a ReqClient and a ReqdServer (or any TCP pair)
+// and injects, deterministically and per direction, the degradations a
+// real network produces:
+//
+//   * added latency (fixed + seeded jitter) on every forwarded chunk
+//   * bandwidth throttling (bytes/sec pacing)
+//   * mid-frame connection resets (RST after N forwarded bytes)
+//   * torn sends (forward a strict byte prefix, then RST -- the peer sees
+//     a frame cut off mid-payload, exactly the shape of a peer that died
+//     while its kernel had half a frame in flight)
+//   * blackhole/stall (stop forwarding but keep the connection open, so
+//     only a deadline can save the peer)
+//   * connect refusals (accept + immediate RST, optionally only the
+//     first N connections)
+//
+// Determinism: every probabilistic choice (jitter) comes from a
+// per-connection LCG stream seeded by config.seed and the connection id,
+// so a failing chaos run replays from its seed. Byte thresholds
+// (reset_after_bytes etc.) are exact counters, not probabilities.
+//
+// This is the socket-layer sibling of persist/io_injector.h: the real
+// syscalls run against real loopback sockets, just degraded at the
+// injected fault, and both endpoints then have to prove their deadline /
+// shedding / reconciliation machinery against genuine TCP behavior
+// (tests/service_chaos_test.cc drives the full client-proxy-server
+// stack through every fault class).
+//
+// Concurrency model: one relay thread per proxied connection, polling
+// both fds and forwarding in both directions. Single-threaded relaying
+// sidesteps fd-lifetime races between direction pumps (an injected RST
+// closes both fds; a sibling thread could otherwise poll a recycled fd
+// number), and half-duplex relaying matches the request/response shape
+// of the wire protocol. Latency injection therefore serializes the two
+// directions of one connection -- fine for a fault injector, wrong for a
+// production proxy.
+//
+// Lifecycle mirrors ReqdServer: Start() binds an ephemeral loopback port
+// (read back via port()), Stop() shuts every relay down and joins all
+// threads; the destructor calls Stop(). Faults are mutable mid-run via
+// set_config() (atomic snapshot per forwarded chunk), which is how tests
+// flip a healthy link into a blackhole under an in-flight request.
+#ifndef REQSKETCH_SERVICE_CHAOS_PROXY_H_
+#define REQSKETCH_SERVICE_CHAOS_PROXY_H_
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "service/socket_util.h"
+#include "util/validation.h"
+
+namespace req {
+namespace service {
+
+// Faults applied to one direction of a proxied connection ("up" is
+// client -> server bytes, "down" is server -> client). All byte
+// thresholds count bytes arriving on that direction since the connection
+// opened; 0 disables the fault.
+struct ChaosDirection {
+  // Added to every forwarded chunk: fixed floor + seeded uniform jitter.
+  uint32_t latency_ms = 0;
+  uint32_t jitter_ms = 0;
+  // Pacing budget; bytes beyond it wait. 0 = unthrottled.
+  uint64_t bytes_per_sec = 0;
+  // Hard-RST both sides once this many bytes have arrived.
+  uint64_t reset_after_bytes = 0;
+  // Forward bytes up to the threshold, then RST: the receiving peer sees
+  // a torn stream ending mid-frame.
+  uint64_t torn_after_bytes = 0;
+  // Swallow bytes past this threshold while the sockets stay open: the
+  // connection looks alive, and only a deadline on the endpoint bounds
+  // the wait.
+  uint64_t blackhole_after_bytes = 0;
+};
+
+struct ChaosConfig {
+  uint64_t seed = 1;
+  // Port to listen on; 0 (the default, and what tests want) binds an
+  // ephemeral port, read back via port(). Fixed ports are for the
+  // standalone chaos-proxy binary. Not mutable via set_config().
+  uint16_t listen_port = 0;
+  // Refuse every new connection (accept + immediate RST)...
+  bool refuse_connects = false;
+  // ...or only the first N, then behave (a peer that came up late).
+  // Counted across the proxy's lifetime.
+  uint64_t refuse_first = 0;
+  ChaosDirection up;
+  ChaosDirection down;
+};
+
+class ChaosProxy {
+ public:
+  // Forwards every accepted connection to upstream_host:upstream_port.
+  ChaosProxy(std::string upstream_host, uint16_t upstream_port,
+             const ChaosConfig& config = {})
+      : upstream_host_(std::move(upstream_host)),
+        upstream_port_(upstream_port),
+        config_(std::make_shared<const ChaosConfig>(config)) {}
+
+  ChaosProxy(const ChaosProxy&) = delete;
+  ChaosProxy& operator=(const ChaosProxy&) = delete;
+
+  ~ChaosProxy() { Stop(); }
+
+  void Start() {
+    util::CheckState(!running_.load(), "proxy already started");
+    ScopedFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+    if (!fd.valid()) throw std::runtime_error(ErrnoMessage("socket"));
+    int one = 1;
+    ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr = ParseIPv4("127.0.0.1");
+    addr.sin_port = htons(std::atomic_load(&config_)->listen_port);
+    if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+      throw std::runtime_error(ErrnoMessage("bind"));
+    }
+    if (::listen(fd.get(), 64) != 0) {
+      throw std::runtime_error(ErrnoMessage("listen"));
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&bound),
+                      &len) != 0) {
+      throw std::runtime_error(ErrnoMessage("getsockname"));
+    }
+    port_ = ntohs(bound.sin_port);
+    listen_fd_ = std::move(fd);
+    running_.store(true);
+    accept_thread_ = std::thread([this] { AcceptLoop(); });
+  }
+
+  void Stop() {
+    if (!running_.exchange(false)) return;
+    ::shutdown(listen_fd_.get(), SHUT_RDWR);
+    if (accept_thread_.joinable()) accept_thread_.join();
+    listen_fd_.Reset();
+    // Wake relays blocked in poll, then join (the map is moved out
+    // before joining -- a relay's exit path takes conn_mutex_).
+    std::map<uint64_t, std::thread> remaining;
+    {
+      std::lock_guard<std::mutex> lock(conn_mutex_);
+      for (const auto& [id, conn] : conns_) {
+        (void)id;
+        ::shutdown(conn->client.get(), SHUT_RDWR);
+        ::shutdown(conn->upstream.get(), SHUT_RDWR);
+      }
+      remaining = std::move(threads_);
+      threads_.clear();
+      finished_ids_.clear();
+    }
+    for (auto& [id, t] : remaining) {
+      (void)id;
+      if (t.joinable()) t.join();
+    }
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    conns_.clear();
+  }
+
+  uint16_t port() const { return port_; }
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  // Swaps the fault plan; relays pick it up on their next chunk.
+  void set_config(const ChaosConfig& config) {
+    std::atomic_store(&config_,
+                      std::make_shared<const ChaosConfig>(config));
+  }
+  ChaosConfig config() const { return *std::atomic_load(&config_); }
+
+  // Monitoring counters (tests assert against these).
+  uint64_t Accepted() const { return accepted_.load(); }
+  uint64_t Refused() const { return refused_.load(); }
+  uint64_t Resets() const { return resets_.load(); }
+  uint64_t TornSends() const { return torn_.load(); }
+  uint64_t Blackholed() const { return blackholed_.load(); }
+  uint64_t BytesUp() const { return bytes_up_.load(); }
+  uint64_t BytesDown() const { return bytes_down_.load(); }
+  // Relays still live (0 after every connection wound down: the no-
+  // thread-leak assertion of the chaos suite).
+  uint64_t LiveConnections() const {
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    return conns_.size();
+  }
+
+ private:
+  struct Conn {
+    ScopedFd client;
+    ScopedFd upstream;
+  };
+
+  // Per-direction relay state inside one connection's thread.
+  struct DirState {
+    uint64_t arrived = 0;       // bytes received from src this connection
+    bool blackholed = false;    // swallowing (counted once)
+    uint64_t rng = 0;           // deterministic jitter stream
+  };
+
+  void AcceptLoop() {
+    while (running_.load(std::memory_order_acquire)) {
+      pollfd pfd{};
+      pfd.fd = listen_fd_.get();
+      pfd.events = POLLIN;
+      const int polled = ::poll(&pfd, 1, /*timeout_ms=*/100);
+      if (!running_.load(std::memory_order_acquire)) break;
+      if (polled <= 0) continue;
+      ScopedFd client(::accept(listen_fd_.get(), nullptr, nullptr));
+      if (!client.valid()) {
+        if (errno == EBADF || errno == EINVAL) break;
+        continue;
+      }
+      const uint64_t id = accepted_.fetch_add(1) + 1;
+      const std::shared_ptr<const ChaosConfig> cfg =
+          std::atomic_load(&config_);
+      if (cfg->refuse_connects ||
+          (cfg->refuse_first > 0 && id <= cfg->refuse_first)) {
+        refused_.fetch_add(1, std::memory_order_relaxed);
+        HardReset(&client);
+        continue;
+      }
+      ScopedFd upstream = DialUpstream();
+      if (!upstream.valid()) {
+        refused_.fetch_add(1, std::memory_order_relaxed);
+        HardReset(&client);
+        continue;
+      }
+      SetNoDelay(client.get());
+      SetNoDelay(upstream.get());
+      auto conn = std::make_shared<Conn>();
+      conn->client = std::move(client);
+      conn->upstream = std::move(upstream);
+      {
+        std::lock_guard<std::mutex> lock(conn_mutex_);
+        conns_.emplace(id, conn);
+        threads_.emplace(
+            id, std::thread([this, conn, id] { Relay(conn, id); }));
+      }
+      ReapFinished();
+    }
+  }
+
+  ScopedFd DialUpstream() {
+    ScopedFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+    if (!fd.valid()) return ScopedFd();
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr = ParseIPv4(upstream_host_);
+    addr.sin_port = htons(upstream_port_);
+    std::string error;
+    if (!ConnectDeadline(fd.get(), reinterpret_cast<sockaddr*>(&addr),
+                         sizeof(addr), /*timeout_ms=*/2000, &error)) {
+      return ScopedFd();
+    }
+    return fd;
+  }
+
+  // Relays both directions of one connection until EOF on both, an
+  // injected abort, or Stop().
+  void Relay(const std::shared_ptr<Conn>& conn, uint64_t id) {
+    DirState up, down;
+    up.rng = SeedFor(id, /*up=*/true);
+    down.rng = SeedFor(id, /*up=*/false);
+    bool up_open = true;    // client still sending
+    bool down_open = true;  // upstream still sending
+    bool aborted = false;
+    uint8_t chunk[1 << 14];
+    while (!aborted && (up_open || down_open) &&
+           running_.load(std::memory_order_acquire)) {
+      pollfd pfds[2];
+      int n = 0;
+      int up_at = -1, down_at = -1;
+      if (up_open) {
+        up_at = n;
+        pfds[n].fd = conn->client.get();
+        pfds[n].events = POLLIN;
+        pfds[n].revents = 0;
+        ++n;
+      }
+      if (down_open) {
+        down_at = n;
+        pfds[n].fd = conn->upstream.get();
+        pfds[n].events = POLLIN;
+        pfds[n].revents = 0;
+        ++n;
+      }
+      const int polled = ::poll(pfds, static_cast<nfds_t>(n), 50);
+      if (!running_.load(std::memory_order_acquire)) break;
+      if (polled < 0) {
+        if (errno == EINTR) continue;
+        break;
+      }
+      if (polled == 0) continue;
+      if (up_at >= 0 && pfds[up_at].revents != 0) {
+        if (!RelayChunk(conn, /*is_up=*/true, &up, chunk, sizeof(chunk),
+                        &up_open, &aborted)) {
+          continue;  // state flags updated inside
+        }
+      }
+      if (down_at >= 0 && pfds[down_at].revents != 0) {
+        RelayChunk(conn, /*is_up=*/false, &down, chunk, sizeof(chunk),
+                   &down_open, &aborted);
+      }
+    }
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    conns_.erase(id);  // closes both fds (unless an abort already did)
+    finished_ids_.push_back(id);
+  }
+
+  // Receives one chunk on the given direction and forwards it through
+  // the fault plan. Returns false when the direction (or the whole
+  // connection) ended; *open / *aborted are updated accordingly.
+  bool RelayChunk(const std::shared_ptr<Conn>& conn, bool is_up,
+                  DirState* state, uint8_t* chunk, size_t chunk_size,
+                  bool* open, bool* aborted) {
+    const int src = is_up ? conn->client.get() : conn->upstream.get();
+    const int dst = is_up ? conn->upstream.get() : conn->client.get();
+    const ssize_t got = ::recv(src, chunk, chunk_size, MSG_DONTWAIT);
+    if (got == 0) {
+      // Orderly EOF: propagate the half-close, keep the other direction
+      // flowing (a client can shut its write side and still read).
+      ::shutdown(dst, SHUT_WR);
+      *open = false;
+      return false;
+    }
+    if (got < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+        return true;
+      }
+      *open = false;
+      ::shutdown(dst, SHUT_WR);
+      return false;
+    }
+    const std::shared_ptr<const ChaosConfig> cfg =
+        std::atomic_load(&config_);
+    const ChaosDirection& dir = is_up ? cfg->up : cfg->down;
+    std::atomic<uint64_t>& forwarded_total = is_up ? bytes_up_ : bytes_down_;
+    size_t len = static_cast<size_t>(got);
+    const uint64_t before = state->arrived;
+    state->arrived += len;
+
+    // Blackhole: swallow this chunk (and all later ones) while both
+    // sockets stay open. Re-checked per chunk so set_config() can open a
+    // blackhole mid-conversation.
+    if (state->blackholed || (dir.blackhole_after_bytes > 0 &&
+                              state->arrived > dir.blackhole_after_bytes)) {
+      size_t pass = 0;
+      if (!state->blackholed) {
+        blackholed_.fetch_add(1, std::memory_order_relaxed);
+        if (dir.blackhole_after_bytes > before) {
+          pass = static_cast<size_t>(dir.blackhole_after_bytes - before);
+        }
+      }
+      state->blackholed = true;
+      if (pass > 0 && SendThrottled(dst, chunk, pass, dir, &state->rng)) {
+        forwarded_total.fetch_add(pass, std::memory_order_relaxed);
+      }
+      return true;
+    }
+
+    // Torn send: forward a strict prefix of the stream, then abort with
+    // an RST -- the receiver holds a frame cut off mid-payload.
+    if (dir.torn_after_bytes > 0 && state->arrived > dir.torn_after_bytes) {
+      const size_t pass =
+          dir.torn_after_bytes > before
+              ? static_cast<size_t>(dir.torn_after_bytes - before)
+              : 0;
+      if (pass > 0 && SendThrottled(dst, chunk, pass, dir, &state->rng)) {
+        forwarded_total.fetch_add(pass, std::memory_order_relaxed);
+      }
+      torn_.fetch_add(1, std::memory_order_relaxed);
+      AbortConn(conn, aborted);
+      return false;
+    }
+
+    // Reset: both sides die before any of this chunk is forwarded.
+    if (dir.reset_after_bytes > 0 && state->arrived > dir.reset_after_bytes) {
+      resets_.fetch_add(1, std::memory_order_relaxed);
+      AbortConn(conn, aborted);
+      return false;
+    }
+
+    if (!SendThrottled(dst, chunk, len, dir, &state->rng)) {
+      *open = false;
+      return false;
+    }
+    forwarded_total.fetch_add(len, std::memory_order_relaxed);
+    return true;
+  }
+
+  // Applies latency + pacing, then sends the whole buffer. False on a
+  // dead peer (the relay then winds the direction down).
+  bool SendThrottled(int dst, const uint8_t* data, size_t len,
+                     const ChaosDirection& dir, uint64_t* rng) {
+    if (dir.latency_ms > 0 || dir.jitter_ms > 0) {
+      uint64_t delay = dir.latency_ms;
+      if (dir.jitter_ms > 0) delay += NextRand(rng) % (dir.jitter_ms + 1);
+      SleepInterruptible(delay);
+    }
+    if (dir.bytes_per_sec > 0) {
+      SleepInterruptible(len * 1000 / dir.bytes_per_sec);
+    }
+    return SendAllDeadline(dst, data, len, DeadlineAfterMs(5000)) ==
+           IoStatus::kOk;
+  }
+
+  // RSTs both sides of the connection, exactly once.
+  void AbortConn(const std::shared_ptr<Conn>& conn, bool* aborted) {
+    if (*aborted) return;
+    *aborted = true;
+    HardReset(&conn->client);
+    HardReset(&conn->upstream);
+  }
+
+  // Sleeps `ms` in slices, bailing early on Stop().
+  void SleepInterruptible(uint64_t ms) {
+    const SocketDeadline until = DeadlineAfterMs(ms);
+    while (ms > 0 && running_.load(std::memory_order_acquire) &&
+           SocketClock::now() < until) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(
+          std::min<uint64_t>(ms, 20)));
+    }
+  }
+
+  uint64_t SeedFor(uint64_t id, bool up) const {
+    const std::shared_ptr<const ChaosConfig> cfg =
+        std::atomic_load(&config_);
+    // splitmix-style stirring keeps nearby (seed, id) pairs decorrelated.
+    uint64_t z = cfg->seed + id * 0x9E3779B97F4A7C15ULL + (up ? 0 : 1);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  static uint64_t NextRand(uint64_t* state) {
+    *state = *state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return *state >> 33;
+  }
+
+  void ReapFinished() {
+    std::vector<std::thread> done;
+    {
+      std::lock_guard<std::mutex> lock(conn_mutex_);
+      for (uint64_t id : finished_ids_) {
+        auto it = threads_.find(id);
+        if (it == threads_.end()) continue;
+        done.push_back(std::move(it->second));
+        threads_.erase(it);
+      }
+      finished_ids_.clear();
+    }
+    for (std::thread& t : done) {
+      if (t.joinable()) t.join();
+    }
+  }
+
+  const std::string upstream_host_;
+  const uint16_t upstream_port_;
+  std::shared_ptr<const ChaosConfig> config_;
+  ScopedFd listen_fd_;
+  uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::thread accept_thread_;
+  mutable std::mutex conn_mutex_;
+  std::map<uint64_t, std::shared_ptr<Conn>> conns_;
+  std::map<uint64_t, std::thread> threads_;
+  std::vector<uint64_t> finished_ids_;
+  std::atomic<uint64_t> accepted_{0};
+  std::atomic<uint64_t> refused_{0};
+  std::atomic<uint64_t> resets_{0};
+  std::atomic<uint64_t> torn_{0};
+  std::atomic<uint64_t> blackholed_{0};
+  std::atomic<uint64_t> bytes_up_{0};
+  std::atomic<uint64_t> bytes_down_{0};
+};
+
+}  // namespace service
+}  // namespace req
+
+#endif  // REQSKETCH_SERVICE_CHAOS_PROXY_H_

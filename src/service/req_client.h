@@ -18,6 +18,19 @@
 // connection. Append/Create/Drop are never silently re-sent: a lost ack
 // does not reveal whether the server applied them, so the caller decides
 // (the durable server's response.n makes Append reconciliation exact).
+//
+// Hostile-network posture (see service/chaos_proxy.h): every socket
+// operation is deadline-bounded by the DeadlinePolicy -- Connect() uses
+// a non-blocking connect + poll so a blackholed address fails in
+// connect_timeout_ms instead of the kernel's minutes-long SYN schedule,
+// and send/recv are bounded by request_timeout_ms (a timeout closes the
+// connection, since a late response would desync the stream, and throws
+// the typed DeadlineExceededError). Retries spend a wall-clock
+// retry_budget_ms, not just an attempt count: backoff sleeps and
+// redials all bill against it. A kOverloaded answer (the server
+// shedding at its connection cap) is retryable for ANY opcode -- the
+// server applied nothing -- but only after a backoff that doubles per
+// answer: a shedding server is never hot-retried.
 #ifndef REQSKETCH_SERVICE_REQ_CLIENT_H_
 #define REQSKETCH_SERVICE_REQ_CLIENT_H_
 
@@ -54,13 +67,54 @@ struct QuotaExceededError : ServiceError {
       : ServiceError(Status::kQuotaExceeded, message) {}
 };
 
+// The server shed this connection at its cap before any work ran.
+// Retryable for every opcode (nothing was applied), but only after
+// backoff -- RoundTrip handles that when reconnection is armed; callers
+// see the type when the retry budget ran out too.
+struct OverloadedError : ServiceError {
+  explicit OverloadedError(const std::string& message)
+      : ServiceError(Status::kOverloaded, message) {}
+};
+
+// A deadline fired: the server answered kDeadlineExceeded (its request
+// budget spent; nothing mutated), or the client's own request timeout
+// expired mid-round-trip (the connection is closed -- a late response
+// would desync the stream). Not silently retried: the caller owns the
+// deadline trade-off.
+struct DeadlineExceededError : ServiceError {
+  explicit DeadlineExceededError(const std::string& message)
+      : ServiceError(Status::kDeadlineExceeded, message) {}
+};
+
+// Socket deadlines and the retry budget. All 0 values mean "unbounded",
+// preserving the pre-deadline behavior.
+struct DeadlinePolicy {
+  // Bound on the TCP connect (initial Connect() AND every redial).
+  uint64_t connect_timeout_ms = 5000;
+  // Bound on one full round trip (send + await response). 0 keeps the
+  // legacy block-forever behavior.
+  uint64_t request_timeout_ms = 0;
+  // Wall-clock budget for one logical request INCLUDING retries,
+  // backoff sleeps, and redials. 0 = bounded by attempt counts only.
+  uint64_t retry_budget_ms = 0;
+  // First backoff after a kOverloaded answer; doubles per answer up to
+  // the cap. Never 0 in effect: an overloaded server is never
+  // hot-retried (0 falls back to 1ms).
+  uint64_t overloaded_backoff_ms = 50;
+  uint64_t max_overloaded_backoff_ms = 2000;
+};
+
 class ReqClient {
  public:
   ReqClient() = default;
   ReqClient(ReqClient&&) = default;
   ReqClient& operator=(ReqClient&&) = default;
 
-  // Connects to host:port; throws runtime_error on failure.
+  // Connects to host:port; throws runtime_error on failure. Bounded by
+  // deadlines().connect_timeout_ms -- a non-blocking connect + poll, so
+  // a blackholed address (dropped SYNs, a full accept queue) fails fast
+  // instead of riding the kernel retry schedule. The fd stays
+  // non-blocking; all client I/O is poll-driven.
   void Connect(const std::string& host, uint16_t port) {
     util::CheckState(!fd_.valid(), "client already connected");
     ScopedFd fd(::socket(AF_INET, SOCK_STREAM, 0));
@@ -69,9 +123,11 @@ class ReqClient {
     addr.sin_family = AF_INET;
     addr.sin_addr = ParseIPv4(host);
     addr.sin_port = htons(port);
-    if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr),
-                  sizeof(addr)) != 0) {
-      throw std::runtime_error(ErrnoMessage("connect"));
+    std::string error;
+    if (!ConnectDeadline(fd.get(), reinterpret_cast<sockaddr*>(&addr),
+                         sizeof(addr), deadlines_.connect_timeout_ms,
+                         &error)) {
+      throw std::runtime_error(error);
     }
     SetNoDelay(fd.get());
     // Fresh decoder per connection: leftover bytes from a previous
@@ -98,8 +154,23 @@ class ReqClient {
   }
   void DisableReconnect() { reconnect_enabled_ = false; }
 
+  // Installs socket deadlines + retry budget; takes effect from the next
+  // Connect()/request.
+  void SetDeadlines(const DeadlinePolicy& deadlines) {
+    deadlines_ = deadlines;
+  }
+  const DeadlinePolicy& deadlines() const { return deadlines_; }
+
   // Successful redials performed so far (tests and monitoring).
   uint64_t Reconnects() const { return reconnects_; }
+
+  // kOverloaded answers absorbed (each either retried after backoff or
+  // surfaced as OverloadedError).
+  uint64_t OverloadedAnswers() const { return overloaded_answers_; }
+
+  // Client-side request timeouts (each closed the connection and threw
+  // DeadlineExceededError).
+  uint64_t DeadlineTimeouts() const { return deadline_timeouts_; }
 
   // CREATEs the server refused on a quota (each threw
   // QuotaExceededError; none was retried).
@@ -220,6 +291,15 @@ class ReqClient {
     RoundTrip(request);
   }
 
+  // The server's monitoring counters as (name, value) pairs -- the
+  // kStats opcode (requires a v3 server). Key set may grow; consumers
+  // look names up instead of indexing.
+  std::vector<std::pair<std::string, uint64_t>> Stats() {
+    Request request;
+    request.op = Opcode::kStats;
+    return RoundTrip(request).stats;
+  }
+
  private:
   // Re-sendable without observable effect: a lost ack leaves the caller
   // free to ask again. Append/Create/Drop mutate; see the class comment.
@@ -232,6 +312,7 @@ class ReqClient {
       case Opcode::kCdf:
       case Opcode::kSnapshot:
       case Opcode::kList:
+      case Opcode::kStats:
         return true;
       case Opcode::kCreate:
       case Opcode::kAppend:
@@ -246,20 +327,60 @@ class ReqClient {
     // restarted server) redials before sending anything -- safe for every
     // opcode, since no bytes of THIS request are in flight yet.
     if (!fd_.valid() && reconnect_enabled_ && !host_.empty()) Reconnect();
+    // One budget spans the whole logical request: attempts, backoff
+    // sleeps, and redials all bill against it.
+    const SocketDeadline budget =
+        DeadlineAfterMs(deadlines_.retry_budget_ms);
     int attempt = 0;
+    uint64_t overload_backoff_ms =
+        std::max<uint64_t>(deadlines_.overloaded_backoff_ms, 1);
     while (true) {
       try {
         return RoundTripOnce(request);
+      } catch (const OverloadedError&) {
+        // The server shed us at its cap; it applied nothing, so ANY op
+        // may retry -- but never hot: back off (doubling), stay inside
+        // the retry budget, and redial (the shedding server closed us).
+        if (!reconnect_enabled_ || ++attempt > policy_.max_attempts ||
+            !BackoffWithinBudget(overload_backoff_ms, budget)) {
+          throw;
+        }
+        overload_backoff_ms = std::min(
+            overload_backoff_ms * 2, deadlines_.max_overloaded_backoff_ms);
       } catch (const ServiceError&) {
         throw;  // the server answered; the transport is fine
       } catch (const std::runtime_error&) {
         if (!reconnect_enabled_ || !IsIdempotent(request.op) ||
-            ++attempt > policy_.max_attempts) {
+            ++attempt > policy_.max_attempts ||
+            SocketClock::now() >= budget) {
           throw;
         }
       }
       Reconnect();
     }
+  }
+
+  // Sleeps a jittered [b/2, b] interval, clamped so the sleep never
+  // crosses the retry budget. False (no sleep) when the budget is
+  // already spent -- the caller then surfaces the error instead of
+  // retrying.
+  bool BackoffWithinBudget(uint64_t backoff_ms, SocketDeadline budget) {
+    jitter_state_ =
+        jitter_state_ * 6364136223846793005ULL + 1442695040888963407ULL;
+    const uint64_t half = backoff_ms / 2;
+    uint64_t sleep_ms = half + (jitter_state_ >> 33) % (half + 1);
+    if (sleep_ms == 0) sleep_ms = 1;
+    if (budget != NoDeadline()) {
+      const SocketClock::time_point now = SocketClock::now();
+      if (now >= budget) return false;
+      const uint64_t left = static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::milliseconds>(budget - now)
+              .count());
+      if (left == 0) return false;
+      sleep_ms = std::min(sleep_ms, left);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+    return true;
   }
 
   // Redials host_:port_ with jittered exponential backoff; rethrows the
@@ -291,18 +412,41 @@ class ReqClient {
     util::CheckState(fd_.valid(), "client not connected");
     const std::chrono::steady_clock::time_point start =
         std::chrono::steady_clock::now();
+    // One deadline covers the whole round trip (send + response): a
+    // throttled link cannot stretch a request past request_timeout_ms by
+    // keeping each byte individually fast.
+    const SocketDeadline deadline =
+        DeadlineAfterMs(deadlines_.request_timeout_ms);
     std::vector<uint8_t> frame;
     AppendFrame(&frame, EncodeRequest(request));
-    if (!SendAll(fd_.get(), frame.data(), frame.size())) {
+    const IoStatus sent =
+        SendAllDeadline(fd_.get(), frame.data(), frame.size(), deadline);
+    if (sent != IoStatus::kOk) {
+      // Either way bytes of this request may be stranded in flight:
+      // the stream is unusable, drop it.
       Close();
+      if (sent == IoStatus::kTimeout) {
+        ++deadline_timeouts_;
+        throw DeadlineExceededError("request timed out while sending");
+      }
       throw std::runtime_error("connection lost while sending request");
     }
     std::vector<uint8_t> payload;
     uint8_t chunk[1 << 16];
     try {
       while (!decoder_.Next(&payload)) {
-        const ssize_t got = RecvSome(fd_.get(), chunk, sizeof(chunk));
-        if (got <= 0) {
+        ssize_t got = 0;
+        const IoStatus received = RecvSomeDeadline(
+            fd_.get(), chunk, sizeof(chunk), deadline, &got);
+        if (received == IoStatus::kTimeout) {
+          // A response that arrives after we stop waiting would desync
+          // the stream; Close() below (via the catch) discards it with
+          // the connection.
+          ++deadline_timeouts_;
+          throw DeadlineExceededError(
+              "request timed out awaiting response");
+        }
+        if (received != IoStatus::kOk) {
           throw std::runtime_error(
               "connection closed while awaiting response");
         }
@@ -329,6 +473,18 @@ class ReqClient {
         ++quota_rejections_;
         throw QuotaExceededError(response.error);
       }
+      if (response.status == Status::kOverloaded) {
+        // The shedding server closes right after this frame; drop our
+        // side too so a retry starts from a clean redial.
+        ++overloaded_answers_;
+        Close();
+        throw OverloadedError(response.error);
+      }
+      if (response.status == Status::kDeadlineExceeded) {
+        // Server-side budget exhaustion. The connection is still in
+        // sync (the server answered in-band), so keep it open.
+        throw DeadlineExceededError(response.error);
+      }
       throw ServiceError(response.status, response.error);
     }
     return response;
@@ -340,8 +496,11 @@ class ReqClient {
   uint16_t port_ = 0;
   bool reconnect_enabled_ = false;
   ReconnectPolicy policy_;
+  DeadlinePolicy deadlines_;
   uint64_t reconnects_ = 0;
   uint64_t quota_rejections_ = 0;
+  uint64_t overloaded_answers_ = 0;
+  uint64_t deadline_timeouts_ = 0;
   uint64_t last_rtt_us_ = 0;
   // Cheap LCG for backoff jitter; seeded per-instance so clients in one
   // process still spread out.

@@ -13,6 +13,30 @@
 // epoll front end could replace ServeConnection without touching the
 // registry or the protocol if connection counts ever demand it.
 //
+// Hostile-network posture (exercised by tests/service_chaos_test.cc via
+// service/chaos_proxy.h):
+//   * Every connection thread polls before it reads, so a peer that
+//     stalls mid-frame (slow loris: length prefix, then silence) is
+//     reaped after idle_timeout_ms instead of pinning a thread forever.
+//   * max_connections caps the thread count. At the cap, a new
+//     connection is answered with a single kOverloaded frame and closed
+//     -- a typed rejection the client can back off on, never a silent
+//     hang in the accept backlog.
+//   * request_budget_ms bounds time-to-first-dispatch per frame. The
+//     budget is stamped when the batch of bytes ARRIVES, so pipelined
+//     frames queued behind a slow request inherit the wait they already
+//     paid. A frame whose budget is spent before dispatch answers
+//     kDeadlineExceeded with no work done; after dispatch only read-only
+//     ops convert to kDeadlineExceeded -- a mutation that applied is
+//     always acked (kAppend/kFlush carry the accepted count the client
+//     reconciles against; answering "timeout" after the fact would
+//     desync that accounting).
+//   * Drain() finishes in-flight frames, answers them, then closes:
+//     the graceful half of shutdown, with Stop() as the hard half.
+//   * Transient accept failures (EMFILE/ENFILE/ENOBUFS) back off instead
+//     of hot-spinning: the listener stays readable, so retrying accept
+//     immediately would burn a core until an fd frees.
+//
 // Error handling per frame:
 //   * A malformed payload inside a well-delimited frame (bad opcode, bad
 //     enum, truncated body) answers kBadRequest and the connection lives
@@ -36,6 +60,7 @@
 #include <poll.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -61,6 +86,22 @@ struct ReqdServerConfig {
   uint16_t port = 0;
   int backlog = 64;
   uint32_t max_frame_payload = kMaxFramePayload;
+  // Connection cap; above it new connections get one kOverloaded frame
+  // and a close instead of a thread. 0 = uncapped.
+  uint64_t max_connections = 0;
+  // Reap a connection that has gone this long without delivering a byte
+  // (slow loris, dead NAT entries). 0 = never reap.
+  uint64_t idle_timeout_ms = 0;
+  // Per-frame time budget, stamped at batch arrival; exceeded budgets
+  // answer kDeadlineExceeded (see the class comment for the mutation
+  // carve-out). 0 = unbounded.
+  uint64_t request_budget_ms = 0;
+  // Bound on writing one response batch to a peer that stopped reading
+  // (a blackholed downstream would otherwise pin the thread in send).
+  // 0 = unbounded.
+  uint64_t send_timeout_ms = 30000;
+  // Backoff after a transient accept() failure under fd exhaustion.
+  uint64_t accept_backoff_ms = 50;
 };
 
 class ReqdServer {
@@ -137,16 +178,47 @@ class ReqdServer {
     }
   }
 
+  // Graceful shutdown, phase one: stop taking new connections (they shed
+  // as kOverloaded), let live connections answer the complete frames
+  // they already hold, and close them. Waits up to timeout_ms for the
+  // connection table to empty, then hard-stops whatever is left.
+  void Drain(uint64_t timeout_ms = 5000) {
+    draining_.store(true, std::memory_order_release);
+    const SocketDeadline deadline = DeadlineAfterMs(timeout_ms);
+    while (running_.load(std::memory_order_acquire) &&
+           SocketClock::now() < deadline) {
+      {
+        std::lock_guard<std::mutex> lock(conn_mutex_);
+        if (conn_fds_.empty()) break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    Stop();
+  }
+
   uint16_t port() const { return port_; }
   bool running() const { return running_.load(std::memory_order_acquire); }
 
-  // Monitoring counters.
+  // Monitoring counters (also exported over the wire via kStats).
   uint64_t ConnectionsAccepted() const { return connections_.load(); }
   uint64_t FramesServed() const { return frames_.load(); }
   // Connections that ended (EOF/reset) with a partial frame still
   // buffered -- each one is a client that died mid-send.
   uint64_t AbortedPartialFrames() const {
     return aborted_partial_frames_.load();
+  }
+  // Connections answered kOverloaded at the cap (or while draining).
+  uint64_t ShedConnections() const { return shed_connections_.load(); }
+  // Frames answered kDeadlineExceeded (budget spent).
+  uint64_t DeadlineExceededCount() const { return deadline_exceeded_.load(); }
+  // Connections reaped by the idle deadline.
+  uint64_t IdleReaped() const { return idle_reaped_.load(); }
+  // Transient accept() failures (EMFILE and friends) survived.
+  uint64_t AcceptFailures() const { return accept_failures_.load(); }
+  // Connections currently being served.
+  uint64_t LiveConnections() const {
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    return conn_fds_.size();
   }
 
  private:
@@ -166,12 +238,38 @@ class ReqdServer {
         // Only a dead listener ends the loop. Transient failures --
         // EMFILE/ENFILE under fd pressure, ENOBUFS/ENOMEM, an aborted
         // handshake -- must not leave a long-running daemon silently
-        // unable to accept forever; the poll timeout above doubles as
-        // their retry backoff.
+        // unable to accept forever. The listener stays readable while
+        // the backlog holds connections we cannot take, so poll returns
+        // immediately and a bare retry would hot-spin at 100% CPU:
+        // back off before the next attempt.
         if (errno == EBADF || errno == EINVAL) break;
+        accept_failures_.fetch_add(1, std::memory_order_relaxed);
+        SleepWhileRunning(config_.accept_backoff_ms);
         continue;
       }
       SetNoDelay(conn);
+      bool shed = draining_.load(std::memory_order_acquire);
+      if (!shed && config_.max_connections > 0) {
+        std::lock_guard<std::mutex> lock(conn_mutex_);
+        shed = conn_fds_.size() >= config_.max_connections;
+      }
+      if (shed) {
+        // At capacity (or draining): one typed rejection, then close.
+        // Status != kOk responses parse regardless of the request opcode
+        // the client had in flight, so this unsolicited frame is always
+        // intelligible. The send is deadline-bounded -- a shedding
+        // server must not be stallable by the peer it is shedding.
+        shed_connections_.fetch_add(1, std::memory_order_relaxed);
+        ScopedFd rejected(conn);
+        Response response;
+        response.status = Status::kOverloaded;
+        response.error = "server at connection capacity; retry with backoff";
+        std::vector<uint8_t> out;
+        AppendFrame(&out, EncodeResponse(Opcode::kPing, response));
+        SendAllDeadline(rejected.get(), out.data(), out.size(),
+                        DeadlineAfterMs(1000));
+        continue;
+      }
       const uint64_t id = connections_.fetch_add(1) + 1;
       {
         std::lock_guard<std::mutex> lock(conn_mutex_);
@@ -180,6 +278,16 @@ class ReqdServer {
             id, std::thread([this, conn, id] { ServeConnection(conn, id); }));
       }
       ReapFinishedConnections();
+    }
+  }
+
+  // Sleeps in small slices so Stop() is never delayed by a backoff.
+  void SleepWhileRunning(uint64_t ms) {
+    const SocketDeadline until = DeadlineAfterMs(ms);
+    while (running_.load(std::memory_order_acquire) &&
+           SocketClock::now() < until) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(
+          std::min<uint64_t>(ms, 10)));
     }
   }
 
@@ -212,8 +320,56 @@ class ReqdServer {
     std::vector<uint8_t> outbound;
     uint8_t chunk[1 << 16];
     bool desynced = false;
+    // Idle clock: time since the last byte arrived. Re-armed on every
+    // delivery; 0 in the config means NoDeadline() and the poll below
+    // just caps at its slice.
+    SocketDeadline idle_deadline = DeadlineAfterMs(config_.idle_timeout_ms);
     while (!desynced && running_.load(std::memory_order_acquire)) {
-      const ssize_t got = RecvSome(conn.get(), chunk, sizeof(chunk));
+      // Poll before recv: the thread is parked against the idle deadline
+      // and the shutdown flags, never against a peer's goodwill.
+      pollfd pfd{};
+      pfd.fd = conn.get();
+      pfd.events = POLLIN;
+      const int polled = ::poll(&pfd, 1, PollTimeoutMs(idle_deadline, 100));
+      if (!running_.load(std::memory_order_acquire)) {
+        if (decoder.buffered() > 0) {
+          aborted_partial_frames_.fetch_add(1, std::memory_order_relaxed);
+        }
+        break;
+      }
+      if (polled < 0) {
+        if (errno == EINTR) continue;
+        break;
+      }
+      if (polled == 0) {
+        if (draining_.load(std::memory_order_acquire)) {
+          // Drain: every complete frame this connection sent has been
+          // answered (they were processed the moment they arrived);
+          // anything still buffered is a partial the peer may never
+          // finish. Close now.
+          if (decoder.buffered() > 0) {
+            aborted_partial_frames_.fetch_add(1, std::memory_order_relaxed);
+          }
+          break;
+        }
+        if (SocketClock::now() >= idle_deadline) {
+          // Slow loris / dead peer: reap. A buffered partial frame is
+          // the signature of a client that sent a length prefix and
+          // stalled.
+          idle_reaped_.fetch_add(1, std::memory_order_relaxed);
+          if (decoder.buffered() > 0) {
+            aborted_partial_frames_.fetch_add(1, std::memory_order_relaxed);
+          }
+          break;
+        }
+        continue;
+      }
+      const ssize_t got = ::recv(conn.get(), chunk, sizeof(chunk),
+                                 MSG_DONTWAIT);
+      if (got < 0 && (errno == EAGAIN || errno == EWOULDBLOCK ||
+                      errno == EINTR)) {
+        continue;  // spurious wakeup; the poll re-parks
+      }
       if (got <= 0) {
         // Peer closed or the socket was shut down. A half-written frame
         // left in the decoder (a client killed mid-send, a torn TCP
@@ -225,6 +381,12 @@ class ReqdServer {
         }
         break;
       }
+      // The request budget is stamped at BATCH ARRIVAL: every frame
+      // decoded from this delivery shares the stamp, so pipelined frames
+      // queued behind a slow one inherit the time they spent waiting.
+      const SocketDeadline budget =
+          DeadlineAfterMs(config_.request_budget_ms);
+      idle_deadline = DeadlineAfterMs(config_.idle_timeout_ms);
       decoder.Feed(chunk, static_cast<size_t>(got));
       outbound.clear();
       while (true) {
@@ -239,12 +401,18 @@ class ReqdServer {
           desynced = true;
           break;
         }
-        AppendFrame(&outbound, HandleFrame(payload));
+        AppendFrame(&outbound, HandleFrame(payload, budget));
         frames_.fetch_add(1, std::memory_order_relaxed);
       }
       if (!outbound.empty() &&
-          !SendAll(conn.get(), outbound.data(), outbound.size())) {
+          SendAllDeadline(conn.get(), outbound.data(), outbound.size(),
+                          DeadlineAfterMs(config_.send_timeout_ms)) !=
+              IoStatus::kOk) {
         break;
+      }
+      if (draining_.load(std::memory_order_acquire) &&
+          decoder.buffered() == 0) {
+        break;  // in-flight frames answered; drain closes the connection
       }
     }
     std::lock_guard<std::mutex> lock(conn_mutex_);
@@ -252,15 +420,46 @@ class ReqdServer {
     finished_ids_.push_back(id);
   }
 
+  // Ops whose response carries no state the client reconciles against:
+  // safe to convert to kDeadlineExceeded after the work ran. kAppend and
+  // kFlush return the accepted count and kCreate/kDrop change registry
+  // state -- once applied they MUST ack, or the client's accounting and
+  // retry logic desync from the server's.
+  static bool IsReadOnly(Opcode op) {
+    switch (op) {
+      case Opcode::kPing:
+      case Opcode::kRank:
+      case Opcode::kQuantiles:
+      case Opcode::kCdf:
+      case Opcode::kSnapshot:
+      case Opcode::kList:
+      case Opcode::kStats:
+        return true;
+      default:
+        return false;
+    }
+  }
+
   // Parses one request payload and produces the response payload. All
   // throwing paths are caught here; see the class comment for the status
   // mapping.
-  std::vector<uint8_t> HandleFrame(const std::vector<uint8_t>& payload) {
+  std::vector<uint8_t> HandleFrame(const std::vector<uint8_t>& payload,
+                                   SocketDeadline budget) {
     Opcode op = Opcode::kPing;
     Response response;
     try {
       const Request request = ParseRequest(payload);
       op = request.op;
+      if (SocketClock::now() >= budget) {
+        // Budget spent before dispatch (a burst pipelined behind a slow
+        // frame, or a server pushed past its request budget): shed the
+        // frame with zero work done. Uniform for every opcode -- nothing
+        // was applied, so the client may retry anything.
+        deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+        response.status = Status::kDeadlineExceeded;
+        response.error = "request budget exhausted before dispatch";
+        return EncodeResponse(op, response);
+      }
       // An operation can race an idle eviction: the engine handle goes
       // retired between Require and use. Re-dispatching re-resolves the
       // metric, which rehydrates it -- invisible to the client beyond
@@ -272,6 +471,16 @@ class ReqdServer {
         } catch (const MetricRetired&) {
           if (attempt >= 2) throw;
         }
+      }
+      if (IsReadOnly(op) && SocketClock::now() >= budget) {
+        // The answer took longer than the budget; for a read the client
+        // has surely timed out its side, so a typed timeout beats a
+        // stale payload. Mutations skip this: applied work always acks.
+        deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+        Response late;
+        late.status = Status::kDeadlineExceeded;
+        late.error = "request budget exhausted during dispatch";
+        return EncodeResponse(op, late);
       }
     } catch (const MetricNotFound& e) {
       response.status = Status::kNotFound;
@@ -375,6 +584,24 @@ class ReqdServer {
           throw MetricNotFound(request.metric);
         }
         break;
+      case Opcode::kStats:
+        // Counter names are part of the observable surface (req-cli
+        // prints them, the chaos suite asserts on them); additions are
+        // fine, renames are a protocol change.
+        response.stats = {
+            {"connections_accepted", connections_.load()},
+            {"live_connections", LiveConnections()},
+            {"frames_served", frames_.load()},
+            {"aborted_partial_frames", aborted_partial_frames_.load()},
+            {"shed_connections", shed_connections_.load()},
+            {"deadline_exceeded", deadline_exceeded_.load()},
+            {"idle_reaped", idle_reaped_.load()},
+            {"accept_failures", accept_failures_.load()},
+            {"metrics", registry_->size()},
+            {"draining",
+             draining_.load(std::memory_order_acquire) ? 1u : 0u},
+        };
+        break;
     }
     return response;
   }
@@ -384,9 +611,10 @@ class ReqdServer {
   ScopedFd listen_fd_;
   uint16_t port_ = 0;
   std::atomic<bool> running_{false};
+  std::atomic<bool> draining_{false};
   std::thread accept_thread_;
   // Guards the three connection tables below.
-  std::mutex conn_mutex_;
+  mutable std::mutex conn_mutex_;
   // Live connection fds by id, so Stop() can shut them down; threads are
   // joined (not detached) for clean destruction under sanitizers, and
   // reaped as connections finish so neither table grows with
@@ -397,6 +625,10 @@ class ReqdServer {
   std::atomic<uint64_t> connections_{0};
   std::atomic<uint64_t> frames_{0};
   std::atomic<uint64_t> aborted_partial_frames_{0};
+  std::atomic<uint64_t> shed_connections_{0};
+  std::atomic<uint64_t> deadline_exceeded_{0};
+  std::atomic<uint64_t> idle_reaped_{0};
+  std::atomic<uint64_t> accept_failures_{0};
 };
 
 }  // namespace service

@@ -11,12 +11,15 @@
 #endif
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstdint>
 #include <cstring>
 #include <string>
@@ -108,6 +111,169 @@ inline in_addr ParseIPv4(const std::string& host) {
   util::CheckArg(::inet_pton(AF_INET, resolved.c_str(), &addr) == 1,
                  "host must be an IPv4 address or \"localhost\"");
   return addr;
+}
+
+// --- deadlines -------------------------------------------------------------
+//
+// The hostile-network contract (see service/chaos_proxy.h and the README
+// status table): no socket operation may block past its caller's
+// deadline. A blackholed peer, a throttled link, or a stalled proxy must
+// surface as a typed timeout, never a stuck thread. All helpers poll
+// first and then use non-blocking I/O (MSG_DONTWAIT), so they work on
+// blocking and non-blocking fds alike.
+
+using SocketClock = std::chrono::steady_clock;
+using SocketDeadline = SocketClock::time_point;
+
+// A time_point far enough out to mean "no deadline".
+inline SocketDeadline NoDeadline() { return SocketDeadline::max(); }
+
+inline SocketDeadline DeadlineAfterMs(uint64_t ms) {
+  if (ms == 0) return NoDeadline();
+  return SocketClock::now() + std::chrono::milliseconds(ms);
+}
+
+// Milliseconds until `deadline`, clamped to [0, cap_ms]; cap_ms bounds a
+// single poll so loops stay responsive to shutdown flags.
+inline int PollTimeoutMs(SocketDeadline deadline, int cap_ms = 250) {
+  if (deadline == NoDeadline()) return cap_ms;
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+      deadline - SocketClock::now());
+  if (left.count() <= 0) return 0;
+  if (left.count() >= cap_ms) return cap_ms;
+  return static_cast<int>(left.count());
+}
+
+// Polls `fd` for `events` until the deadline. Returns >0 when ready, 0 on
+// deadline, <0 on a real poll error (EINTR retried).
+inline int PollUntil(int fd, short events, SocketDeadline deadline) {
+  while (true) {
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = events;
+    const int r = ::poll(&pfd, 1, PollTimeoutMs(deadline));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    if (r > 0) return r;
+    if (SocketClock::now() >= deadline) return 0;
+  }
+}
+
+// Outcome of a deadline-bounded socket operation: the caller needs to
+// distinguish "the peer went away" from "the deadline fired" -- the
+// former is a transport error, the latter a typed timeout.
+enum class IoStatus {
+  kOk = 0,
+  kClosed = 1,   // orderly EOF or peer reset
+  kTimeout = 2,  // deadline expired with the operation incomplete
+};
+
+// Sends the whole buffer before `deadline`. Partial progress followed by
+// a timeout reports kTimeout (the stream is desynced either way).
+inline IoStatus SendAllDeadline(int fd, const uint8_t* data, size_t size,
+                                SocketDeadline deadline) {
+  size_t sent = 0;
+  while (sent < size) {
+    const ssize_t r = ::send(fd, data + sent, size - sent,
+                             MSG_NOSIGNAL | MSG_DONTWAIT);
+    if (r > 0) {
+      sent += static_cast<size_t>(r);
+      continue;
+    }
+    if (r < 0 && errno != EAGAIN && errno != EWOULDBLOCK &&
+        errno != EINTR) {
+      return IoStatus::kClosed;
+    }
+    const int polled = PollUntil(fd, POLLOUT, deadline);
+    if (polled < 0) return IoStatus::kClosed;
+    if (polled == 0 && SocketClock::now() >= deadline) {
+      return IoStatus::kTimeout;
+    }
+  }
+  return IoStatus::kOk;
+}
+
+// One recv bounded by `deadline`: *got receives the byte count on kOk.
+inline IoStatus RecvSomeDeadline(int fd, uint8_t* data, size_t size,
+                                 SocketDeadline deadline, ssize_t* got) {
+  while (true) {
+    const ssize_t r = ::recv(fd, data, size, MSG_DONTWAIT);
+    if (r > 0) {
+      *got = r;
+      return IoStatus::kOk;
+    }
+    if (r == 0) return IoStatus::kClosed;
+    if (errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR) {
+      return IoStatus::kClosed;
+    }
+    const int polled = PollUntil(fd, POLLIN, deadline);
+    if (polled < 0) return IoStatus::kClosed;
+    if (polled == 0 && SocketClock::now() >= deadline) {
+      return IoStatus::kTimeout;
+    }
+  }
+}
+
+// Non-blocking connect + poll: a blackholed address (dropped SYNs, a
+// full accept queue) fails within `timeout_ms` instead of riding the
+// kernel's minutes-long SYN retry schedule. 0 = no deadline. The fd is
+// left in non-blocking mode on success; deadline-based senders and
+// receivers (above) handle that, and callers that want blocking I/O can
+// clear O_NONBLOCK themselves.
+inline bool ConnectDeadline(int fd, const sockaddr* addr, socklen_t len,
+                            uint64_t timeout_ms, std::string* error) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    *error = ErrnoMessage("fcntl");
+    return false;
+  }
+  if (::connect(fd, addr, len) == 0) return true;
+  if (errno != EINPROGRESS) {
+    *error = ErrnoMessage("connect");
+    return false;
+  }
+  const SocketDeadline deadline = DeadlineAfterMs(timeout_ms);
+  while (true) {
+    const int polled = PollUntil(fd, POLLOUT, deadline);
+    if (polled < 0) {
+      *error = ErrnoMessage("poll");
+      return false;
+    }
+    if (polled == 0) {
+      if (SocketClock::now() >= deadline) {
+        *error = "connect timed out after " + std::to_string(timeout_ms) +
+                 " ms";
+        return false;
+      }
+      continue;
+    }
+    break;
+  }
+  int soerr = 0;
+  socklen_t soerr_len = sizeof(soerr);
+  if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soerr, &soerr_len) != 0) {
+    *error = ErrnoMessage("getsockopt");
+    return false;
+  }
+  if (soerr != 0) {
+    *error = std::string("connect: ") + std::strerror(soerr);
+    return false;
+  }
+  return true;
+}
+
+// Aborts the connection with an RST instead of an orderly FIN (SO_LINGER
+// with a zero timeout): how the chaos proxy models a peer that died
+// mid-conversation rather than one that hung up politely.
+inline void HardReset(ScopedFd* fd) {
+  if (!fd->valid()) return;
+  linger hard{};
+  hard.l_onoff = 1;
+  hard.l_linger = 0;
+  ::setsockopt(fd->get(), SOL_SOCKET, SO_LINGER, &hard, sizeof(hard));
+  fd->Reset();
 }
 
 }  // namespace service

@@ -28,6 +28,7 @@
 //   LIST      (empty)                      -- v1 form: full listing
 //   LIST      prefix | u64 offset | u64 limit   -- v2 paged form
 //   DROP      name
+//   STATS     (empty)                      -- v3: server counters
 //
 // Response bodies on kOk:
 //
@@ -42,6 +43,11 @@
 //   LIST      u64 count | count * name                    -- v1 form
 //   LIST      u64 total | u64 count | count * name        -- v2 paged form
 //   DROP      (empty)
+//   STATS     u64 count | count * (name | u64 value)      -- named counters
+//
+// STATS keys are additive: servers may grow the counter set and clients
+// must treat the response as an open key->value map, never a fixed
+// layout (the same additive-evolution rule as the bench JSON schemas).
 //
 // LIST versioning: an empty LIST body is the v1 request and gets the v1
 // response, so old clients keep working byte-for-byte against a v2
@@ -62,6 +68,7 @@
 #include <cstring>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/req_common.h"
@@ -71,7 +78,7 @@
 namespace req {
 namespace service {
 
-inline constexpr uint8_t kProtocolVersion = 2;
+inline constexpr uint8_t kProtocolVersion = 3;
 
 // Hard ceiling on a frame payload. Large enough for a ~4M-item APPEND or
 // any realistic snapshot, small enough that a corrupt or hostile length
@@ -91,6 +98,10 @@ enum class Opcode : uint8_t {
   kSnapshot = 7,
   kList = 8,
   kDrop = 9,
+  // v3: the server's monitoring counters (connections, frames, sheds,
+  // deadline hits, accept failures, ...) as named u64 pairs, so
+  // operators and the chaos suite can observe degradation over the wire.
+  kStats = 10,
 };
 
 enum class Status : uint8_t {
@@ -103,6 +114,16 @@ enum class Status : uint8_t {
   // transport failure and not retryable as-is: the client surfaces it as
   // a typed error and must NOT blind-retry (v2).
   kQuotaExceeded = 5,
+  // The server shed this connection or request because it is at its
+  // connection cap (v3). Nothing was applied; a client may retry, but
+  // ONLY after backing off -- hot-retrying a shedding server is load the
+  // server just said it cannot take (ReqClient enforces the backoff).
+  kOverloaded = 6,
+  // The request missed its server-side time budget (v3). For a request
+  // shed BEFORE dispatch nothing was applied. The server never answers
+  // kDeadlineExceeded after a mutation has been applied -- a late
+  // mutation acks normally, so response.n reconciliation stays exact.
+  kDeadlineExceeded = 7,
 };
 
 // Which engine a metric runs on (chosen once, at CREATE).
@@ -154,6 +175,8 @@ struct Response {
   std::vector<std::string> names;     // LIST (one page in the v2 form)
   bool list_paged = false;            // LIST: response carries `total`
   uint64_t total = 0;                 // LIST v2: matches before paging
+  // STATS: named server counters, in server-chosen order.
+  std::vector<std::pair<std::string, uint64_t>> stats;
 };
 
 // Thrown by the client when the server answers with a non-kOk status.
@@ -264,6 +287,7 @@ inline std::vector<uint8_t> EncodeRequest(const Request& request) {
   writer.Write<uint8_t>(static_cast<uint8_t>(request.op));
   switch (request.op) {
     case Opcode::kPing:
+    case Opcode::kStats:
       break;
     case Opcode::kList:
       // v1 compatibility: the unpaged request is the empty body old
@@ -310,12 +334,13 @@ inline std::vector<uint8_t> EncodeRequest(const Request& request) {
 inline Request ParseRequest(const std::vector<uint8_t>& payload) {
   util::BinaryReader reader(payload);
   const uint8_t op = reader.Read<uint8_t>();
-  util::CheckData(op <= static_cast<uint8_t>(Opcode::kDrop),
+  util::CheckData(op <= static_cast<uint8_t>(Opcode::kStats),
                   "unknown request opcode");
   Request request;
   request.op = static_cast<Opcode>(op);
   switch (request.op) {
     case Opcode::kPing:
+    case Opcode::kStats:
       break;
     case Opcode::kList:
       // An empty body is a v1 full-listing request; any body is the v2
@@ -414,6 +439,13 @@ inline std::vector<uint8_t> EncodeResponse(Opcode op,
         writer.WriteString(name);
       }
       break;
+    case Opcode::kStats:
+      writer.Write<uint64_t>(response.stats.size());
+      for (const auto& [key, value] : response.stats) {
+        writer.WriteString(key);
+        writer.Write<uint64_t>(value);
+      }
+      break;
   }
   return writer.Release();
 }
@@ -427,7 +459,7 @@ inline Response ParseResponse(Opcode op, const std::vector<uint8_t>& payload,
                               bool paged_list = false) {
   util::BinaryReader reader(payload);
   const uint8_t status = reader.Read<uint8_t>();
-  util::CheckData(status <= static_cast<uint8_t>(Status::kQuotaExceeded),
+  util::CheckData(status <= static_cast<uint8_t>(Status::kDeadlineExceeded),
                   "unknown response status");
   Response response;
   response.status = static_cast<Status>(status);
@@ -473,6 +505,22 @@ inline Response ParseResponse(Opcode op, const std::vector<uint8_t>& payload,
       for (uint64_t i = 0; i < count; ++i) {
         response.names.push_back(reader.ReadString());
         ValidateMetricName(response.names.back());
+      }
+      break;
+    }
+    case Opcode::kStats: {
+      const uint64_t count = reader.Read<uint64_t>();
+      // Each counter costs at least its name's u64 length prefix plus
+      // the u64 value, so bound the count before any allocation.
+      util::CheckData(count <= reader.remaining() / (2 * sizeof(uint64_t)),
+                      "stats count exceeds payload");
+      response.stats.reserve(static_cast<size_t>(count));
+      for (uint64_t i = 0; i < count; ++i) {
+        std::string key = reader.ReadString();
+        util::CheckData(!key.empty() && key.size() <= kMaxMetricNameLen,
+                        "bad stats counter name");
+        const uint64_t value = reader.Read<uint64_t>();
+        response.stats.emplace_back(std::move(key), value);
       }
       break;
     }

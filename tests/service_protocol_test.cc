@@ -409,6 +409,62 @@ TEST(ResponseCodec, RejectsCorruptListCount) {
   EXPECT_THROW(ParseResponse(Opcode::kList, bytes), std::runtime_error);
 }
 
+// --- STATS + hostile-network statuses (protocol v3) -------------------------
+
+TEST(StatsCodec, RequestIsEmptyBodiedLikePing) {
+  Request request;
+  request.op = Opcode::kStats;
+  const std::vector<uint8_t> bytes = EncodeRequest(request);
+  ASSERT_EQ(bytes.size(), 1u);  // just the opcode
+  EXPECT_EQ(ParseRequest(bytes).op, Opcode::kStats);
+}
+
+TEST(StatsCodec, ResponseRoundTripsNamedCounters) {
+  Response r;
+  r.stats = {{"connections_accepted", 12},
+             {"shed_connections", 3},
+             {"deadline_exceeded", 0},
+             {"frames_served", ~uint64_t{0}}};
+  const Response parsed =
+      ParseResponse(Opcode::kStats, EncodeResponse(Opcode::kStats, r));
+  EXPECT_EQ(parsed.stats, r.stats);
+}
+
+TEST(StatsCodec, RoundTripsEmptyCounterSet) {
+  Response r;
+  const Response parsed =
+      ParseResponse(Opcode::kStats, EncodeResponse(Opcode::kStats, r));
+  EXPECT_TRUE(parsed.stats.empty());
+}
+
+TEST(StatsCodec, RejectsInflatedCounterCount) {
+  Response r;
+  r.stats = {{"a", 1}};
+  std::vector<uint8_t> bytes = EncodeResponse(Opcode::kStats, r);
+  // status | u64 count: claim far more counters than the payload holds.
+  uint64_t count = uint64_t{1} << 40;
+  std::memcpy(bytes.data() + 1, &count, sizeof(count));
+  EXPECT_THROW(ParseResponse(Opcode::kStats, bytes), std::runtime_error);
+}
+
+TEST(ResponseCodec, RoundTripsOverloadedAndDeadlineExceeded) {
+  // Both v3 statuses travel as error-only bodies, so they parse no
+  // matter which opcode the client had in flight -- that is what lets
+  // the server shed a brand-new connection with an unsolicited frame.
+  for (const Status status :
+       {Status::kOverloaded, Status::kDeadlineExceeded}) {
+    Response r;
+    r.status = status;
+    r.error = "degraded";
+    for (const Opcode op :
+         {Opcode::kPing, Opcode::kAppend, Opcode::kStats}) {
+      const Response parsed = ParseResponse(op, EncodeResponse(op, r));
+      EXPECT_EQ(parsed.status, status);
+      EXPECT_EQ(parsed.error, "degraded");
+    }
+  }
+}
+
 }  // namespace
 }  // namespace service
 }  // namespace req

@@ -241,6 +241,17 @@ SCHEMAS = {
                         "list_page_p99_us", "rehydrate_p99_ms"},
         },
     },
+    "e20_chaos": {
+        "top": {"experiment", "items", "smoke", "results",
+                "injected_latency", "throttle", "overload", "summary"},
+        "arrays": {
+            # Sub-noise-floor _us rows only; sleep/storm-dominated
+            # timings live in the ungated _ms objects (E18/E19
+            # precedent) and are claims for ratios, not the perf gate.
+            "results": {"scenario", "queries", "query_p50_us",
+                        "query_p99_us"},
+        },
+    },
     "e16_query": {
         "top": {"experiment", "items", "reps", "smoke", "results",
                 "window", "summary"},

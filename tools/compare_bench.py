@@ -61,7 +61,7 @@ IDENTITY_KEYS = {
     "name", "k", "threads", "shards", "order", "topology", "variant",
     "parts", "schedule", "buckets", "n", "metric", "unit", "window_items",
     "bucket_items", "delta", "engine", "clients", "mode", "batches",
-    "checkpoint", "phase", "op", "rounds", "metrics",
+    "checkpoint", "phase", "op", "rounds", "metrics", "scenario",
 }
 
 

@@ -9,7 +9,7 @@
 //     > rank latency 50
 //     > cdf latency 10 100 1000
 //     > snapshot latency /tmp/latency.reqs
-//     > list | flush M | drop M | ping | help | quit
+//     > list | flush M | drop M | ping | stats | help | quit
 //
 // Load generator (--load): C client threads, each with its own connection
 // and its own metric, append N deterministic items in batches of B, then
@@ -316,7 +316,8 @@ void PrintHelp() {
       "  rank NAME Y...\n"
       "  quantiles NAME Q...           Q in [0,1]\n"
       "  cdf NAME SPLIT...             ascending splits\n"
-      "  snapshot NAME [FILE]          engine snapshot blob\n");
+      "  snapshot NAME [FILE]          engine snapshot blob\n"
+      "  stats                         server monitoring counters\n");
 }
 
 int RunRepl(const Options& opt) {
@@ -402,6 +403,12 @@ int RunRepl(const Options& opt) {
         in >> name;
         client.Drop(name);
         std::printf("ok\n");
+      } else if (cmd == "stats") {
+        // Server-chosen order; keys are stable, the set may grow.
+        for (const auto& [key, value] : client.Stats()) {
+          std::printf("%-24s %llu\n", key.c_str(),
+                      static_cast<unsigned long long>(value));
+        }
       } else if (cmd == "snapshot") {
         std::string name, file;
         in >> name >> file;

@@ -30,6 +30,14 @@
 //                      ones are checkpointed out of memory (rehydrated
 //                      transparently on next touch), memory-only ones
 //                      trimmed (0 = sweeper off, the default)
+//   --max-connections N    shed connections beyond N live ones with a
+//                      kOverloaded answer instead of spawning a thread
+//                      (0 = uncapped, the default)
+//   --idle-timeout-ms N    reap a connection that delivers no byte for
+//                      N ms -- the slow-loris defense (0 = never)
+//   --request-budget-ms N  answer kDeadlineExceeded when a frame's
+//                      budget (stamped at arrival) is spent before
+//                      dispatch (0 = unbounded)
 //
 // Runs until SIGINT/SIGTERM, then shuts down gracefully: stops
 // accepting, drains connection threads, flushes every metric's staged
@@ -183,6 +191,30 @@ int main(int argc, char** argv) {
         return 2;
       }
       evict_idle_ms = static_cast<uint64_t>(n);
+    } else if (std::strcmp(argv[i], "--max-connections") == 0 &&
+               i + 1 < argc) {
+      const long long n = std::atoll(argv[++i]);
+      if (n < 0) {
+        std::fprintf(stderr, "--max-connections must be >= 0\n");
+        return 2;
+      }
+      config.max_connections = static_cast<uint64_t>(n);
+    } else if (std::strcmp(argv[i], "--idle-timeout-ms") == 0 &&
+               i + 1 < argc) {
+      const long long n = std::atoll(argv[++i]);
+      if (n < 0) {
+        std::fprintf(stderr, "--idle-timeout-ms must be >= 0\n");
+        return 2;
+      }
+      config.idle_timeout_ms = static_cast<uint64_t>(n);
+    } else if (std::strcmp(argv[i], "--request-budget-ms") == 0 &&
+               i + 1 < argc) {
+      const long long n = std::atoll(argv[++i]);
+      if (n < 0) {
+        std::fprintf(stderr, "--request-budget-ms must be >= 0\n");
+        return 2;
+      }
+      config.request_budget_ms = static_cast<uint64_t>(n);
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
       return 2;
@@ -273,10 +305,11 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(server.FramesServed()),
                 static_cast<unsigned long long>(
                     server.ConnectionsAccepted()));
-    // Graceful drain: stop accepting and join every connection thread
-    // FIRST (no appends can race the final snapshot), then flush staged
-    // items and checkpoint each metric so the next boot replays nothing.
-    server.Stop();
+    // Graceful drain: shed new connections, answer every in-flight
+    // frame, then join the connection threads (no appends can race the
+    // final snapshot); only then flush staged items and checkpoint each
+    // metric so the next boot replays nothing.
+    server.Drain(/*timeout_ms=*/5000);
     if (durability) {
       std::shared_ptr<const std::vector<std::string>> names =
           registry.List();
