@@ -104,6 +104,17 @@ struct DeadlinePolicy {
   uint64_t max_overloaded_backoff_ms = 2000;
 };
 
+// Everything configurable about a client in one bundle, passed at
+// Connect(): deadlines plus the reconnect switch and its policy. This is
+// the v3 front door -- the scattered EnableReconnect()/SetDeadlines()
+// call sequences remain as thin shims that delegate into the same
+// options, so a caller can no longer connect with half its knobs set.
+struct ClientOptions {
+  DeadlinePolicy deadlines;
+  ReconnectPolicy reconnect;
+  bool reconnect_enabled = false;
+};
+
 class ReqClient {
  public:
   ReqClient() = default;
@@ -125,7 +136,7 @@ class ReqClient {
     addr.sin_port = htons(port);
     std::string error;
     if (!ConnectDeadline(fd.get(), reinterpret_cast<sockaddr*>(&addr),
-                         sizeof(addr), deadlines_.connect_timeout_ms,
+                         sizeof(addr), options_.deadlines.connect_timeout_ms,
                          &error)) {
       throw std::runtime_error(error);
     }
@@ -138,6 +149,18 @@ class ReqClient {
     port_ = port;
   }
 
+  // Connects with the full option bundle installed first, so the dial
+  // itself already runs under options.deadlines and reconnection (when
+  // enabled) is armed from the very first request.
+  void Connect(const std::string& host, uint16_t port,
+               const ClientOptions& options) {
+    util::CheckArg(!options.reconnect_enabled ||
+                       options.reconnect.max_attempts > 0,
+                   "max_attempts must be > 0");
+    options_ = options;
+    Connect(host, port);
+  }
+
   bool connected() const { return fd_.valid(); }
   void Close() {
     fd_.Reset();
@@ -146,20 +169,23 @@ class ReqClient {
 
   // Arms transparent reconnection (see the class comment). Takes effect
   // from the next request; requires a successful Connect() first so the
-  // client knows where to redial.
+  // client knows where to redial. Shim over options().
   void EnableReconnect(const ReconnectPolicy& policy = {}) {
     util::CheckArg(policy.max_attempts > 0, "max_attempts must be > 0");
-    reconnect_enabled_ = true;
-    policy_ = policy;
+    options_.reconnect_enabled = true;
+    options_.reconnect = policy;
   }
-  void DisableReconnect() { reconnect_enabled_ = false; }
+  void DisableReconnect() { options_.reconnect_enabled = false; }
 
   // Installs socket deadlines + retry budget; takes effect from the next
-  // Connect()/request.
+  // Connect()/request. Shim over options().
   void SetDeadlines(const DeadlinePolicy& deadlines) {
-    deadlines_ = deadlines;
+    options_.deadlines = deadlines;
   }
-  const DeadlinePolicy& deadlines() const { return deadlines_; }
+  const DeadlinePolicy& deadlines() const { return options_.deadlines; }
+
+  // The full option bundle currently in effect.
+  const ClientOptions& options() const { return options_; }
 
   // Successful redials performed so far (tests and monitoring).
   uint64_t Reconnects() const { return reconnects_; }
@@ -326,14 +352,16 @@ class ReqClient {
     // A torn-down connection (a previous call's transport failure, or a
     // restarted server) redials before sending anything -- safe for every
     // opcode, since no bytes of THIS request are in flight yet.
-    if (!fd_.valid() && reconnect_enabled_ && !host_.empty()) Reconnect();
+    if (!fd_.valid() && options_.reconnect_enabled && !host_.empty()) {
+      Reconnect();
+    }
     // One budget spans the whole logical request: attempts, backoff
     // sleeps, and redials all bill against it.
     const SocketDeadline budget =
-        DeadlineAfterMs(deadlines_.retry_budget_ms);
+        DeadlineAfterMs(options_.deadlines.retry_budget_ms);
     int attempt = 0;
     uint64_t overload_backoff_ms =
-        std::max<uint64_t>(deadlines_.overloaded_backoff_ms, 1);
+        std::max<uint64_t>(options_.deadlines.overloaded_backoff_ms, 1);
     while (true) {
       try {
         return RoundTripOnce(request);
@@ -341,17 +369,18 @@ class ReqClient {
         // The server shed us at its cap; it applied nothing, so ANY op
         // may retry -- but never hot: back off (doubling), stay inside
         // the retry budget, and redial (the shedding server closed us).
-        if (!reconnect_enabled_ || ++attempt > policy_.max_attempts ||
+        if (!options_.reconnect_enabled ||
+            ++attempt > options_.reconnect.max_attempts ||
             !BackoffWithinBudget(overload_backoff_ms, budget)) {
           throw;
         }
         overload_backoff_ms = std::min(
-            overload_backoff_ms * 2, deadlines_.max_overloaded_backoff_ms);
+            overload_backoff_ms * 2, options_.deadlines.max_overloaded_backoff_ms);
       } catch (const ServiceError&) {
         throw;  // the server answered; the transport is fine
       } catch (const std::runtime_error&) {
-        if (!reconnect_enabled_ || !IsIdempotent(request.op) ||
-            ++attempt > policy_.max_attempts ||
+        if (!options_.reconnect_enabled || !IsIdempotent(request.op) ||
+            ++attempt > options_.reconnect.max_attempts ||
             SocketClock::now() >= budget) {
           throw;
         }
@@ -387,7 +416,7 @@ class ReqClient {
   // final connect error when the server stays down past max_attempts.
   void Reconnect() {
     util::CheckState(!host_.empty(), "no prior Connect to redo");
-    uint64_t backoff_ms = policy_.initial_backoff_ms;
+    uint64_t backoff_ms = options_.reconnect.initial_backoff_ms;
     for (int attempt = 0;; ++attempt) {
       Close();
       try {
@@ -395,7 +424,7 @@ class ReqClient {
         ++reconnects_;
         return;
       } catch (const std::runtime_error&) {
-        if (attempt + 1 >= policy_.max_attempts) throw;
+        if (attempt + 1 >= options_.reconnect.max_attempts) throw;
       }
       // Sleep in [b/2, b]: full-jitter style, so a fleet of clients that
       // lost the same server does not redial in lockstep.
@@ -404,7 +433,7 @@ class ReqClient {
       const uint64_t half = backoff_ms / 2;
       const uint64_t sleep_ms = half + (jitter_state_ >> 33) % (half + 1);
       std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
-      backoff_ms = std::min(backoff_ms * 2, policy_.max_backoff_ms);
+      backoff_ms = std::min(backoff_ms * 2, options_.reconnect.max_backoff_ms);
     }
   }
 
@@ -416,7 +445,7 @@ class ReqClient {
     // throttled link cannot stretch a request past request_timeout_ms by
     // keeping each byte individually fast.
     const SocketDeadline deadline =
-        DeadlineAfterMs(deadlines_.request_timeout_ms);
+        DeadlineAfterMs(options_.deadlines.request_timeout_ms);
     std::vector<uint8_t> frame;
     AppendFrame(&frame, EncodeRequest(request));
     const IoStatus sent =
@@ -494,9 +523,7 @@ class ReqClient {
   FrameDecoder decoder_;
   std::string host_;
   uint16_t port_ = 0;
-  bool reconnect_enabled_ = false;
-  ReconnectPolicy policy_;
-  DeadlinePolicy deadlines_;
+  ClientOptions options_;
   uint64_t reconnects_ = 0;
   uint64_t quota_rejections_ = 0;
   uint64_t overloaded_answers_ = 0;

@@ -16,6 +16,7 @@
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -102,6 +103,35 @@ inline ssize_t RecvSome(int fd, uint8_t* data, size_t size) {
 inline void SetNoDelay(int fd) {
   int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+// Puts the fd into non-blocking mode. The epoll reactor requires it:
+// with edge-triggered readiness a worker must read/write until EAGAIN,
+// and a blocking call anywhere on that path would wedge the whole
+// event loop behind one peer.
+inline bool SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) >= 0;
+}
+
+// One gather-write (sendmsg over an iovec run) in non-blocking mode.
+// Returns bytes written (>= 1), 0 when the socket buffer is full
+// (EAGAIN -- the caller arms EPOLLOUT and waits), or -1 when the peer
+// is gone. MSG_NOSIGNAL for the same reason as SendAll; sendmsg rather
+// than writev because writev has no flags argument. The 0/EAGAIN
+// conflation is safe: callers never pass an empty iovec run, and a
+// successful write of a non-empty run returns at least one byte.
+inline ssize_t WritevNonBlocking(int fd, const iovec* iov, size_t iovcnt) {
+  msghdr msg{};
+  msg.msg_iov = const_cast<iovec*>(iov);
+  msg.msg_iovlen = iovcnt;
+  while (true) {
+    const ssize_t r = ::sendmsg(fd, &msg, MSG_NOSIGNAL | MSG_DONTWAIT);
+    if (r >= 0) return r;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return 0;
+    return -1;
+  }
 }
 
 // Parses a dotted-quad IPv4 address ("localhost" accepted as loopback).

@@ -401,13 +401,13 @@ inline Request ParseRequest(const std::vector<uint8_t>& payload) {
 
 // --- responses -------------------------------------------------------------
 
-inline std::vector<uint8_t> EncodeResponse(Opcode op,
-                                           const Response& response) {
-  util::BinaryWriter writer;
+inline void EncodeResponseBody(Opcode op, const Response& response,
+                               util::BinaryWriter* writer_ptr) {
+  util::BinaryWriter& writer = *writer_ptr;
   writer.Write<uint8_t>(static_cast<uint8_t>(response.status));
   if (response.status != Status::kOk) {
     writer.WriteString(response.error);
-    return writer.Release();
+    return;
   }
   switch (op) {
     case Opcode::kPing:
@@ -447,7 +447,34 @@ inline std::vector<uint8_t> EncodeResponse(Opcode op,
       }
       break;
   }
+}
+
+inline std::vector<uint8_t> EncodeResponse(Opcode op,
+                                           const Response& response) {
+  util::BinaryWriter writer;
+  EncodeResponseBody(op, response, &writer);
   return writer.Release();
+}
+
+// Appends one length-prefixed response frame directly into `*out`,
+// reusing its allocation: the length slot is reserved up front, the body
+// is encoded in place behind it, and the prefix is patched afterwards.
+// This is the server's hot-path encoder -- a reactor worker encodes every
+// response of a delivery batch into one connection-owned output buffer
+// instead of materializing a fresh vector per frame and copying it.
+inline void AppendResponseFrame(Opcode op, const Response& response,
+                                std::vector<uint8_t>* out) {
+  const size_t frame_start = out->size();
+  util::BinaryWriter writer(std::move(*out));
+  writer.Write<uint32_t>(0);  // length placeholder, patched below
+  EncodeResponseBody(op, response, &writer);
+  std::vector<uint8_t> bytes = writer.Release();
+  const size_t payload = bytes.size() - frame_start - sizeof(uint32_t);
+  util::CheckArg(payload >= 1 && payload <= kMaxFramePayload,
+                 "frame payload size out of range");
+  const uint32_t len = static_cast<uint32_t>(payload);
+  std::memcpy(bytes.data() + frame_start, &len, sizeof(uint32_t));
+  *out = std::move(bytes);
 }
 
 // Parses a response to a request of opcode `op` (the client knows what it

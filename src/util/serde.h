@@ -18,6 +18,13 @@ namespace util {
 
 class BinaryWriter {
  public:
+  BinaryWriter() = default;
+  // Seeds the writer with an existing buffer and appends after its
+  // current contents; Release() hands the (grown) buffer back. Lets a
+  // caller encode many records into one reusable allocation.
+  explicit BinaryWriter(std::vector<uint8_t>&& bytes)
+      : bytes_(std::move(bytes)) {}
+
   template <typename T>
   void Write(const T& value) {
     static_assert(std::is_trivially_copyable_v<T>,

@@ -195,8 +195,10 @@ SCHEMAS = {
             "experiment",
             "items_per_client",
             "batch",
+            "workers",
             "smoke",
             "results",
+            "highconn",
             "summary",
         },
         "arrays": {
@@ -208,6 +210,13 @@ SCHEMAS = {
                 "queries",
                 "query_p50_us",
                 "query_p99_us",
+            },
+            "highconn": {
+                "connections",
+                "workers",
+                "appends",
+                "append_p50_us",
+                "append_p99_us",
             },
             "summary": {"engine", "peak_append_mups",
                         "max_clients_p99_us"},

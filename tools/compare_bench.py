@@ -62,6 +62,7 @@ IDENTITY_KEYS = {
     "parts", "schedule", "buckets", "n", "metric", "unit", "window_items",
     "bucket_items", "delta", "engine", "clients", "mode", "batches",
     "checkpoint", "phase", "op", "rounds", "metrics", "scenario",
+    "connections", "workers",
 }
 
 

@@ -1,13 +1,19 @@
 // reqd: the multi-tenant quantile service daemon. Hosts a SketchRegistry
-// behind the length-prefixed TCP protocol of service/wire_protocol.h.
+// behind the length-prefixed TCP protocol of service/wire_protocol.h,
+// fronted by the epoll reactor of service/reqd_server.h.
 //
 // Usage:
-//   reqd [--bind ADDR] [--port PORT] [--create NAME:KIND[:K_BASE]]...
-//        [--data-dir DIR] [--fsync POLICY] [--checkpoint-bytes N]
-//        [--port-file PATH]
+//   reqd [--bind ADDR] [--port PORT] [--workers N] [--backlog N]
+//        [--create NAME:KIND[:K_BASE]]... [--data-dir DIR]
+//        [--fsync POLICY] [--checkpoint-bytes N] [--port-file PATH]
 //
 //   --bind ADDR        IPv4 address to listen on (default 127.0.0.1)
 //   --port PORT        TCP port (default 7071; 0 picks an ephemeral port)
+//   --workers N        event-loop worker threads (default 0 = hardware
+//                      concurrency); connections are distributed
+//                      round-robin across them
+//   --backlog N        listen backlog (default 0 = auto: scales with
+//                      --max-connections, floor 1024)
 //   --create SPEC      pre-create a metric at startup; SPEC is
 //                      NAME:KIND[:K_BASE] with KIND one of plain,
 //                      sharded, windowed (metrics can also be created
@@ -31,7 +37,7 @@
 //                      transparently on next touch), memory-only ones
 //                      trimmed (0 = sweeper off, the default)
 //   --max-connections N    shed connections beyond N live ones with a
-//                      kOverloaded answer instead of spawning a thread
+//                      kOverloaded answer instead of a worker slot
 //                      (0 = uncapped, the default)
 //   --idle-timeout-ms N    reap a connection that delivers no byte for
 //                      N ms -- the slow-loris defense (0 = never)
@@ -39,17 +45,19 @@
 //                      budget (stamped at arrival) is spent before
 //                      dispatch (0 = unbounded)
 //
+// The flag table itself lives in service/server_flags.h
+// (ParseServerFlags), shared with the benches and tests so every
+// embedder of the daemon shape accepts the same options.
+//
 // Runs until SIGINT/SIGTERM, then shuts down gracefully: stops
-// accepting, drains connection threads, flushes every metric's staged
-// items, and (when durable) writes a final checkpoint per metric so a
-// clean restart replays no WAL at all.
+// accepting, drains the reactor, flushes every metric's staged items,
+// and (when durable) writes a final checkpoint per metric so a clean
+// restart replays no WAL at all.
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <csignal>
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -58,52 +66,10 @@
 
 #include "persist/durability.h"
 #include "service/reqd_server.h"
+#include "service/server_flags.h"
 #include "service/sketch_registry.h"
 
 namespace {
-
-using req::service::EngineKind;
-using req::service::MetricSpec;
-
-bool ParseCreateSpec(const std::string& arg, std::string* name,
-                     MetricSpec* spec) {
-  const size_t first = arg.find(':');
-  if (first == std::string::npos || first == 0) return false;
-  *name = arg.substr(0, first);
-  const size_t second = arg.find(':', first + 1);
-  const std::string kind = arg.substr(
-      first + 1, second == std::string::npos ? std::string::npos
-                                             : second - first - 1);
-  if (kind == "plain") {
-    spec->kind = EngineKind::kPlain;
-  } else if (kind == "sharded") {
-    spec->kind = EngineKind::kSharded;
-  } else if (kind == "windowed") {
-    spec->kind = EngineKind::kWindowed;
-  } else {
-    return false;
-  }
-  if (second != std::string::npos) {
-    const long k = std::atol(arg.c_str() + second + 1);
-    if (k <= 0) return false;
-    spec->base.k_base = static_cast<uint32_t>(k);
-  }
-  return true;
-}
-
-bool ParseFsyncPolicy(const std::string& arg,
-                      req::persist::FsyncPolicy* policy) {
-  if (arg == "always") {
-    *policy = req::persist::FsyncPolicy::kAlways;
-  } else if (arg == "interval") {
-    *policy = req::persist::FsyncPolicy::kInterval;
-  } else if (arg == "never") {
-    *policy = req::persist::FsyncPolicy::kNever;
-  } else {
-    return false;
-  }
-  return true;
-}
 
 // tmp + rename, so a reader never sees a half-written port number.
 bool WritePortFile(const std::string& path, uint16_t port) {
@@ -118,121 +84,26 @@ bool WritePortFile(const std::string& path, uint16_t port) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  req::service::ReqdServerConfig config;
-  config.port = 7071;
-  std::vector<std::pair<std::string, MetricSpec>> precreate;
-  std::string data_dir;
-  std::string port_file;
-  uint64_t max_metrics = 0;
-  uint64_t max_memory_bytes = 0;
-  uint64_t evict_idle_ms = 0;
-  req::persist::DurabilityOptions durability_options;
-
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--bind") == 0 && i + 1 < argc) {
-      config.bind_address = argv[++i];
-    } else if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
-      char* end = nullptr;
-      const long port = std::strtol(argv[++i], &end, 10);
-      // Reject rather than truncate: --port 70000 must not silently
-      // bind 4464 (port 0 stays legal: ephemeral).
-      if (end == argv[i] || *end != '\0' || port < 0 || port > 65535) {
-        std::fprintf(stderr, "--port must be in [0, 65535]\n");
-        return 2;
-      }
-      config.port = static_cast<uint16_t>(port);
-    } else if (std::strcmp(argv[i], "--create") == 0 && i + 1 < argc) {
-      std::string name;
-      MetricSpec spec;
-      if (!ParseCreateSpec(argv[++i], &name, &spec)) {
-        std::fprintf(stderr,
-                     "bad --create spec %s (want NAME:KIND[:K_BASE])\n",
-                     argv[i]);
-        return 2;
-      }
-      precreate.emplace_back(name, spec);
-    } else if (std::strcmp(argv[i], "--data-dir") == 0 && i + 1 < argc) {
-      data_dir = argv[++i];
-    } else if (std::strcmp(argv[i], "--fsync") == 0 && i + 1 < argc) {
-      if (!ParseFsyncPolicy(argv[++i], &durability_options.fsync)) {
-        std::fprintf(stderr, "--fsync must be always|interval|never\n");
-        return 2;
-      }
-    } else if (std::strcmp(argv[i], "--checkpoint-bytes") == 0 &&
-               i + 1 < argc) {
-      const long long bytes = std::atoll(argv[++i]);
-      if (bytes <= 0) {
-        std::fprintf(stderr, "--checkpoint-bytes must be > 0\n");
-        return 2;
-      }
-      durability_options.checkpoint_bytes = static_cast<uint64_t>(bytes);
-    } else if (std::strcmp(argv[i], "--port-file") == 0 && i + 1 < argc) {
-      port_file = argv[++i];
-    } else if (std::strcmp(argv[i], "--max-metrics") == 0 && i + 1 < argc) {
-      const long long n = std::atoll(argv[++i]);
-      if (n < 0) {
-        std::fprintf(stderr, "--max-metrics must be >= 0\n");
-        return 2;
-      }
-      max_metrics = static_cast<uint64_t>(n);
-    } else if (std::strcmp(argv[i], "--max-memory-bytes") == 0 &&
-               i + 1 < argc) {
-      const long long n = std::atoll(argv[++i]);
-      if (n < 0) {
-        std::fprintf(stderr, "--max-memory-bytes must be >= 0\n");
-        return 2;
-      }
-      max_memory_bytes = static_cast<uint64_t>(n);
-    } else if (std::strcmp(argv[i], "--evict-idle-ms") == 0 &&
-               i + 1 < argc) {
-      const long long n = std::atoll(argv[++i]);
-      if (n < 0) {
-        std::fprintf(stderr, "--evict-idle-ms must be >= 0\n");
-        return 2;
-      }
-      evict_idle_ms = static_cast<uint64_t>(n);
-    } else if (std::strcmp(argv[i], "--max-connections") == 0 &&
-               i + 1 < argc) {
-      const long long n = std::atoll(argv[++i]);
-      if (n < 0) {
-        std::fprintf(stderr, "--max-connections must be >= 0\n");
-        return 2;
-      }
-      config.max_connections = static_cast<uint64_t>(n);
-    } else if (std::strcmp(argv[i], "--idle-timeout-ms") == 0 &&
-               i + 1 < argc) {
-      const long long n = std::atoll(argv[++i]);
-      if (n < 0) {
-        std::fprintf(stderr, "--idle-timeout-ms must be >= 0\n");
-        return 2;
-      }
-      config.idle_timeout_ms = static_cast<uint64_t>(n);
-    } else if (std::strcmp(argv[i], "--request-budget-ms") == 0 &&
-               i + 1 < argc) {
-      const long long n = std::atoll(argv[++i]);
-      if (n < 0) {
-        std::fprintf(stderr, "--request-budget-ms must be >= 0\n");
-        return 2;
-      }
-      config.request_budget_ms = static_cast<uint64_t>(n);
-    } else {
-      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
-      return 2;
-    }
+  req::service::ServerFlags flags;
+  flags.server.port = 7071;
+  std::string flag_error;
+  if (!req::service::ParseServerFlags(argc, argv, &flags, &flag_error)) {
+    std::fprintf(stderr, "%s\n", flag_error.c_str());
+    return 2;
   }
 
   req::service::SketchRegistry registry;
-  registry.SetLimits(max_metrics, max_memory_bytes);
+  registry.SetLimits(flags.max_metrics, flags.max_memory_bytes);
   try {
     std::unique_ptr<req::persist::DurabilityManager> durability;
-    if (!data_dir.empty()) {
+    if (!flags.data_dir.empty()) {
       durability = std::make_unique<req::persist::DurabilityManager>(
-          data_dir, durability_options);
+          flags.data_dir, flags.durability);
       durability->RecoverInto(&registry);
       std::printf("recovered %zu metric(s) from %s\n", registry.size(),
-                  data_dir.c_str());
+                  flags.data_dir.c_str());
     }
-    for (const auto& [name, spec] : precreate) {
+    for (const auto& [name, spec] : flags.precreate) {
       try {
         registry.Create(name, spec);
         std::printf("created metric %s\n", name.c_str());
@@ -248,20 +119,23 @@ int main(int argc, char** argv) {
     sigaddset(&set, SIGTERM);
     pthread_sigmask(SIG_BLOCK, &set, nullptr);
 
-    req::service::ReqdServer server(&registry, config);
+    req::service::ReqdServer server(&registry, flags.server);
     server.Start();
-    std::printf("reqd listening on %s:%u (%zu metric(s))\n",
-                config.bind_address.c_str(), server.port(),
-                registry.size());
+    std::printf("reqd listening on %s:%u (%zu metric(s), %llu worker(s))\n",
+                flags.server.bind_address.c_str(), server.port(),
+                registry.size(),
+                static_cast<unsigned long long>(server.WorkerCount()));
     std::fflush(stdout);
-    if (!port_file.empty() && !WritePortFile(port_file, server.port())) {
+    if (!flags.port_file.empty() &&
+        !WritePortFile(flags.port_file, server.port())) {
       std::fprintf(stderr, "reqd: cannot write --port-file %s\n",
-                   port_file.c_str());
+                   flags.port_file.c_str());
       return 1;
     }
 
     // Idle-eviction sweeper: wakes twice per TTL (so a metric is caught
     // within ~1.5x its idle threshold), interruptible for fast shutdown.
+    const uint64_t evict_idle_ms = flags.evict_idle_ms;
     std::thread sweeper;
     std::mutex sweep_mutex;
     std::condition_variable sweep_cv;
@@ -306,8 +180,8 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(
                     server.ConnectionsAccepted()));
     // Graceful drain: shed new connections, answer every in-flight
-    // frame, then join the connection threads (no appends can race the
-    // final snapshot); only then flush staged items and checkpoint each
+    // frame, then stop the reactor (no appends can race the final
+    // snapshot); only then flush staged items and checkpoint each
     // metric so the next boot replays nothing.
     server.Drain(/*timeout_ms=*/5000);
     if (durability) {

@@ -40,6 +40,7 @@ def valid_e17():
         "experiment": "e17_service",
         "items_per_client": 1000,
         "batch": 100,
+        "workers": 1,
         "smoke": True,
         "results": [
             {
@@ -50,6 +51,15 @@ def valid_e17():
                 "queries": 100,
                 "query_p50_us": 50.0,
                 "query_p99_us": 90.0,
+            },
+        ],
+        "highconn": [
+            {
+                "connections": 8,
+                "workers": 1,
+                "appends": 4096,
+                "append_p50_us": 80.0,
+                "append_p99_us": 900.0,
             },
         ],
         "summary": [
